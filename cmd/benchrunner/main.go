@@ -1,0 +1,578 @@
+// Command benchrunner regenerates every experiment in DESIGN.md §2 (E1–E12)
+// and prints paper-claim-versus-measured tables; EXPERIMENTS.md is produced
+// from its output.
+//
+// Usage:
+//
+//	benchrunner [-users N] [-loggedout N] [-seed S] [-only e1,e4]
+//
+// All experiments share one generated day of traffic with planted ground
+// truth, a warehouse populated through the direct writer, and a session
+// store built by the two-pass daily job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/colloc"
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/legacy"
+	"unilog/internal/logmover"
+	"unilog/internal/ngram"
+	"unilog/internal/recordio"
+	"unilog/internal/scribe"
+	"unilog/internal/session"
+	"unilog/internal/twin"
+	"unilog/internal/users"
+	"unilog/internal/warehouse"
+	"unilog/internal/workload"
+	"unilog/internal/zk"
+)
+
+var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+
+type env struct {
+	fs    *hdfs.FS
+	dict  *session.Dictionary
+	truth *workload.Truth
+	stats session.DayStats
+	evs   []events.ClientEvent
+	seqs  []string
+	cfg   workload.Config
+}
+
+func main() {
+	users := flag.Int("users", 400, "logged-in user population")
+	loggedOut := flag.Int("loggedout", 400, "logged-out sessions (funnel traffic)")
+	seed := flag.Int64("seed", 2012, "workload seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = *users
+	cfg.LoggedOutSessions = *loggedOut
+	cfg.Seed = *seed
+
+	fmt.Printf("# Experiment harness — %d users, %d logged-out sessions, seed %d\n\n",
+		cfg.Users, cfg.LoggedOutSessions, cfg.Seed)
+
+	start := time.Now()
+	evs, truth := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	w.RollRecords = 4000
+	for i := range evs {
+		if err := w.Append(&evs[i]); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	dict, _, stats, err := session.BuildDay(fs, day, 3)
+	if err != nil {
+		fatal(err)
+	}
+	var seqs []string
+	if err := session.ScanDay(fs, day, func(r *session.Record) error {
+		seqs = append(seqs, r.Sequence)
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	e := &env{fs: fs, dict: dict, truth: truth, stats: stats, evs: evs, seqs: seqs, cfg: cfg}
+	fmt.Printf("corpus: %d events, %d sessions, %d event types (built in %v)\n\n",
+		truth.Events, truth.Sessions, dict.Len(), time.Since(start).Round(time.Millisecond))
+
+	experiments := []struct {
+		id   string
+		name string
+		run  func(*env)
+	}{
+		{"e1", "session-sequence compression (§4.2 'about fifty times smaller')", e1},
+		{"e2", "query latency: raw scan vs session sequences (§4.2)", e2},
+		{"e3", "session reconstruction: legacy join vs unified vs materialized (§3.1/§4.1)", e3},
+		{"e4", "map-task and scan reduction (§4.1 'tens of thousands of mappers')", e4},
+		{"e5", "automatic rollup aggregation (§3.2)", e5},
+		{"e6", "funnel analytics (§5.3 worked example)", e6},
+		{"e7", "CTR/FTR recovery (§5.2, §4.1)", e7},
+		{"e8", "n-gram language models over sessions (§5.4)", e8},
+		{"e9", "activity collocations, PMI and G² (§5.4)", e9},
+		{"e10", "pipeline fault tolerance (§2)", e10},
+		{"e11", "Elephant Twin selective queries (§6)", e11},
+		{"e12", "dictionary ordering ablation (§4.2 variable-length coding)", e12},
+		{"e13", "ad-hoc segment queries via users-table join (§4.1, §5.2)", e13},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, ex := range experiments {
+		if len(want) > 0 && !want[ex.id] {
+			continue
+		}
+		fmt.Printf("## %s — %s\n\n", strings.ToUpper(ex.id), ex.name)
+		ex.run(e)
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	os.Exit(1)
+}
+
+func e1(e *env) {
+	fmt.Printf("  raw client-event logs (gzipped):   %10d bytes\n", e.stats.RawBytes)
+	fmt.Printf("  materialized session sequences:    %10d bytes\n", e.stats.SeqBytes)
+	fmt.Printf("  ratio:                             %10.1fx smaller (paper: ~50x)\n", e.stats.Ratio())
+}
+
+func timeIt(fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}
+
+func e2(e *env) {
+	m, err := analytics.MatcherFromPattern("*:profile_click")
+	if err != nil {
+		fatal(err)
+	}
+	var rawRep, seqRep analytics.CountReport
+	rawJob := dataflow.NewJob("raw", e.fs)
+	rawT := timeIt(func() { rawRep, err = analytics.CountRawDay(rawJob, day, m) })
+	if err != nil {
+		fatal(err)
+	}
+	seqJob := dataflow.NewJob("seq", e.fs)
+	seqT := timeIt(func() { seqRep, err = analytics.CountSequencesDay(seqJob, day, e.dict, m) })
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  query: count *:profile_click events and sessions containing one\n")
+	fmt.Printf("  %-22s %12s %12s %10s %12s %10s\n", "path", "events", "sessions", "latency", "bytes-read", "cluster-s")
+	rs, ss := rawJob.Stats(), seqJob.Stats()
+	fmt.Printf("  %-22s %12d %12d %10v %12d %10.1f\n", "raw logs", rawRep.Events, rawRep.Sessions, rawT.Round(time.Millisecond), rs.BytesRead, rs.ClusterSeconds())
+	fmt.Printf("  %-22s %12d %12d %10v %12d %10.1f\n", "session sequences", seqRep.Events, seqRep.Sessions, seqT.Round(time.Millisecond), ss.BytesRead, ss.ClusterSeconds())
+	fmt.Printf("  speedup: %.0fx latency, %.0fx bytes, answers identical: %v\n",
+		float64(rawT)/float64(seqT), float64(rs.BytesRead)/float64(ss.BytesRead), rawRep == seqRep)
+}
+
+func e3(e *env) {
+	// Legacy: write the same traffic as application-specific logs.
+	lfs := hdfs.New(0)
+	type sink struct {
+		buf *memBuf
+		w   *recordio.GzipWriter
+	}
+	sinks := map[string]*sink{}
+	for i := range e.evs {
+		cat, rec := legacy.FromClientEvent(&e.evs[i])
+		s := sinks[cat]
+		if s == nil {
+			mb := &memBuf{}
+			s = &sink{buf: mb, w: recordio.NewGzipWriter(mb)}
+			sinks[cat] = s
+		}
+		if err := s.w.Append(rec); err != nil {
+			fatal(err)
+		}
+	}
+	dirs := map[string][]string{}
+	for cat, s := range sinks {
+		if err := s.w.Close(); err != nil {
+			fatal(err)
+		}
+		dir := warehouse.HourDir(cat, day)
+		if err := lfs.WriteFile(dir+"/part-00000.gz", s.buf.data); err != nil {
+			fatal(err)
+		}
+		dirs[cat] = []string{dir}
+	}
+
+	legacyJob := dataflow.NewJob("legacy", lfs)
+	var legacySessions int64
+	legacyT := timeIt(func() {
+		var err error
+		legacySessions, err = legacy.ReconstructSessions(legacyJob, dirs, session.InactivityGap)
+		if err != nil {
+			fatal(err)
+		}
+	})
+
+	unifiedJob := dataflow.NewJob("unified", e.fs)
+	var unifiedGroups int
+	unifiedT := timeIt(func() {
+		d, err := unifiedJob.LoadClientEventsDay(day)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := d.Project("user_id", "session_id", "name", "timestamp")
+		if err != nil {
+			fatal(err)
+		}
+		g, err := p.GroupBy("user_id", "session_id")
+		if err != nil {
+			fatal(err)
+		}
+		unifiedGroups = g.NumGroups()
+	})
+
+	matJob := dataflow.NewJob("materialized", e.fs)
+	var matSessions int
+	matT := timeIt(func() {
+		d, err := matJob.LoadSessionSequencesDay(day)
+		if err != nil {
+			fatal(err)
+		}
+		matSessions = d.Len()
+	})
+
+	fmt.Printf("  task: reconstruct user sessions for one day\n")
+	fmt.Printf("  %-34s %10s %12s %14s\n", "approach", "latency", "bytes-read", "shuffle-bytes")
+	fmt.Printf("  %-34s %10v %12d %14d   (%d sessions via user-id+time join)\n",
+		"legacy app-specific logs (3 joins)", legacyT.Round(time.Millisecond), legacyJob.Stats().BytesRead, legacyJob.Stats().ShuffleBytes, legacySessions)
+	fmt.Printf("  %-34s %10v %12d %14d   (%d groups via one group-by)\n",
+		"unified client events", unifiedT.Round(time.Millisecond), unifiedJob.Stats().BytesRead, unifiedJob.Stats().ShuffleBytes, unifiedGroups)
+	fmt.Printf("  %-34s %10v %12d %14d   (%d sessions pre-materialized)\n",
+		"session sequences", matT.Round(time.Millisecond), matJob.Stats().BytesRead, matJob.Stats().ShuffleBytes, matSessions)
+	fmt.Printf("  ground truth: %d sessions. The legacy path undercounts: without a\n", e.truth.Sessions)
+	fmt.Printf("  consistent session id it joins on user id alone, merging interleaved\n")
+	fmt.Printf("  anonymous traffic — the accuracy problem §3.2 says unified logging fixed.\n")
+}
+
+func e4(e *env) {
+	rawJob := dataflow.NewJob("raw", e.fs)
+	if _, err := rawJob.LoadClientEventsDay(day); err != nil {
+		fatal(err)
+	}
+	seqJob := dataflow.NewJob("seq", e.fs)
+	if _, err := seqJob.LoadSessionSequencesDay(day); err != nil {
+		fatal(err)
+	}
+	rs, ss := rawJob.Stats(), seqJob.Stats()
+	fmt.Printf("  %-22s %10s %12s %12s %10s\n", "input", "map-tasks", "bytes", "blocks", "cluster-s")
+	fmt.Printf("  %-22s %10d %12d %12d %10.1f\n", "raw logs", rs.MapTasks, rs.BytesRead, rs.BlocksRead, rs.ClusterSeconds())
+	fmt.Printf("  %-22s %10d %12d %12d %10.1f\n", "session sequences", ss.MapTasks, ss.BytesRead, ss.BlocksRead, ss.ClusterSeconds())
+	fmt.Printf("  reduction: %.0fx tasks, %.0fx bytes\n",
+		float64(rs.MapTasks)/float64(ss.MapTasks), float64(rs.BytesRead)/float64(ss.BytesRead))
+}
+
+func e5(e *env) {
+	j := dataflow.NewJob("rollups", e.fs)
+	rollups, err := analytics.Rollups(j, day)
+	if err != nil {
+		fatal(err)
+	}
+	perLevel := make([]int64, events.NumRollupLevels)
+	rows := make([]int, events.NumRollupLevels)
+	for k, n := range rollups {
+		perLevel[k.Level] += n
+		rows[k.Level]++
+	}
+	fmt.Printf("  %-54s %8s %12s\n", "rollup schema", "rows", "events")
+	labels := []string{
+		"(client, page, section, component, element, action)",
+		"(client, page, section, component, *, action)",
+		"(client, page, section, *, *, action)",
+		"(client, page, *, *, *, action)",
+		"(client, *, *, *, *, action)",
+	}
+	for lvl := 0; lvl < events.NumRollupLevels; lvl++ {
+		fmt.Printf("  %-54s %8d %12d\n", labels[lvl], rows[lvl], perLevel[lvl])
+	}
+	fmt.Printf("  every level conserves the %d daily events; example top-level metric:\n", e.truth.Events)
+	name := "web:*:*:*:*:profile_click"
+	fmt.Printf("    %s = %d (by country & login status in the full table)\n",
+		name, analytics.RollupTotal(rollups, 4, name))
+}
+
+func e6(e *env) {
+	stages := make([]analytics.Matcher, 5)
+	stageNames := workload.FunnelStages("web")
+	for i, full := range stageNames {
+		suffix := full[len("web"):]
+		stages[i] = func(name string) bool { return strings.HasSuffix(name, suffix) }
+	}
+	f := analytics.NewFunnel(e.dict, stages...)
+	j := dataflow.NewJob("funnel", e.fs)
+	rep, err := analytics.FunnelSequencesDay(j, day, f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  signup funnel over %d sessions (paper's §5.3 output format):\n", rep.Examined)
+	for i, n := range rep.Completed {
+		fmt.Printf("    (%d, %d)   truth: %d\n", i, n, e.truth.FunnelStage[i])
+	}
+	fmt.Printf("  measured per-stage continuation vs planted:\n")
+	for i := 0; i+1 < len(rep.Completed); i++ {
+		got := 0.0
+		if rep.Completed[i] > 0 {
+			got = float64(rep.Completed[i+1]) / float64(rep.Completed[i])
+		}
+		fmt.Printf("    stage %d->%d: measured %.3f, planted %.3f\n", i, i+1, got, e.cfg.FunnelContinue[i])
+	}
+}
+
+func e7(e *env) {
+	fmt.Printf("  %-18s %12s %10s %10s %10s\n", "feature", "impressions", "clicks", "ctr", "planted")
+	features := []string{workload.FeatureWhoToFollow, workload.FeatureSearch, workload.FeatureTrends, workload.FeatureDiscover}
+	for _, feature := range features {
+		impSuffix := workload.FeatureImpressionName("web", feature)[len("web"):]
+		clkSuffix := workload.FeatureClickName("web", feature)[len("web"):]
+		imp := func(n string) bool { return strings.HasSuffix(n, impSuffix) }
+		clk := func(n string) bool { return strings.HasSuffix(n, clkSuffix) }
+		rep, err := analytics.RateOverSequences(e.fs, day, e.dict, imp, clk)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-18s %12d %10d %10.3f %10.3f\n", feature, rep.Impressions, rep.Actions, rep.Rate(), e.cfg.CTR[feature])
+	}
+	// FTR for who-to-follow.
+	impSuffix := workload.FeatureImpressionName("web", workload.FeatureWhoToFollow)[len("web"):]
+	folSuffix := workload.FeatureFollowName("web", workload.FeatureWhoToFollow)[len("web"):]
+	rep, err := analytics.RateOverSequences(e.fs, day, e.dict,
+		func(n string) bool { return strings.HasSuffix(n, impSuffix) },
+		func(n string) bool { return strings.HasSuffix(n, folSuffix) })
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %-18s %12d %10d %10.3f %10.3f  (follow-through)\n",
+		"who_to_follow FTR", rep.Impressions, rep.Actions, rep.Rate(), e.cfg.FTR[workload.FeatureWhoToFollow])
+}
+
+func e8(e *env) {
+	split := len(e.seqs) * 4 / 5
+	train, test := e.seqs[:split], e.seqs[split:]
+	fmt.Printf("  perplexity of held-out sessions by n-gram order (%d train / %d test):\n", len(train), len(test))
+	fmt.Printf("  %8s %12s %14s\n", "order", "perplexity", "cross-entropy")
+	for order := 1; order <= 4; order++ {
+		m := ngram.NewModel(order)
+		m.TrainAll(train)
+		h, err := m.CrossEntropy(test)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := m.Perplexity(test)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %8d %12.2f %14.3f\n", order, p, h)
+	}
+	fmt.Printf("  decreasing perplexity = real temporal signal in user behavior (§5.4)\n")
+}
+
+func e9(e *env) {
+	s := colloc.Collect(e.seqs)
+	fmt.Printf("  top adjacent-event collocates by Dunning G² (min count 5):\n")
+	fmt.Printf("  %10s %8s %10s  %s\n", "G²", "count", "PMI", "pair")
+	for _, p := range s.TopLLR(5, 5) {
+		a, _ := e.dict.Name(p.A)
+		b, _ := e.dict.Name(p.B)
+		fmt.Printf("  %10.1f %8d %10.2f  %s -> %s\n", p.Score, p.Count, s.PMI(p.A, p.B), a, b)
+	}
+	ex, _ := e.dict.Symbol("web:home:timeline:stream:tweet:expand")
+	pc, _ := e.dict.Symbol("web:home:timeline:stream:avatar:profile_click")
+	fmt.Printf("  planted pair (expand -> profile_click, p=%.2f): G²=%.1f, PMI=%.2f\n",
+		e.cfg.CollocationProb, s.LLR(ex, pc), s.PMI(ex, pc))
+}
+
+func e10(e *env) {
+	// A compact replay of the integration scenario with counters printed.
+	clock := zk.NewManualClock(day)
+	dc1, err := scribe.NewDatacenter("dc1", hdfs.New(0), clock, 2, 3, 11)
+	if err != nil {
+		fatal(err)
+	}
+	dc2, err := scribe.NewDatacenter("dc2", hdfs.New(0), clock, 2, 3, 22)
+	if err != nil {
+		fatal(err)
+	}
+	dcs := []*scribe.Datacenter{dc1, dc2}
+	wh := hdfs.New(0)
+	mover := logmover.New(wh,
+		logmover.Source{Datacenter: "dc1", FS: dc1.Staging},
+		logmover.Source{Datacenter: "dc2", FS: dc2.Staging})
+	i := 0
+	var accepted int64
+	for hr := 0; hr < 24; hr++ {
+		hour := day.Add(time.Duration(hr) * time.Hour)
+		if hr == 6 {
+			_ = dc1.Aggregators[0].Stop() // graceful restart
+		}
+		if hr == 10 {
+			dc2.Staging.SetAvailable(false)
+		}
+		if hr == 12 {
+			dc2.Staging.SetAvailable(true)
+		}
+		for ; i < len(e.evs) && e.evs[i].Timestamp < hour.Add(time.Hour).UnixMilli(); i++ {
+			ev := &e.evs[i]
+			dc := dcs[int(ev.UserID+int64(len(ev.SessionID)))%2]
+			dc.Daemons[int(ev.Timestamp)%len(dc.Daemons)].Log(events.Category, ev.Marshal())
+			accepted++
+		}
+		clock.Advance(time.Hour)
+		for _, dc := range dcs {
+			_ = dc.SealHour([]string{events.Category}, hour) // fails during outage; resealed below
+		}
+		if _, err := mover.MoveAllSealed(); err != nil {
+			fatal(err)
+		}
+	}
+	for hr := 0; hr < 24; hr++ {
+		for _, dc := range dcs {
+			if err := dc.SealHour([]string{events.Category}, day.Add(time.Duration(hr)*time.Hour)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if _, err := mover.MoveAllSealed(); err != nil {
+		fatal(err)
+	}
+	var inWarehouse int64
+	if err := warehouse.ScanDay(wh, events.Category, day, func(*events.ClientEvent) error {
+		inWarehouse++
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	var redisc, sendFail, flushFail, dropped int64
+	for _, dc := range dcs {
+		for _, d := range dc.Daemons {
+			s := d.Stats()
+			redisc += s.Rediscoveries
+			sendFail += s.SendFailures
+		}
+		for _, a := range dc.Aggregators {
+			s := a.Stats()
+			flushFail += s.FlushFailures
+			dropped += s.MessagesDropped
+		}
+	}
+	fmt.Printf("  faults injected: 1 aggregator restart (hour 6), staging outage hours 10-12\n")
+	fmt.Printf("  accepted by daemons:   %d\n", accepted)
+	fmt.Printf("  landed in warehouse:   %d (exactly once: %v)\n", inWarehouse, inWarehouse == accepted)
+	fmt.Printf("  zk rediscoveries: %d, send failures: %d, staging flush failures: %d, dropped: %d\n",
+		redisc, sendFail, flushFail, dropped)
+	mv := mover.Audits()
+	var filesIn, filesOut int
+	for _, a := range mv {
+		filesIn += a.FilesIn
+		filesOut += a.FilesOut
+	}
+	fmt.Printf("  log mover: %d hourly moves, %d staging files merged into %d warehouse files\n",
+		len(mv), filesIn, filesOut)
+}
+
+func e11(e *env) {
+	if _, err := twin.IndexDay(e.fs, events.Category, day); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if _, err := twin.DropIndexes(e.fs, warehouse.CategoryDir(events.Category)); err != nil {
+			fatal(err)
+		}
+	}()
+	// Selectivity sweep: from a common event to a very rare one.
+	targets := []struct {
+		label string
+		match func(string) bool
+	}{
+		{"~common: page opens", func(n string) bool { return strings.HasSuffix(n, ":page:open") }},
+		{"selective: funnel complete", func(n string) bool { return strings.HasSuffix(n, ":signup:flow:step:complete:view") }},
+		{"rare: ipad funnel complete", func(n string) bool { return n == "ipad:signup:flow:step:complete:view" }},
+	}
+	fmt.Printf("  %-28s %10s %12s %12s %12s\n", "query", "matches", "files-read", "files-skip", "bytes-read")
+	for _, tgt := range targets {
+		f := &twin.IndexedFormat{Match: tgt.match}
+		j := dataflow.NewJob("twin", e.fs)
+		d, err := j.LoadDirs(dataflow.HourDirs(e.fs, events.Category, day), f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-28s %10d %12d %12d %12d\n", tgt.label, d.Len(), j.Stats().FilesRead, f.SkippedFiles(), j.Stats().BytesRead)
+	}
+	full := dataflow.NewJob("full", e.fs)
+	if _, err := full.LoadClientEventsDay(day); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %-28s %10s %12d %12d %12d\n", "full scan baseline", "-", full.Stats().FilesRead, 0, full.Stats().BytesRead)
+}
+
+func e12(e *env) {
+	// Re-encode the day's sessions under shuffled code-point assignment.
+	names := e.dict.Names()
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(len(names))
+	h := make(map[string]int64, len(names))
+	for i, name := range names {
+		h[name] = int64(len(names) - perm[i])
+	}
+	shuffled, err := session.Build(h)
+	if err != nil {
+		fatal(err)
+	}
+	var freqBytes, shufBytes int64
+	for _, seq := range e.seqs {
+		ns, err := e.dict.Decode(seq)
+		if err != nil {
+			fatal(err)
+		}
+		freqBytes += int64(len(seq))
+		enc, err := shuffled.Encode(ns)
+		if err != nil {
+			fatal(err)
+		}
+		shufBytes += int64(len(enc))
+	}
+	fmt.Printf("  UTF-8 bytes of all %d session sequences:\n", len(e.seqs))
+	fmt.Printf("    frequency-ordered dictionary: %10d\n", freqBytes)
+	fmt.Printf("    shuffled dictionary:          %10d\n", shufBytes)
+	fmt.Printf("    saving from frequency order:  %9.1f%%\n", 100*(1-float64(freqBytes)/float64(shufBytes)))
+}
+
+func e13(e *env) {
+	if err := users.Write(e.fs, e.truth); err != nil {
+		fatal(err)
+	}
+	uj := dataflow.NewJob("users", e.fs)
+	usersDS, err := uj.Load(users.Dir, users.Format())
+	if err != nil {
+		fatal(err)
+	}
+	impSuffix := workload.FeatureImpressionName("web", workload.FeatureWhoToFollow)[len("web"):]
+	clkSuffix := workload.FeatureClickName("web", workload.FeatureWhoToFollow)[len("web"):]
+	imp := func(n string) bool { return strings.HasSuffix(n, impSuffix) }
+	clk := func(n string) bool { return strings.HasSuffix(n, clkSuffix) }
+	fmt.Printf("  who-to-follow CTR per user segment (join users table + select, then count):\n")
+	fmt.Printf("  %-10s %12s %10s %10s\n", "segment", "impressions", "clicks", "ctr")
+	for _, country := range []string{"us", "jp", "uk", "br", "in"} {
+		j := dataflow.NewJob("segment-"+country, e.fs)
+		rep, err := analytics.RateForSegment(j, day, e.dict, imp, clk, usersDS, analytics.ColumnEquals("country", country))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-10s %12d %10d %10.3f\n", country, rep.Impressions, rep.Actions, rep.Rate())
+	}
+	fmt.Printf("  planted CTR %.3f is country-independent; every sizable segment recovers it\n",
+		e.cfg.CTR[workload.FeatureWhoToFollow])
+}
+
+type memBuf struct{ data []byte }
+
+func (m *memBuf) Write(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,94 @@
+// Command catalog builds the client event catalog (§4.3) for a generated
+// day and serves queries against it from the command line: hierarchical
+// browsing, wildcard-pattern and regexp search, and sample display.
+//
+// Usage:
+//
+//	catalog                              top of the hierarchy
+//	catalog browse web home              children of web:home:*
+//	catalog search '*:profile_click'     wildcard-pattern search
+//	catalog regexp '^web:.*click$'       regular-expression search
+//	catalog show <full:event:name>       one entry with samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unilog/internal/catalog"
+	"unilog/internal/hdfs"
+	"unilog/internal/workload"
+)
+
+var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+
+func main() {
+	users := flag.Int("users", 150, "logged-in user population")
+	seed := flag.Int64("seed", 2012, "workload seed")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = *users
+	cfg.Seed = *seed
+	evs, _ := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	check(workload.WriteWarehouse(fs, evs))
+	c, err := catalog.Rebuild(fs, day, 2)
+	check(err)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Printf("catalog for %s: %d event types\n\nclients:\n", day.Format("2006-01-02"), c.Len())
+		printChildren(c, nil)
+		fmt.Println("\n(try: catalog browse web | catalog search '*:impression' | catalog show <name>)")
+		return
+	}
+	switch args[0] {
+	case "browse":
+		printChildren(c, args[1:])
+	case "search":
+		if len(args) < 2 {
+			check(fmt.Errorf("search needs a pattern"))
+		}
+		entries, err := c.SearchPattern(args[1])
+		check(err)
+		catalog.Render(os.Stdout, entries, false)
+	case "regexp":
+		if len(args) < 2 {
+			check(fmt.Errorf("regexp needs an expression"))
+		}
+		entries, err := c.SearchRegexp(args[1])
+		check(err)
+		catalog.Render(os.Stdout, entries, false)
+	case "show":
+		if len(args) < 2 {
+			check(fmt.Errorf("show needs an event name"))
+		}
+		e, err := c.Get(args[1])
+		check(err)
+		catalog.Render(os.Stdout, []*catalog.Entry{e}, true)
+	default:
+		check(fmt.Errorf("unknown subcommand %q", args[0]))
+	}
+}
+
+func printChildren(c *catalog.Catalog, prefix []string) {
+	kids, err := c.Children(prefix)
+	check(err)
+	for _, cc := range kids {
+		label := cc.Value
+		if label == "" {
+			label = "(empty)"
+		}
+		fmt.Printf("  %-24s %10d events\n", label, cc.Count)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catalog:", err)
+		os.Exit(1)
+	}
+}

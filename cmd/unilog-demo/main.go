@@ -1,0 +1,161 @@
+// Command unilog-demo runs Figure 1 end to end: Scribe daemons on
+// production hosts in two datacenters deliver a day of client events
+// through ZooKeeper-discovered aggregators onto per-datacenter staging
+// clusters; the log mover slides sealed hours into the main warehouse; the
+// daily jobs build the dictionary, session sequences, catalog, and the
+// BirdBrain dashboard. Faults are injected mid-run to demonstrate §2's
+// robustness story.
+//
+// Usage:
+//
+//	unilog-demo [-users N] [-seed S] [-faults=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"unilog/internal/birdbrain"
+	"unilog/internal/catalog"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/logmover"
+	"unilog/internal/scribe"
+	"unilog/internal/session"
+	"unilog/internal/warehouse"
+	"unilog/internal/workload"
+	"unilog/internal/zk"
+)
+
+var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+
+func main() {
+	users := flag.Int("users", 300, "logged-in user population")
+	seed := flag.Int64("seed", 2012, "workload seed")
+	faults := flag.Bool("faults", true, "inject an aggregator restart and a staging outage")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = *users
+	cfg.Seed = *seed
+	evs, truth := workload.New(cfg).Generate()
+	fmt.Printf("generated %d events across %d sessions (%d logged-in users)\n\n",
+		truth.Events, truth.Sessions, truth.UniqueUsers)
+
+	// --- Figure 1 topology: two datacenters, shared virtual clock. ---
+	clock := zk.NewManualClock(day)
+	dc1 := mustDC("dc1", clock, 2, 4, *seed+1)
+	dc2 := mustDC("dc2", clock, 2, 4, *seed+2)
+	dcs := []*scribe.Datacenter{dc1, dc2}
+	wh := hdfs.New(0)
+	mover := logmover.New(wh,
+		logmover.Source{Datacenter: "dc1", FS: dc1.Staging},
+		logmover.Source{Datacenter: "dc2", FS: dc2.Staging})
+
+	fmt.Println("replaying the day hour by hour through the delivery pipeline:")
+	i := 0
+	for hr := 0; hr < 24; hr++ {
+		hour := day.Add(time.Duration(hr) * time.Hour)
+		if *faults && hr == 6 {
+			fmt.Println("  hour 06: administrator restarts dc1-agg00 (ephemeral znode drops, daemons re-discover)")
+			check(dc1.Aggregators[0].Stop())
+		}
+		if *faults && hr == 10 {
+			fmt.Println("  hour 10: dc2 staging HDFS outage begins (aggregators buffer locally)")
+			dc2.Staging.SetAvailable(false)
+		}
+		if *faults && hr == 12 {
+			fmt.Println("  hour 12: dc2 staging HDFS recovers (buffered files flush)")
+			dc2.Staging.SetAvailable(true)
+		}
+		n := 0
+		for ; i < len(evs) && evs[i].Timestamp < hour.Add(time.Hour).UnixMilli(); i++ {
+			e := &evs[i]
+			dc := dcs[int(e.UserID+int64(len(e.SessionID)))%2]
+			dc.Daemons[int(e.Timestamp)%len(dc.Daemons)].Log(events.Category, e.Marshal())
+			n++
+		}
+		clock.Advance(time.Hour)
+		for _, dc := range dcs {
+			// Sealing fails while a staging cluster is down; resealed later.
+			_ = dc.SealHour([]string{events.Category}, hour)
+		}
+		moved, err := mover.MoveAllSealed()
+		check(err)
+		if n > 0 || len(moved) > 0 {
+			fmt.Printf("  hour %02d: %5d events logged, %d category-hours moved to warehouse\n", hr, n, len(moved))
+		}
+	}
+	// Recovery pass for the outage hours.
+	for hr := 0; hr < 24; hr++ {
+		for _, dc := range dcs {
+			check(dc.SealHour([]string{events.Category}, day.Add(time.Duration(hr)*time.Hour)))
+		}
+	}
+	moved, err := mover.MoveAllSealed()
+	check(err)
+	if len(moved) > 0 {
+		fmt.Printf("  recovery: %d deferred category-hours moved after staging recovered\n", len(moved))
+	}
+
+	// --- Delivery accounting. ---
+	var accepted, delivered, redisc int64
+	for _, dc := range dcs {
+		for _, d := range dc.Daemons {
+			s := d.Stats()
+			accepted += s.Accepted
+			delivered += s.Delivered
+			redisc += s.Rediscoveries
+		}
+	}
+	var inWarehouse int64
+	check(warehouse.ScanDay(wh, events.Category, day, func(*events.ClientEvent) error {
+		inWarehouse++
+		return nil
+	}))
+	fmt.Printf("\ndelivery: accepted %d, delivered %d, in warehouse %d (exactly once: %v), zk rediscoveries %d\n",
+		accepted, delivered, inWarehouse, inWarehouse == truth.Events, redisc)
+	var filesIn, filesOut int
+	for _, a := range mover.Audits() {
+		filesIn += a.FilesIn
+		filesOut += a.FilesOut
+	}
+	fmt.Printf("log mover audit: %d moves, %d small staging files merged into %d warehouse files\n\n",
+		len(mover.Audits()), filesIn, filesOut)
+
+	// --- Daily jobs: dictionary + session sequences + catalog + dashboard. ---
+	dict, _, stats, err := session.BuildDay(wh, day, 3)
+	check(err)
+	fmt.Printf("session sequences: %d sessions from %d events, alphabet %d, %.1fx smaller than raw logs\n",
+		stats.Sessions, stats.Events, stats.Alphabet, stats.Ratio())
+	_ = dict
+
+	cat, err := catalog.Rebuild(wh, day, 3)
+	check(err)
+	fmt.Printf("client event catalog: %d event types; top of the hierarchy:\n", cat.Len())
+	clients, err := cat.Children(nil)
+	check(err)
+	for _, cc := range clients {
+		fmt.Printf("  %-12s %8d events\n", cc.Value, cc.Count)
+	}
+	fmt.Println()
+
+	summary, err := birdbrain.Build(wh, day, 5)
+	check(err)
+	summary.Render(os.Stdout)
+}
+
+func mustDC(name string, clock zk.Clock, aggs, daemons int, seed int64) *scribe.Datacenter {
+	dc, err := scribe.NewDatacenter(name, hdfs.New(0), clock, aggs, daemons, seed)
+	check(err)
+	return dc
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "unilog-demo:", err)
+		os.Exit(1)
+	}
+}

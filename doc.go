@@ -1,0 +1,18 @@
+// Package unilog is a from-scratch Go reproduction of "The Unified Logging
+// Infrastructure for Data Analytics at Twitter" (Lee, Lin, Liu, Lorek,
+// Ryaboy; PVLDB 5(12), 2012).
+//
+// The repository rebuilds every system the paper describes or depends on —
+// Scribe daemons and aggregators, ZooKeeper coordination, staging and
+// warehouse HDFS clusters, the hourly log mover, Thrift serialization, the
+// unified client-events format, materialized session sequences, the client
+// event catalog, a Pig-like dataflow engine with MapReduce cost accounting,
+// the Oink workflow manager, Elephant Twin indexing, and the §5 analytics
+// applications (counting, funnels, CTR/FTR, n-gram user models,
+// collocations) — over a deterministic synthetic workload with planted
+// ground truth.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and the examples/ directory
+// for runnable entry points.
+package unilog

@@ -1,0 +1,87 @@
+// Dashboard (§5.1): compute the BirdBrain daily summary — sessions, users,
+// client / country / duration drill-downs — entirely from the compact
+// session sequences, plus the §3.2 automatic rollup metrics from the raw
+// logs.
+//
+// Run: go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/birdbrain"
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/session"
+	"unilog/internal/workload"
+)
+
+func main() {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 250
+	evs, _ := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	if err := workload.WriteWarehouse(fs, evs); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, _, err := session.BuildDay(fs, day, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// The dashboard proper: one cheap scan of the session store.
+	summary, err := birdbrain.Build(fs, day, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary.Render(os.Stdout)
+
+	// The §3.2 automatic aggregates: top-level metrics at the coarsest
+	// rollup, (client, *, *, *, *, action), split by login status.
+	job := dataflow.NewJob("rollups", fs)
+	rollups, err := analytics.Rollups(job, day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type row struct {
+		name  string
+		in    int64
+		out   int64
+		total int64
+	}
+	agg := map[string]*row{}
+	for k, n := range rollups {
+		if k.Level != events.RollupLevel(4) {
+			continue
+		}
+		r := agg[k.Name]
+		if r == nil {
+			r = &row{name: k.Name}
+			agg[k.Name] = r
+		}
+		if k.LoggedIn {
+			r.in += n
+		} else {
+			r.out += n
+		}
+		r.total += n
+	}
+	rows := make([]*row, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	fmt.Printf("\n  top-level metrics (client, *, *, *, *, action) — logged in / out:\n")
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	for _, r := range rows {
+		fmt.Printf("    %-44s %8d / %-8d\n", r.name, r.in, r.out)
+	}
+}

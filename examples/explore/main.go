@@ -1,0 +1,93 @@
+// Exploratory user modeling (§6 "ongoing work"): the three speculative
+// directions the paper sketches, run against real session sequences —
+//
+//   - query-by-example via sequence alignment ("What users exhibit similar
+//     behavioral patterns?");
+//   - grammar induction to find "smaller units that exhibit a great deal
+//     of cohesion" inside sessions;
+//   - a LifeFlow-style aggregated flow view of how sessions begin.
+//
+// Run: go run ./examples/explore
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"unilog/internal/align"
+	"unilog/internal/flowviz"
+	"unilog/internal/grammar"
+	"unilog/internal/hdfs"
+	"unilog/internal/session"
+	"unilog/internal/workload"
+)
+
+func main() {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 250
+	evs, _ := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	if err := workload.WriteWarehouse(fs, evs); err != nil {
+		log.Fatal(err)
+	}
+	dict, _, _, err := session.BuildDay(fs, day, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var recs []session.Record
+	if err := session.ScanDay(fs, day, func(r *session.Record) error {
+		recs = append(recs, *r)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	seqs := make([]string, len(recs))
+	for i := range recs {
+		seqs[i] = recs[i].Sequence
+	}
+	fmt.Printf("exploring %d sessions over a %d-event alphabet\n", len(seqs), dict.Len())
+
+	// --- 1. Query by example (sequence alignment). ---
+	// Take the longest session as the exemplar "engaged user" and find
+	// behavioral neighbors.
+	qi := 0
+	for i := range seqs {
+		if len(seqs[i]) > len(seqs[qi]) {
+			qi = i
+		}
+	}
+	fmt.Printf("\nquery-by-example: sessions most similar to user %d's %d-event session\n",
+		recs[qi].UserID, recs[qi].EventCount())
+	results := align.QueryByExample(seqs[qi], seqs, align.DefaultScoring, 6)
+	for _, r := range results {
+		if r.Index == qi {
+			continue // the exemplar itself
+		}
+		fmt.Printf("  user %-8d session of %3d events  similarity %.2f (score %d)\n",
+			recs[r.Index].UserID, recs[r.Index].EventCount(), r.Similarity, r.Score)
+	}
+
+	// --- 2. Grammar induction (Re-Pair). ---
+	g := grammar.Induce(seqs, 2)
+	fmt.Printf("\ngrammar induction: %d rules explain the corpus at %.2fx symbol compression\n",
+		len(g.Rules), g.CompressionRatio())
+	fmt.Println("most cohesive behavioral units (top rules by support):")
+	for _, ri := range g.TopRules(3, 3) {
+		fmt.Printf("  rule %d: used %d times, %d events:\n", ri.Rule, ri.Uses, ri.Length)
+		names, err := dict.Decode(ri.Expansion)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range names {
+			fmt.Printf("      %s\n", n)
+		}
+	}
+
+	// --- 3. LifeFlow-style session flow. ---
+	fmt.Println("\nhow sessions begin (prefix flow, first 3 events):")
+	tree := flowviz.Build(seqs, 3)
+	tree.Render(os.Stdout, dict.Name, flowviz.RenderOptions{MinCount: 10, MaxChildren: 3, BarWidth: 24})
+}

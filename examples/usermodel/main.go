@@ -1,0 +1,79 @@
+// User modeling (§5.4): treat session sequences as sentences from a finite
+// alphabet and apply NLP machinery — n-gram language models to quantify
+// temporal signal in user behavior, and collocation extraction (PMI and
+// Dunning's G²) to surface "activity collocates".
+//
+// Run: go run ./examples/usermodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"unilog/internal/colloc"
+	"unilog/internal/hdfs"
+	"unilog/internal/ngram"
+	"unilog/internal/session"
+	"unilog/internal/workload"
+)
+
+func main() {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 400
+	evs, _ := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	if err := workload.WriteWarehouse(fs, evs); err != nil {
+		log.Fatal(err)
+	}
+	dict, _, _, err := session.BuildDay(fs, day, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var seqs []string
+	if err := session.ScanDay(fs, day, func(r *session.Record) error {
+		seqs = append(seqs, r.Sequence)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	split := len(seqs) * 4 / 5
+	train, test := seqs[:split], seqs[split:]
+	fmt.Printf("%d sessions (%d train, %d held out), alphabet of %d event types\n\n",
+		len(seqs), len(train), len(test), dict.Len())
+
+	// --- Language models: perplexity by order. ---
+	fmt.Println("how much temporal signal is in user behavior?")
+	fmt.Printf("  %8s %12s %14s\n", "order", "perplexity", "cross-entropy")
+	for order := 1; order <= 4; order++ {
+		m := ngram.NewModel(order)
+		m.TrainAll(train)
+		p, err := m.Perplexity(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := m.CrossEntropy(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %8d %12.2f %14.3f\n", order, p, h)
+	}
+	fmt.Println("  (a big unigram->bigram drop means the next action strongly depends")
+	fmt.Println("   on the previous one; flattening beyond bigram bounds the memory)")
+
+	// --- Collocations: which actions co-occur far beyond chance? ---
+	stats := colloc.Collect(seqs)
+	fmt.Println("\ntop activity collocates by log-likelihood ratio (G², min count 10):")
+	for _, p := range stats.TopLLR(8, 10) {
+		a, _ := dict.Name(p.A)
+		b, _ := dict.Name(p.B)
+		fmt.Printf("  G²=%9.1f  PMI=%5.2f  n=%-5d %s -> %s\n", p.Score, stats.PMI(p.A, p.B), p.Count, a, b)
+	}
+	fmt.Println("\ntop by PMI (overweights rare pairs — hence the count floor):")
+	for _, p := range stats.TopPMI(5, 10) {
+		a, _ := dict.Name(p.A)
+		b, _ := dict.Name(p.B)
+		fmt.Printf("  PMI=%5.2f  n=%-5d %s -> %s\n", p.Score, p.Count, a, b)
+	}
+}

@@ -1,0 +1,88 @@
+package analytics
+
+import (
+	"time"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/geo"
+)
+
+// RollupKey identifies one aggregated metric row: a (possibly wildcarded)
+// event name at one rollup level, broken down by country and logged-in
+// status, exactly as §3.2 describes the automatic Oink aggregations that
+// feed the internal dashboard.
+type RollupKey struct {
+	Level    events.RollupLevel
+	Name     string
+	Country  string
+	LoggedIn bool
+}
+
+// Rollups computes, for one day of raw client events, the counts of events
+// under all five §3.2 schemas:
+//
+//	(client, page, section, component, element, action)
+//	(client, page, section, component, *, action)
+//	(client, page, section, *, *, action)
+//	(client, page, *, *, *, action)
+//	(client, *, *, *, *, action)
+//
+// "without any additional intervention from the application developer,
+// rudimentary statistics are computed and made available on a daily basis."
+func Rollups(j *dataflow.Job, day time.Time) (map[RollupKey]int64, error) {
+	d, err := j.LoadClientEventsDay(day)
+	if err != nil {
+		return nil, err
+	}
+	nameIdx := d.Schema().MustIndex("name")
+	ipIdx := d.Schema().MustIndex("ip")
+	liIdx := d.Schema().MustIndex("logged_in")
+
+	// FlatMap each event to its five rollup rows, then count per key. The
+	// dataflow group-by meters the shuffle this daily job costs.
+	rows := d.FlatMap(dataflow.Schema{"level", "rolled", "country", "logged_in"}, func(t dataflow.Tuple) []dataflow.Tuple {
+		name, err := events.ParseName(t[nameIdx].(string))
+		if err != nil {
+			return nil
+		}
+		country := geo.CountryOf(t[ipIdx].(string))
+		loggedIn := t[liIdx].(bool)
+		out := make([]dataflow.Tuple, events.NumRollupLevels)
+		for lvl := 0; lvl < events.NumRollupLevels; lvl++ {
+			out[lvl] = dataflow.Tuple{int64(lvl), name.Rollup(events.RollupLevel(lvl)).String(), country, loggedIn}
+		}
+		return out
+	})
+	g, err := rows.GroupBy("level", "rolled", "country", "logged_in")
+	if err != nil {
+		return nil, err
+	}
+	counts, err := g.Aggregate(dataflow.Count("n"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[RollupKey]int64, counts.Len())
+	for _, t := range counts.Tuples() {
+		k := RollupKey{
+			Level:    events.RollupLevel(t[0].(int64)),
+			Name:     t[1].(string),
+			Country:  t[2].(string),
+			LoggedIn: t[3].(bool),
+		}
+		out[k] = t[4].(int64)
+	}
+	return out, nil
+}
+
+// RollupTotal sums a rolled-up name across countries and login status at
+// the given level — the top-line dashboard number.
+func RollupTotal(rollups map[RollupKey]int64, level events.RollupLevel, name string) int64 {
+	var total int64
+	for k, n := range rollups {
+		if k.Level == level && k.Name == name {
+			total += n
+		}
+	}
+	return total
+}

@@ -1,0 +1,337 @@
+// Package catalog implements the automatically-generated client event
+// catalog of §4.3: a browsable, searchable index of every event type,
+// rebuilt daily from the histogram job, with sample messages and
+// developer-attachable descriptions.
+//
+// "Since the event catalog is rebuilt every day, it is always up to date
+// ... the catalog remains immensely useful as a single point of entry for
+// understanding log contents."
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/session"
+	"unilog/internal/thrift"
+	"unilog/internal/warehouse"
+)
+
+// ErrNoEntry reports a lookup of an unknown event name.
+var ErrNoEntry = errors.New("catalog: no such event")
+
+// Entry describes one event type.
+type Entry struct {
+	Name  string
+	Count int64
+	// Samples holds a few full decoded messages, "a few illustrative
+	// examples of the complete Thrift structure".
+	Samples []*events.ClientEvent
+	// Description is developer-attached documentation; empty until someone
+	// writes one.
+	Description string
+}
+
+// Catalog is one day's event catalog.
+type Catalog struct {
+	Day     time.Time
+	entries map[string]*Entry
+	// order lists names by descending count (the dictionary order).
+	order []string
+}
+
+// BuildFromHistogram constructs the catalog from the daily histogram job's
+// output.
+func BuildFromHistogram(day time.Time, h *session.Histogram) (*Catalog, error) {
+	c := &Catalog{Day: day.UTC().Truncate(24 * time.Hour), entries: make(map[string]*Entry)}
+	for name, count := range h.Counts {
+		e := &Entry{Name: name, Count: count}
+		for _, raw := range h.Samples[name] {
+			var ev events.ClientEvent
+			if err := ev.Unmarshal(raw); err != nil {
+				return nil, fmt.Errorf("catalog: bad sample for %s: %w", name, err)
+			}
+			e.Samples = append(e.Samples, &ev)
+		}
+		c.entries[name] = e
+		c.order = append(c.order, name)
+	}
+	sort.Slice(c.order, func(i, j int) bool {
+		ci, cj := c.entries[c.order[i]].Count, c.entries[c.order[j]].Count
+		if ci != cj {
+			return ci > cj
+		}
+		return c.order[i] < c.order[j]
+	})
+	return c, nil
+}
+
+// Len returns the number of event types.
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// Get returns the entry for an exact event name.
+func (c *Catalog) Get(name string) (*Entry, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEntry, name)
+	}
+	return e, nil
+}
+
+// Describe attaches (or replaces) the developer description of an event.
+func (c *Catalog) Describe(name, description string) error {
+	e, ok := c.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoEntry, name)
+	}
+	e.Description = description
+	return nil
+}
+
+// All returns every entry, most frequent first.
+func (c *Catalog) All() []*Entry {
+	out := make([]*Entry, len(c.order))
+	for i, n := range c.order {
+		out[i] = c.entries[n]
+	}
+	return out
+}
+
+// SearchPattern returns entries matching a wildcard pattern, most frequent
+// first — "the interface lets users browse and search through the client
+// events ... hierarchically, by each of the namespace components".
+func (c *Catalog) SearchPattern(pattern string) ([]*Entry, error) {
+	p, err := events.ParsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Entry
+	for _, name := range c.order {
+		if p.MatchesString(name) {
+			out = append(out, c.entries[name])
+		}
+	}
+	return out, nil
+}
+
+// SearchRegexp returns entries whose name matches the regular expression.
+func (c *Catalog) SearchRegexp(expr string) ([]*Entry, error) {
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Entry
+	for _, name := range c.order {
+		if re.MatchString(name) {
+			out = append(out, c.entries[name])
+		}
+	}
+	return out, nil
+}
+
+// Children enumerates the distinct values of the component at depth
+// len(prefix) among events whose leading components equal prefix — the
+// hierarchical browsing view. Values are returned sorted with their event
+// counts aggregated.
+func (c *Catalog) Children(prefix []string) ([]ComponentCount, error) {
+	if len(prefix) >= events.NumComponents {
+		return nil, fmt.Errorf("catalog: prefix depth %d exceeds hierarchy", len(prefix))
+	}
+	agg := make(map[string]int64)
+	for name, e := range c.entries {
+		n, err := events.ParseName(name)
+		if err != nil {
+			continue
+		}
+		match := true
+		for i, p := range prefix {
+			if n.At(i) != p {
+				match = false
+				break
+			}
+		}
+		if match {
+			agg[n.At(len(prefix))] += e.Count
+		}
+	}
+	out := make([]ComponentCount, 0, len(agg))
+	for v, n := range agg {
+		out = append(out, ComponentCount{Value: v, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out, nil
+}
+
+// ComponentCount is one value of a hierarchy level with its event count.
+type ComponentCount struct {
+	Value string
+	Count int64
+}
+
+// Render writes a human-readable listing of entries to w.
+func Render(w io.Writer, entries []*Entry, withSamples bool) {
+	for _, e := range entries {
+		fmt.Fprintf(w, "%12d  %s\n", e.Count, e.Name)
+		if e.Description != "" {
+			fmt.Fprintf(w, "              # %s\n", e.Description)
+		}
+		if withSamples {
+			for _, s := range e.Samples {
+				fmt.Fprintf(w, "              sample: user=%d session=%s ip=%s details=%v\n",
+					s.UserID, s.SessionID, s.IP, s.Details)
+			}
+		}
+	}
+}
+
+// catalogFile is the daily persisted catalog location, beside the
+// dictionary.
+func catalogFile(day time.Time) string {
+	return warehouse.DictionaryDir(day) + "/catalog.gz"
+}
+
+// Save persists the catalog (counts, samples, and descriptions).
+func (c *Catalog) Save(fs *hdfs.FS) error {
+	buf := &memBuf{}
+	w := recordio.NewGzipWriter(buf)
+	enc := thrift.NewCompactEncoder()
+	for _, name := range c.order {
+		e := c.entries[name]
+		enc.Reset()
+		enc.WriteStructBegin()
+		enc.WriteFieldBegin(thrift.STRING, 1)
+		enc.WriteString(e.Name)
+		enc.WriteFieldBegin(thrift.I64, 2)
+		enc.WriteI64(e.Count)
+		enc.WriteFieldBegin(thrift.STRING, 3)
+		enc.WriteString(e.Description)
+		enc.WriteFieldBegin(thrift.LIST, 4)
+		enc.WriteListBegin(thrift.STRING, len(e.Samples))
+		for _, s := range e.Samples {
+			enc.WriteBinary(s.Marshal())
+		}
+		enc.WriteFieldStop()
+		enc.WriteStructEnd()
+		if err := w.Append(enc.Bytes()); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	path := catalogFile(c.Day)
+	if fs.Exists(path) {
+		if err := fs.Delete(path, false); err != nil {
+			return err
+		}
+	}
+	return fs.WriteFile(path, buf.data)
+}
+
+// Load reads the persisted catalog of a day.
+func Load(fs *hdfs.FS, day time.Time) (*Catalog, error) {
+	data, err := fs.ReadFile(catalogFile(day))
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{Day: day.UTC().Truncate(24 * time.Hour), entries: make(map[string]*Entry)}
+	err = recordio.ScanGzipFile(data, func(rec []byte) error {
+		dec := thrift.NewCompactDecoder(rec)
+		e := &Entry{}
+		if err := dec.ReadStructBegin(); err != nil {
+			return err
+		}
+		for {
+			ft, id, err := dec.ReadFieldBegin()
+			if err != nil {
+				return err
+			}
+			if ft == thrift.STOP {
+				break
+			}
+			switch id {
+			case 1:
+				e.Name, err = dec.ReadString()
+			case 2:
+				e.Count, err = dec.ReadI64()
+			case 3:
+				e.Description, err = dec.ReadString()
+			case 4:
+				var n int
+				if _, n, err = dec.ReadListBegin(); err == nil {
+					for i := 0; i < n; i++ {
+						raw, rerr := dec.ReadBinary()
+						if rerr != nil {
+							return rerr
+						}
+						var ev events.ClientEvent
+						if rerr := ev.Unmarshal(raw); rerr != nil {
+							return rerr
+						}
+						e.Samples = append(e.Samples, &ev)
+					}
+				}
+			default:
+				err = dec.Skip(ft)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if err := dec.ReadStructEnd(); err != nil {
+			return err
+		}
+		c.entries[e.Name] = e
+		c.order = append(c.order, e.Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Rebuild runs the full daily catalog job: histogram scan, catalog
+// construction, and persistence — carrying descriptions forward from the
+// previous day's catalog when event names persist.
+func Rebuild(fs *hdfs.FS, day time.Time, sampleLimit int) (*Catalog, error) {
+	h, err := session.HistogramDay(fs, day, sampleLimit)
+	if err != nil {
+		return nil, err
+	}
+	c, err := BuildFromHistogram(day, h)
+	if err != nil {
+		return nil, err
+	}
+	if prev, err := Load(fs, day.AddDate(0, 0, -1)); err == nil {
+		for name, e := range c.entries {
+			if pe, ok := prev.entries[name]; ok && pe.Description != "" {
+				e.Description = pe.Description
+			}
+		}
+	}
+	if err := c.Save(fs); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+type memBuf struct{ data []byte }
+
+func (m *memBuf) Write(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,193 @@
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"unilog/internal/hdfs"
+	"unilog/internal/session"
+	"unilog/internal/workload"
+)
+
+var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+
+func buildFS(t *testing.T) *hdfs.FS {
+	t.Helper()
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 80
+	evs, _ := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	if err := workload.WriteWarehouse(fs, evs); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestRebuildAndQuery(t *testing.T) {
+	fs := buildFS(t)
+	c, err := Rebuild(fs, day, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 {
+		t.Fatal("empty catalog")
+	}
+	// Entries are ordered by count descending.
+	all := c.All()
+	for i := 1; i < len(all); i++ {
+		if all[i].Count > all[i-1].Count {
+			t.Fatalf("catalog not count-ordered at %d", i)
+		}
+	}
+	// Samples are full decoded messages.
+	if len(all[0].Samples) == 0 || all[0].Samples[0].SessionID == "" {
+		t.Fatalf("top entry lacks samples: %+v", all[0])
+	}
+	// Exact lookup.
+	if _, err := c.Get(all[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("web:never:::x:seen"); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	fs := buildFS(t)
+	c, err := Rebuild(fs, day, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPattern, err := c.SearchPattern("*:impression")
+	if err != nil || len(byPattern) == 0 {
+		t.Fatalf("pattern search = %d, %v", len(byPattern), err)
+	}
+	for _, e := range byPattern {
+		if !strings.HasSuffix(e.Name, ":impression") {
+			t.Fatalf("pattern matched %s", e.Name)
+		}
+	}
+	byRe, err := c.SearchRegexp(`^web:home:.*click$`)
+	if err != nil || len(byRe) == 0 {
+		t.Fatalf("regexp search = %d, %v", len(byRe), err)
+	}
+	if _, err := c.SearchRegexp("(bad"); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+	if _, err := c.SearchPattern("Bad Pattern"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestHierarchicalBrowsing(t *testing.T) {
+	fs := buildFS(t)
+	c, err := Rebuild(fs, day, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients, err := c.Children(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, cc := range clients {
+		names[cc.Value] = true
+		if cc.Count <= 0 {
+			t.Fatalf("client %q count %d", cc.Value, cc.Count)
+		}
+	}
+	if !names["web"] || !names["iphone"] {
+		t.Fatalf("clients = %v", clients)
+	}
+	pages, err := c.Children([]string{"web"})
+	if err != nil || len(pages) == 0 {
+		t.Fatalf("pages = %v, %v", pages, err)
+	}
+	if _, err := c.Children([]string{"a", "b", "c", "d", "e", "f"}); err == nil {
+		t.Fatal("over-deep prefix accepted")
+	}
+}
+
+func TestDescriptionsPersistAcrossRebuilds(t *testing.T) {
+	fs := buildFS(t)
+	c1, err := Rebuild(fs, day, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c1.All()[0].Name
+	if err := c1.Describe(name, "the main timeline impression"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Describe("no:such:::event:x", "y"); !errors.Is(err, ErrNoEntry) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c1.Save(fs); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next day's traffic reuses the same events; descriptions carry
+	// forward through Rebuild.
+	day2 := day.AddDate(0, 0, 1)
+	cfg := workload.DefaultConfig(day2)
+	cfg.Users = 80
+	evs, _ := workload.New(cfg).Generate()
+	if err := workload.WriteWarehouse(fs, evs); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Rebuild(fs, day2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c2.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Description != "the main timeline impression" {
+		t.Fatalf("description lost: %q", e.Description)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fs := buildFS(t)
+	h, err := session.HistogramDay(fs, day, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := BuildFromHistogram(day, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(fs); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(fs, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("Len = %d, want %d", c2.Len(), c.Len())
+	}
+	for _, e := range c.All() {
+		e2, err := c2.Get(e.Name)
+		if err != nil || e2.Count != e.Count || len(e2.Samples) != len(e.Samples) {
+			t.Fatalf("entry %s mismatched after reload", e.Name)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	fs := buildFS(t)
+	c, err := Rebuild(fs, day, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Render(&buf, c.All()[:3], true)
+	out := buf.String()
+	if !strings.Contains(out, c.All()[0].Name) || !strings.Contains(out, "sample:") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}

@@ -1,0 +1,305 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/session"
+	"unilog/internal/warehouse"
+)
+
+var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+
+// populate writes a small, fully-deterministic day of client events: users
+// 1..8, each with one session of 10 events (8 impressions, 2 clicks).
+func populate(t *testing.T, fs *hdfs.FS) int {
+	t.Helper()
+	w := warehouse.NewWriter(fs, events.Category)
+	n := 0
+	for u := int64(1); u <= 8; u++ {
+		for i := 0; i < 10; i++ {
+			name := "web:home:::tweet:impression"
+			if i%5 == 4 {
+				name = "web:home:::tweet:click"
+			}
+			e := &events.ClientEvent{
+				Name:      events.MustParseName(name),
+				UserID:    u,
+				SessionID: fmt.Sprintf("s%d", u),
+				IP:        "10.0.0.1",
+				Timestamp: day.Add(time.Duration(u)*time.Hour + time.Duration(i)*time.Minute).UnixMilli(),
+			}
+			if err := w.Append(e); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := Schema{"a", "b", "c"}
+	if i, err := s.Index("b"); err != nil || i != 1 {
+		t.Fatalf("Index = %d, %v", i, err)
+	}
+	if _, err := s.Index("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadClientEvents(t *testing.T) {
+	fs := hdfs.New(0)
+	n := populate(t, fs)
+	j := NewJob("scan", fs)
+	d, err := j.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != n {
+		t.Fatalf("loaded %d tuples, want %d", d.Len(), n)
+	}
+	st := j.Stats()
+	if st.MapTasks == 0 || st.BytesRead == 0 || st.RecordsRead != int64(n) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFilterProjectCount(t *testing.T) {
+	fs := hdfs.New(0)
+	populate(t, fs)
+	j := NewJob("ctr", fs)
+	d, err := j.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameIdx := d.Schema().MustIndex("name")
+	clicks := d.Filter(func(tp Tuple) bool { return tp[nameIdx] == "web:home:::tweet:click" })
+	if clicks.Count() != 16 { // 2 clicks x 8 users
+		t.Fatalf("clicks = %d", clicks.Count())
+	}
+	p, err := clicks.Project("user_id", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schema()) != 2 || p.Schema()[0] != "user_id" {
+		t.Fatalf("projected schema = %v", p.Schema())
+	}
+}
+
+// TestSessionReconstructionGroupBy is the §3.2 claim: with unified logs "a
+// simple group-by suffices to accurately reconstruct user sessions".
+func TestSessionReconstructionGroupBy(t *testing.T) {
+	fs := hdfs.New(0)
+	populate(t, fs)
+	j := NewJob("sessions", fs)
+	d, err := j.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.GroupBy("user_id", "session_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 8 {
+		t.Fatalf("groups = %d, want 8", g.NumGroups())
+	}
+	sizes, err := g.Aggregate(Count("events"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range sizes.Tuples() {
+		if tp[2].(int64) != 10 {
+			t.Fatalf("session size = %v", tp)
+		}
+	}
+	// Shuffle was charged: the whole relation moved.
+	if j.Stats().ShuffleRecords != 80 || j.Stats().ShuffleBytes == 0 {
+		t.Fatalf("shuffle stats = %+v", j.Stats())
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	j := NewJob("agg", hdfs.New(0))
+	d := NewDataset(j, Schema{"k", "v"}, []Tuple{
+		{"a", int64(1)}, {"a", int64(5)}, {"a", int64(3)},
+		{"b", int64(10)}, {"b", int64(10)},
+	})
+	g, err := d.GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Aggregate(Count("n"), Sum("v", "sum"), Min("v", "min"), Max("v", "max"), Avg("v", "avg"), CountDistinct("v", "dv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	rows := map[string]Tuple{}
+	for _, tp := range res.Tuples() {
+		rows[tp[0].(string)] = tp
+	}
+	a := rows["a"]
+	if a[1].(int64) != 3 || a[2].(int64) != 9 || a[3].(int64) != 1 || a[4].(int64) != 5 || a[5].(float64) != 3.0 || a[6].(int64) != 3 {
+		t.Fatalf("a = %v", a)
+	}
+	b := rows["b"]
+	if b[1].(int64) != 2 || b[6].(int64) != 1 {
+		t.Fatalf("b = %v", b)
+	}
+}
+
+func TestGroupAllSum(t *testing.T) {
+	// The paper's counting idiom: group all, then SUM.
+	j := NewJob("sum", hdfs.New(0))
+	d := NewDataset(j, Schema{"c"}, []Tuple{{int64(2)}, {int64(3)}, {int64(5)}})
+	res, err := d.GroupAll().Aggregate(Sum("c", "total"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Tuples()[0][0].(int64) != 10 {
+		t.Fatalf("res = %v", res.Tuples())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	j := NewJob("join", hdfs.New(0))
+	left := NewDataset(j, Schema{"user_id", "event"}, []Tuple{
+		{int64(1), "click"}, {int64(2), "click"}, {int64(1), "view"},
+	})
+	users := NewDataset(j, Schema{"user_id", "country"}, []Tuple{
+		{int64(1), "us"}, {int64(2), "uk"}, {int64(3), "jp"},
+	})
+	joined, err := left.Join(users, "user_id", "user_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 3 {
+		t.Fatalf("joined rows = %d", joined.Len())
+	}
+	wantSchema := Schema{"user_id", "event", "user_id_r", "country"}
+	for i, c := range wantSchema {
+		if joined.Schema()[i] != c {
+			t.Fatalf("schema = %v", joined.Schema())
+		}
+	}
+	ci := joined.Schema().MustIndex("country")
+	for _, tp := range joined.Tuples() {
+		u := tp[0].(int64)
+		want := map[int64]string{1: "us", 2: "uk"}[u]
+		if tp[ci] != want {
+			t.Fatalf("row %v country = %v", tp, tp[ci])
+		}
+	}
+}
+
+func TestOrderByLimitDistinct(t *testing.T) {
+	j := NewJob("misc", hdfs.New(0))
+	d := NewDataset(j, Schema{"v"}, []Tuple{{int64(3)}, {int64(1)}, {int64(2)}, {int64(1)}})
+	sorted, err := d.OrderBy("v", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Tuples()[0][0].(int64) != 1 || sorted.Tuples()[3][0].(int64) != 3 {
+		t.Fatalf("sorted = %v", sorted.Tuples())
+	}
+	desc, err := d.OrderBy("v", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Tuples()[0][0].(int64) != 3 {
+		t.Fatalf("desc = %v", desc.Tuples())
+	}
+	if d.Distinct().Len() != 3 {
+		t.Fatalf("distinct = %d", d.Distinct().Len())
+	}
+	if d.Limit(2).Len() != 2 || d.Limit(100).Len() != 4 {
+		t.Fatal("limit wrong")
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	j := NewJob("fm", hdfs.New(0))
+	d := NewDataset(j, Schema{"n"}, []Tuple{{int64(2)}, {int64(3)}})
+	out := d.FlatMap(Schema{"i"}, func(tp Tuple) []Tuple {
+		n := tp[0].(int64)
+		res := make([]Tuple, n)
+		for i := range res {
+			res[i] = Tuple{int64(i)}
+		}
+		return res
+	})
+	if out.Len() != 5 {
+		t.Fatalf("flatmap = %d rows", out.Len())
+	}
+}
+
+// TestMapTaskReduction measures the E4 effect: loading session sequences
+// spawns far fewer map tasks and reads far fewer bytes than the raw logs.
+func TestMapTaskReduction(t *testing.T) {
+	fs := hdfs.New(0)
+	populate(t, fs)
+	if _, _, _, err := session.BuildDay(fs, day, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	rawJob := NewJob("raw", fs)
+	if _, err := rawJob.LoadClientEventsDay(day); err != nil {
+		t.Fatal(err)
+	}
+	seqJob := NewJob("seq", fs)
+	seqs, err := seqJob.LoadSessionSequencesDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqs.Len() != 8 {
+		t.Fatalf("sessions = %d", seqs.Len())
+	}
+	raw, seq := rawJob.Stats(), seqJob.Stats()
+	if seq.MapTasks >= raw.MapTasks {
+		t.Fatalf("map tasks: seq %d >= raw %d", seq.MapTasks, raw.MapTasks)
+	}
+	if seq.BytesRead >= raw.BytesRead {
+		t.Fatalf("bytes: seq %d >= raw %d", seq.BytesRead, raw.BytesRead)
+	}
+	if raw.ClusterSeconds() <= seq.ClusterSeconds() {
+		t.Fatalf("cluster seconds: raw %.1f <= seq %.1f", raw.ClusterSeconds(), seq.ClusterSeconds())
+	}
+}
+
+func TestRawRecordFormat(t *testing.T) {
+	fs := hdfs.New(0)
+	populate(t, fs)
+	j := NewJob("raw-records", fs)
+	dirs := HourDirs(fs, events.Category, day)
+	d, err := j.LoadDirs(dirs, RawRecordFormat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 80 {
+		t.Fatalf("records = %d", d.Len())
+	}
+	if _, ok := d.Tuples()[0][0].([]byte); !ok {
+		t.Fatalf("record type = %T", d.Tuples()[0][0])
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	j := NewJob("missing", hdfs.New(0))
+	if _, err := j.Load("/nope", ClientEventFormat{}); err == nil {
+		t.Fatal("load of missing dir succeeded")
+	}
+	// LoadDirs skips missing dirs silently.
+	d, err := j.LoadDirs([]string{"/nope"}, ClientEventFormat{})
+	if err != nil || d.Len() != 0 {
+		t.Fatalf("LoadDirs = %v, %v", d, err)
+	}
+}

@@ -1,0 +1,362 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Filter keeps tuples accepted by pred. It is map-side (no shuffle).
+func (d *Dataset) Filter(pred func(Tuple) bool) *Dataset {
+	out := make([]Tuple, 0, len(d.tuples))
+	for _, t := range d.tuples {
+		if pred(t) {
+			out = append(out, t)
+		}
+	}
+	return &Dataset{job: d.job, schema: d.schema, tuples: out}
+}
+
+// Project keeps only the named columns, in the given order — the "early
+// projection" idiom of §4.1 that keeps shuffle volume down.
+func (d *Dataset) Project(cols ...string) (*Dataset, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, err := d.schema.Index(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	out := make([]Tuple, len(d.tuples))
+	for i, t := range d.tuples {
+		nt := make(Tuple, len(idx))
+		for k, j := range idx {
+			nt[k] = t[j]
+		}
+		out[i] = nt
+	}
+	return &Dataset{job: d.job, schema: append(Schema(nil), cols...), tuples: out}, nil
+}
+
+// ForEach transforms every tuple (Pig's FOREACH ... GENERATE).
+func (d *Dataset) ForEach(schema Schema, fn func(Tuple) Tuple) *Dataset {
+	out := make([]Tuple, 0, len(d.tuples))
+	for _, t := range d.tuples {
+		if nt := fn(t); nt != nil {
+			out = append(out, nt)
+		}
+	}
+	return &Dataset{job: d.job, schema: schema, tuples: out}
+}
+
+// FlatMap transforms every tuple into zero or more tuples.
+func (d *Dataset) FlatMap(schema Schema, fn func(Tuple) []Tuple) *Dataset {
+	var out []Tuple
+	for _, t := range d.tuples {
+		out = append(out, fn(t)...)
+	}
+	return &Dataset{job: d.job, schema: schema, tuples: out}
+}
+
+// groupKey is a comparable rendering of the grouping columns.
+type groupKey string
+
+func keyOf(t Tuple, idx []int) groupKey {
+	k := ""
+	for _, i := range idx {
+		k += fmt.Sprintf("%v\x00", t[i])
+	}
+	return groupKey(k)
+}
+
+// Grouped is the result of a GroupBy: ordered groups awaiting aggregation
+// or per-group reduction.
+type Grouped struct {
+	job     *Job
+	schema  Schema
+	keyCols []string
+	keyIdx  []int
+	keys    []groupKey
+	groups  map[groupKey][]Tuple
+}
+
+// GroupBy shuffles the dataset by the named key columns — the reduce-side
+// step the paper's session reconstruction pays on every raw-log query
+// ("essentially, a large group-by across potentially terabytes of data").
+func (d *Dataset) GroupBy(keyCols ...string) (*Grouped, error) {
+	idx := make([]int, len(keyCols))
+	for i, c := range keyCols {
+		j, err := d.schema.Index(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	groups := make(map[groupKey][]Tuple)
+	var keys []groupKey
+	for _, t := range d.tuples {
+		k := keyOf(t, idx)
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	d.job.chargeShuffle(d.tuples, len(groups))
+	return &Grouped{job: d.job, schema: d.schema, keyCols: keyCols, keyIdx: idx, keys: keys, groups: groups}, nil
+}
+
+// NumGroups returns the number of distinct keys.
+func (g *Grouped) NumGroups() int { return len(g.keys) }
+
+// ForEachGroup reduces each group to one tuple. The emitted schema is the
+// key columns followed by outCols.
+func (g *Grouped) ForEachGroup(outCols Schema, fn func(key Tuple, group []Tuple) Tuple) *Dataset {
+	schema := append(append(Schema(nil), g.keyCols...), outCols...)
+	out := make([]Tuple, 0, len(g.keys))
+	for _, k := range g.keys {
+		group := g.groups[k]
+		keyVals := make(Tuple, len(g.keyIdx))
+		for i, idx := range g.keyIdx {
+			keyVals[i] = group[0][idx]
+		}
+		if res := fn(keyVals, group); res != nil {
+			out = append(out, append(append(Tuple(nil), keyVals...), res...))
+		}
+	}
+	g.job.stats.OutputRecords += int64(len(out))
+	return &Dataset{job: g.job, schema: schema, tuples: out}
+}
+
+// Agg is one aggregate computed per group.
+type Agg struct {
+	Name string
+	Col  string // input column; ignored by COUNT(*)
+	Kind AggKind
+}
+
+// AggKind selects the aggregate function.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota // COUNT(*)
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggCountDistinct
+)
+
+// Count is COUNT(*) named as out.
+func Count(out string) Agg { return Agg{Name: out, Kind: AggCount} }
+
+// Sum is SUM(col) over int64 or float64 columns.
+func Sum(col, out string) Agg { return Agg{Name: out, Col: col, Kind: AggSum} }
+
+// Min is MIN(col) over int64 columns.
+func Min(col, out string) Agg { return Agg{Name: out, Col: col, Kind: AggMin} }
+
+// Max is MAX(col) over int64 columns.
+func Max(col, out string) Agg { return Agg{Name: out, Col: col, Kind: AggMax} }
+
+// Avg is AVG(col) over numeric columns, producing float64.
+func Avg(col, out string) Agg { return Agg{Name: out, Col: col, Kind: AggAvg} }
+
+// CountDistinct counts distinct values of col per group.
+func CountDistinct(col, out string) Agg { return Agg{Name: out, Col: col, Kind: AggCountDistinct} }
+
+func toF(v Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
+}
+
+func toI(v Value) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int32:
+		return int64(x)
+	case int:
+		return int64(x)
+	case float64:
+		return int64(x)
+	}
+	return 0
+}
+
+// Aggregate computes the given aggregates for every group.
+func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
+	idx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Kind == AggCount {
+			idx[i] = -1
+			continue
+		}
+		j, err := g.schema.Index(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	outCols := make(Schema, len(aggs))
+	for i, a := range aggs {
+		outCols[i] = a.Name
+	}
+	return g.ForEachGroup(outCols, func(key Tuple, group []Tuple) Tuple {
+		res := make(Tuple, len(aggs))
+		for i, a := range aggs {
+			switch a.Kind {
+			case AggCount:
+				res[i] = int64(len(group))
+			case AggSum:
+				var s int64
+				for _, t := range group {
+					s += toI(t[idx[i]])
+				}
+				res[i] = s
+			case AggMin:
+				m := toI(group[0][idx[i]])
+				for _, t := range group[1:] {
+					if v := toI(t[idx[i]]); v < m {
+						m = v
+					}
+				}
+				res[i] = m
+			case AggMax:
+				m := toI(group[0][idx[i]])
+				for _, t := range group[1:] {
+					if v := toI(t[idx[i]]); v > m {
+						m = v
+					}
+				}
+				res[i] = m
+			case AggAvg:
+				var s float64
+				for _, t := range group {
+					s += toF(t[idx[i]])
+				}
+				res[i] = s / float64(len(group))
+			case AggCountDistinct:
+				seen := make(map[string]struct{}, len(group))
+				for _, t := range group {
+					seen[fmt.Sprintf("%v", t[idx[i]])] = struct{}{}
+				}
+				res[i] = int64(len(seen))
+			}
+		}
+		return res
+	}), nil
+}
+
+// GroupAll groups every tuple into a single group (Pig's GROUP ... ALL),
+// the idiom that ends the paper's counting scripts.
+func (d *Dataset) GroupAll() *Grouped {
+	groups := map[groupKey][]Tuple{"": d.tuples}
+	d.job.chargeShuffle(d.tuples, 1)
+	return &Grouped{job: d.job, schema: d.schema, keys: []groupKey{""}, groups: groups}
+}
+
+// Join hash-joins two datasets on equality of leftCol and rightCol; both
+// sides shuffle. Output schema is the left schema followed by the right
+// schema with joined-column collisions suffixed "_r".
+func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, error) {
+	li, err := d.schema.Index(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := other.schema.Index(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	right := make(map[string][]Tuple)
+	for _, t := range other.tuples {
+		k := fmt.Sprintf("%v", t[ri])
+		right[k] = append(right[k], t)
+	}
+	d.job.chargeShuffle(d.tuples, len(right))
+	d.job.chargeShuffle(other.tuples, len(right))
+
+	schema := append(Schema(nil), d.schema...)
+	for _, c := range other.schema {
+		if _, err := d.schema.Index(c); err == nil {
+			schema = append(schema, c+"_r")
+		} else {
+			schema = append(schema, c)
+		}
+	}
+	var out []Tuple
+	for _, t := range d.tuples {
+		k := fmt.Sprintf("%v", t[li])
+		for _, rt := range right[k] {
+			nt := make(Tuple, 0, len(t)+len(rt))
+			nt = append(nt, t...)
+			nt = append(nt, rt...)
+			out = append(out, nt)
+		}
+	}
+	d.job.stats.OutputRecords += int64(len(out))
+	return &Dataset{job: d.job, schema: schema, tuples: out}, nil
+}
+
+// Distinct removes duplicate tuples (whole-row comparison).
+func (d *Dataset) Distinct() *Dataset {
+	seen := make(map[string]struct{}, len(d.tuples))
+	var out []Tuple
+	for _, t := range d.tuples {
+		k := fmt.Sprintf("%v", t)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, t)
+	}
+	d.job.chargeShuffle(d.tuples, len(out))
+	return &Dataset{job: d.job, schema: d.schema, tuples: out}
+}
+
+// OrderBy sorts by the named column; numeric columns sort numerically.
+func (d *Dataset) OrderBy(col string, ascending bool) (*Dataset, error) {
+	i, err := d.schema.Index(col)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]Tuple(nil), d.tuples...)
+	sort.SliceStable(out, func(a, b int) bool {
+		va, vb := out[a][i], out[b][i]
+		var less bool
+		switch va.(type) {
+		case int64, int32, int:
+			less = toI(va) < toI(vb)
+		case float64:
+			less = toF(va) < toF(vb)
+		default:
+			less = fmt.Sprintf("%v", va) < fmt.Sprintf("%v", vb)
+		}
+		if ascending {
+			return less
+		}
+		return !less
+	})
+	return &Dataset{job: d.job, schema: d.schema, tuples: out}, nil
+}
+
+// Limit keeps the first n tuples.
+func (d *Dataset) Limit(n int) *Dataset {
+	if n > len(d.tuples) {
+		n = len(d.tuples)
+	}
+	return &Dataset{job: d.job, schema: d.schema, tuples: d.tuples[:n]}
+}
+
+// Count returns the number of tuples (a terminal operation).
+func (d *Dataset) Count() int64 { return int64(len(d.tuples)) }

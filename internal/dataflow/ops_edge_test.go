@@ -1,0 +1,153 @@
+package dataflow
+
+import (
+	"errors"
+	"testing"
+
+	"unilog/internal/hdfs"
+)
+
+func emptyJob() *Job { return NewJob("edge", hdfs.New(0)) }
+
+func TestProjectUnknownColumn(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"a"}, []Tuple{{int64(1)}})
+	if _, err := d.Project("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupByUnknownColumn(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"a"}, []Tuple{{int64(1)}})
+	if _, err := d.GroupBy("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAggregateUnknownColumn(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"k", "v"}, []Tuple{{"a", int64(1)}})
+	g, err := d.GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Aggregate(Sum("nope", "s")); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("err = %v", err)
+	}
+	// COUNT(*) needs no column and must not error.
+	if _, err := g.Aggregate(Count("n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinUnknownColumns(t *testing.T) {
+	l := NewDataset(emptyJob(), Schema{"a"}, []Tuple{{int64(1)}})
+	r := NewDataset(emptyJob(), Schema{"b"}, []Tuple{{int64(1)}})
+	if _, err := l.Join(r, "zz", "b"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := l.Join(r, "a", "zz"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	j := emptyJob()
+	l := NewDataset(j, Schema{"k"}, []Tuple{{"x"}})
+	r := NewDataset(j, Schema{"k"}, []Tuple{{"y"}})
+	out, err := l.Join(r, "k", "k")
+	if err != nil || out.Len() != 0 {
+		t.Fatalf("join = %d rows, %v", out.Len(), err)
+	}
+}
+
+func TestGroupByEmptyDataset(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"k"}, nil)
+	g, err := d.GroupBy("k")
+	if err != nil || g.NumGroups() != 0 {
+		t.Fatalf("groups = %d, %v", g.NumGroups(), err)
+	}
+	res, err := g.Aggregate(Count("n"))
+	if err != nil || res.Len() != 0 {
+		t.Fatalf("agg = %d rows, %v", res.Len(), err)
+	}
+}
+
+func TestOrderByStrings(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"s"}, []Tuple{{"banana"}, {"apple"}, {"cherry"}})
+	out, err := d.OrderBy("s", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuples()[0][0] != "apple" || out.Tuples()[2][0] != "cherry" {
+		t.Fatalf("order = %v", out.Tuples())
+	}
+	if _, err := d.OrderBy("nope", true); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOrderByStable(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"k", "tag"}, []Tuple{
+		{int64(1), "first"}, {int64(1), "second"}, {int64(0), "zero"},
+	})
+	out, err := d.OrderBy("k", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuples()[1][1] != "first" || out.Tuples()[2][1] != "second" {
+		t.Fatalf("unstable sort: %v", out.Tuples())
+	}
+}
+
+func TestForEachDropsNil(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"v"}, []Tuple{{int64(1)}, {int64(2)}, {int64(3)}})
+	out := d.ForEach(Schema{"v"}, func(tp Tuple) Tuple {
+		if tp[0].(int64)%2 == 0 {
+			return nil
+		}
+		return tp
+	})
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+}
+
+func TestShuffleAccountingCoversValueKinds(t *testing.T) {
+	j := emptyJob()
+	d := NewDataset(j, Schema{"k", "m", "b", "f", "bool", "i32"}, []Tuple{
+		{"key", map[string]string{"a": "b"}, []byte{1, 2, 3}, 1.5, true, int32(7)},
+	})
+	if _, err := d.GroupBy("k"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Stats().ShuffleBytes == 0 {
+		t.Fatal("no shuffle bytes charged for mixed-type tuple")
+	}
+}
+
+func TestCountDistinctAcrossTypes(t *testing.T) {
+	j := emptyJob()
+	d := NewDataset(j, Schema{"k", "v"}, []Tuple{
+		{"a", int64(1)}, {"a", int64(1)}, {"a", int64(2)},
+	})
+	g, err := d.GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Aggregate(CountDistinct("v", "dv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples()[0][1].(int64) != 2 {
+		t.Fatalf("distinct = %v", res.Tuples())
+	}
+}
+
+func TestClusterSecondsModel(t *testing.T) {
+	var s Stats
+	s.MapTasks = 10
+	s.ReduceTasks = 2
+	want := 10*MapTaskStartupSeconds + 2*ReduceTaskStartupSeconds
+	if got := s.ClusterSeconds(); got != want {
+		t.Fatalf("ClusterSeconds = %f, want %f", got, want)
+	}
+}

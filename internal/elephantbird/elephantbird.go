@@ -1,0 +1,352 @@
+// Package elephantbird is the analog of Twitter's Elephant Bird (§3):
+// "our system ... which automatically generates Hadoop record readers and
+// writers for arbitrary Protocol Buffer and Thrift messages." Given a
+// schema description of a flat record, it derives codecs and a
+// dataflow.InputFormat for either serialization framework — the "regular
+// and repetitive" deserialization code application teams would otherwise
+// hand-write per category.
+//
+// A Descriptor lists the record's fields (name, kind, field id). From it:
+//
+//   - EncodeThrift / EncodeProto serialize a tuple;
+//   - DecodeThrift / DecodeProto parse a record into a dataflow.Tuple,
+//     skipping unknown fields;
+//   - Format returns an InputFormat that loads a whole category, so a
+//     legacy or bespoke log needs only a Descriptor, not custom reader
+//     code.
+package elephantbird
+
+import (
+	"fmt"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/hdfs"
+	"unilog/internal/proto"
+	"unilog/internal/recordio"
+	"unilog/internal/thrift"
+)
+
+// Kind is a field's logical type.
+type Kind int
+
+// Supported field kinds.
+const (
+	KindI64 Kind = iota
+	KindString
+	KindBool
+	KindDouble
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindI64:
+		return "i64"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindDouble:
+		return "double"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Field describes one record field. ID doubles as the Thrift field id and
+// the protobuf field number.
+type Field struct {
+	Name string
+	Kind Kind
+	ID   int16
+}
+
+// Encoding selects the serialization framework.
+type Encoding int
+
+// Encodings supported by the generated codecs.
+const (
+	ThriftCompact Encoding = iota
+	ThriftBinary
+	Protobuf
+)
+
+// Descriptor is the schema of a flat record type.
+type Descriptor struct {
+	// Name identifies the record type (diagnostics only).
+	Name   string
+	Fields []Field
+}
+
+// Schema returns the dataflow schema the decoder produces.
+func (d *Descriptor) Schema() dataflow.Schema {
+	s := make(dataflow.Schema, len(d.Fields))
+	for i, f := range d.Fields {
+		s[i] = f.Name
+	}
+	return s
+}
+
+// Validate rejects duplicate names or ids.
+func (d *Descriptor) Validate() error {
+	names := make(map[string]bool, len(d.Fields))
+	ids := make(map[int16]bool, len(d.Fields))
+	for _, f := range d.Fields {
+		if f.Name == "" || names[f.Name] {
+			return fmt.Errorf("elephantbird: %s: duplicate or empty field name %q", d.Name, f.Name)
+		}
+		if f.ID <= 0 || ids[f.ID] {
+			return fmt.Errorf("elephantbird: %s: duplicate or non-positive field id %d", d.Name, f.ID)
+		}
+		names[f.Name] = true
+		ids[f.ID] = true
+	}
+	return nil
+}
+
+// thriftType maps a kind to its Thrift wire type.
+func thriftType(k Kind) thrift.Type {
+	switch k {
+	case KindI64:
+		return thrift.I64
+	case KindString:
+		return thrift.STRING
+	case KindBool:
+		return thrift.BOOL
+	case KindDouble:
+		return thrift.DOUBLE
+	}
+	return thrift.STOP
+}
+
+// EncodeThrift serializes tuple values (aligned with d.Fields) using the
+// chosen Thrift protocol.
+func (d *Descriptor) EncodeThrift(t dataflow.Tuple, enc Encoding) ([]byte, error) {
+	if len(t) != len(d.Fields) {
+		return nil, fmt.Errorf("elephantbird: %s: tuple has %d values, want %d", d.Name, len(t), len(d.Fields))
+	}
+	var e thrift.Encoder
+	switch enc {
+	case ThriftCompact:
+		e = thrift.NewCompactEncoder()
+	case ThriftBinary:
+		e = thrift.NewBinaryEncoder()
+	default:
+		return nil, fmt.Errorf("elephantbird: %v is not a thrift encoding", enc)
+	}
+	e.WriteStructBegin()
+	for i, f := range d.Fields {
+		e.WriteFieldBegin(thriftType(f.Kind), f.ID)
+		switch f.Kind {
+		case KindI64:
+			e.WriteI64(t[i].(int64))
+		case KindString:
+			e.WriteString(t[i].(string))
+		case KindBool:
+			e.WriteBool(t[i].(bool))
+		case KindDouble:
+			e.WriteDouble(t[i].(float64))
+		}
+	}
+	e.WriteFieldStop()
+	e.WriteStructEnd()
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+// EncodeProto serializes tuple values as a protobuf message.
+func (d *Descriptor) EncodeProto(t dataflow.Tuple) ([]byte, error) {
+	if len(t) != len(d.Fields) {
+		return nil, fmt.Errorf("elephantbird: %s: tuple has %d values, want %d", d.Name, len(t), len(d.Fields))
+	}
+	e := proto.NewEncoder()
+	for i, f := range d.Fields {
+		switch f.Kind {
+		case KindI64:
+			e.Int64(int(f.ID), t[i].(int64))
+		case KindString:
+			e.String(int(f.ID), t[i].(string))
+		case KindBool:
+			e.Bool(int(f.ID), t[i].(bool))
+		case KindDouble:
+			e.Double(int(f.ID), t[i].(float64))
+		}
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+// Encode serializes with the given encoding.
+func (d *Descriptor) Encode(t dataflow.Tuple, enc Encoding) ([]byte, error) {
+	if enc == Protobuf {
+		return d.EncodeProto(t)
+	}
+	return d.EncodeThrift(t, enc)
+}
+
+// zeroValue gives absent fields their kind's zero.
+func zeroValue(k Kind) dataflow.Value {
+	switch k {
+	case KindI64:
+		return int64(0)
+	case KindString:
+		return ""
+	case KindBool:
+		return false
+	case KindDouble:
+		return float64(0)
+	}
+	return nil
+}
+
+// DecodeThrift parses a Thrift record into a tuple, skipping unknown
+// fields.
+func (d *Descriptor) DecodeThrift(rec []byte, enc Encoding) (dataflow.Tuple, error) {
+	var dec thrift.Decoder
+	switch enc {
+	case ThriftCompact:
+		dec = thrift.NewCompactDecoder(rec)
+	case ThriftBinary:
+		dec = thrift.NewBinaryDecoder(rec)
+	default:
+		return nil, fmt.Errorf("elephantbird: %v is not a thrift encoding", enc)
+	}
+	byID := make(map[int16]int, len(d.Fields))
+	for i, f := range d.Fields {
+		byID[f.ID] = i
+	}
+	out := make(dataflow.Tuple, len(d.Fields))
+	for i, f := range d.Fields {
+		out[i] = zeroValue(f.Kind)
+	}
+	if err := dec.ReadStructBegin(); err != nil {
+		return nil, err
+	}
+	for {
+		ft, id, err := dec.ReadFieldBegin()
+		if err != nil {
+			return nil, err
+		}
+		if ft == thrift.STOP {
+			break
+		}
+		i, known := byID[id]
+		if !known || thriftType(d.Fields[i].Kind) != ft {
+			if err := dec.Skip(ft); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch d.Fields[i].Kind {
+		case KindI64:
+			out[i], err = dec.ReadI64()
+		case KindString:
+			out[i], err = dec.ReadString()
+		case KindBool:
+			out[i], err = dec.ReadBool()
+		case KindDouble:
+			out[i], err = dec.ReadDouble()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, dec.ReadStructEnd()
+}
+
+// DecodeProto parses a protobuf record into a tuple, skipping unknown
+// fields.
+func (d *Descriptor) DecodeProto(rec []byte) (dataflow.Tuple, error) {
+	byID := make(map[int]int, len(d.Fields))
+	for i, f := range d.Fields {
+		byID[int(f.ID)] = i
+	}
+	out := make(dataflow.Tuple, len(d.Fields))
+	for i, f := range d.Fields {
+		out[i] = zeroValue(f.Kind)
+	}
+	dec := proto.NewDecoder(rec)
+	for {
+		field, wire, ok, err := dec.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		i, known := byID[field]
+		if !known {
+			if err := dec.Skip(wire); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch d.Fields[i].Kind {
+		case KindI64:
+			if wire != proto.WireVarint {
+				return nil, fmt.Errorf("elephantbird: field %s: wire %v", d.Fields[i].Name, wire)
+			}
+			out[i], err = dec.Int64()
+		case KindBool:
+			if wire != proto.WireVarint {
+				return nil, fmt.Errorf("elephantbird: field %s: wire %v", d.Fields[i].Name, wire)
+			}
+			out[i], err = dec.Bool()
+		case KindString:
+			if wire != proto.WireBytes {
+				return nil, fmt.Errorf("elephantbird: field %s: wire %v", d.Fields[i].Name, wire)
+			}
+			out[i], err = dec.String()
+		case KindDouble:
+			if wire != proto.WireFixed64 {
+				return nil, fmt.Errorf("elephantbird: field %s: wire %v", d.Fields[i].Name, wire)
+			}
+			out[i], err = dec.Double()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Decode parses with the given encoding.
+func (d *Descriptor) Decode(rec []byte, enc Encoding) (dataflow.Tuple, error) {
+	if enc == Protobuf {
+		return d.DecodeProto(rec)
+	}
+	return d.DecodeThrift(rec, enc)
+}
+
+// Format derives a dataflow.InputFormat for a category serialized with the
+// given encoding — the generated "record reader".
+type Format struct {
+	Desc *Descriptor
+	Enc  Encoding
+}
+
+var _ dataflow.InputFormat = Format{}
+
+// Schema implements dataflow.InputFormat.
+func (f Format) Schema() dataflow.Schema { return f.Desc.Schema() }
+
+// Splits implements dataflow.InputFormat (one split per data file).
+func (f Format) Splits(fs *hdfs.FS, dir string) ([]dataflow.Split, error) {
+	return dataflow.RawRecordFormat{}.Splits(fs, dir)
+}
+
+// ReadSplit implements dataflow.InputFormat.
+func (f Format) ReadSplit(fs *hdfs.FS, s dataflow.Split, emit func(dataflow.Tuple) error) error {
+	data, err := fs.ReadFile(s.Path)
+	if err != nil {
+		return err
+	}
+	return recordio.ScanGzipFile(data, func(rec []byte) error {
+		t, err := f.Desc.Decode(rec, f.Enc)
+		if err != nil {
+			return fmt.Errorf("elephantbird: %s: %w", s.Path, err)
+		}
+		return emit(t)
+	})
+}

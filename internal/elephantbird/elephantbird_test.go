@@ -1,0 +1,208 @@
+package elephantbird
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/thrift"
+)
+
+func testDesc() *Descriptor {
+	return &Descriptor{
+		Name: "ad_click",
+		Fields: []Field{
+			{Name: "user_id", Kind: KindI64, ID: 1},
+			{Name: "campaign", Kind: KindString, ID: 2},
+			{Name: "converted", Kind: KindBool, ID: 3},
+			{Name: "bid", Kind: KindDouble, ID: 4},
+		},
+	}
+}
+
+func sampleTuple() dataflow.Tuple {
+	return dataflow.Tuple{int64(42), "spring_sale", true, 1.25}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testDesc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Descriptor{Name: "x", Fields: []Field{
+		{Name: "a", Kind: KindI64, ID: 1}, {Name: "a", Kind: KindI64, ID: 2},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	bad2 := &Descriptor{Name: "x", Fields: []Field{
+		{Name: "a", Kind: KindI64, ID: 1}, {Name: "b", Kind: KindI64, ID: 1},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestRoundTripAllEncodings(t *testing.T) {
+	d := testDesc()
+	in := sampleTuple()
+	for _, enc := range []Encoding{ThriftCompact, ThriftBinary, Protobuf} {
+		rec, err := d.Encode(in, enc)
+		if err != nil {
+			t.Fatalf("encode %v: %v", enc, err)
+		}
+		out, err := d.Decode(rec, enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", enc, err)
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("%v: field %d = %v, want %v", enc, i, out[i], in[i])
+			}
+		}
+	}
+}
+
+// TestSchemaEvolution: records written by a newer descriptor with extra
+// fields decode under the old descriptor, both frameworks.
+func TestSchemaEvolution(t *testing.T) {
+	v1 := testDesc()
+	v2 := testDesc()
+	v2.Fields = append(v2.Fields,
+		Field{Name: "experiment", Kind: KindString, ID: 9},
+		Field{Name: "revenue", Kind: KindDouble, ID: 10},
+	)
+	in := append(sampleTuple(), "holdback", 9.99)
+	for _, enc := range []Encoding{ThriftCompact, ThriftBinary, Protobuf} {
+		rec, err := v2.Encode(in, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := v1.Decode(rec, enc)
+		if err != nil {
+			t.Fatalf("%v: old reader failed on new record: %v", enc, err)
+		}
+		if out[0] != int64(42) || out[1] != "spring_sale" {
+			t.Fatalf("%v: out = %v", enc, out)
+		}
+	}
+}
+
+func TestMissingFieldsGetZeros(t *testing.T) {
+	d := testDesc()
+	// Encode with only field 2 present.
+	enc := thrift.NewCompactEncoder()
+	enc.WriteStructBegin()
+	enc.WriteFieldBegin(thrift.STRING, 2)
+	enc.WriteString("only")
+	enc.WriteFieldStop()
+	enc.WriteStructEnd()
+	out, err := d.DecodeThrift(enc.Bytes(), ThriftCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != int64(0) || out[1] != "only" || out[2] != false || out[3] != float64(0) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestWrongWireTypeSkipped(t *testing.T) {
+	d := testDesc()
+	// Field 1 declared I64 but encoded as a string: skipped, zero value.
+	enc := thrift.NewCompactEncoder()
+	enc.WriteStructBegin()
+	enc.WriteFieldBegin(thrift.STRING, 1)
+	enc.WriteString("not an int")
+	enc.WriteFieldStop()
+	enc.WriteStructEnd()
+	out, err := d.DecodeThrift(enc.Bytes(), ThriftCompact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != int64(0) {
+		t.Fatalf("out[0] = %v", out[0])
+	}
+}
+
+func TestGeneratedInputFormat(t *testing.T) {
+	d := testDesc()
+	fs := hdfs.New(0)
+	var buf bytes.Buffer
+	w := recordio.NewGzipWriter(&buf)
+	const n = 25
+	for i := 0; i < n; i++ {
+		rec, err := d.EncodeProto(dataflow.Tuple{int64(i), "c", i%2 == 0, float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/logs/ad_click/part-00000.gz", buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	j := dataflow.NewJob("ads", fs)
+	ds, err := j.Load("/logs/ad_click", Format{Desc: d, Enc: Protobuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != n {
+		t.Fatalf("loaded %d", ds.Len())
+	}
+	// The loaded relation is queryable with the dataflow operators.
+	g, err := ds.GroupBy("converted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Aggregate(dataflow.Count("n"), dataflow.Sum("user_id", "sum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d", res.Len())
+	}
+}
+
+func TestEncodeArityMismatch(t *testing.T) {
+	d := testDesc()
+	if _, err := d.Encode(dataflow.Tuple{int64(1)}, Protobuf); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+}
+
+// TestRoundTripProperty fuzzes values through all three codecs.
+func TestRoundTripProperty(t *testing.T) {
+	d := testDesc()
+	f := func(u int64, s string, b bool, fl float64) bool {
+		if fl != fl { // NaN
+			return true
+		}
+		in := dataflow.Tuple{u, s, b, fl}
+		for _, enc := range []Encoding{ThriftCompact, ThriftBinary, Protobuf} {
+			rec, err := d.Encode(in, enc)
+			if err != nil {
+				return false
+			}
+			out, err := d.Decode(rec, enc)
+			if err != nil {
+				return false
+			}
+			for i := range in {
+				if out[i] != in[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package events
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+)
+
+// Anonymizer applies a consistent anonymization policy to client events.
+// §3.2: "standardizing the location and names of these fields allows us to
+// implement consistent policies for log anonymization" — precisely because
+// every message carries user id, session id, and IP in the same fields,
+// one policy covers every event ever logged.
+//
+// The policy implemented here is the standard one: identifiers are
+// pseudonymized with a keyed hash (stable within a key, unlinkable across
+// keys), IPs are truncated to /24, and configured detail keys are dropped.
+type Anonymizer struct {
+	// Key salts the identifier hashes; rotate it to unlink eras.
+	Key []byte
+	// DropDetails lists event-detail keys to remove entirely.
+	DropDetails []string
+}
+
+// NewAnonymizer returns an anonymizer with the given key, dropping the
+// request-tracing detail keys by default.
+func NewAnonymizer(key []byte) *Anonymizer {
+	return &Anonymizer{Key: key, DropDetails: []string{"request_id", "ua"}}
+}
+
+// hash produces a stable pseudonym for the input under the key.
+func (a *Anonymizer) hash(parts ...[]byte) []byte {
+	h := sha256.New()
+	h.Write(a.Key)
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return h.Sum(nil)
+}
+
+// UserID pseudonymizes a user id; zero (logged out) stays zero.
+func (a *Anonymizer) UserID(id int64) int64 {
+	if id == 0 {
+		return 0
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(id))
+	sum := a.hash(buf[:])
+	// Positive pseudonym, stable under the key.
+	return int64(binary.BigEndian.Uint64(sum) &^ (1 << 63))
+}
+
+// SessionID pseudonymizes a session cookie.
+func (a *Anonymizer) SessionID(id string) string {
+	if id == "" {
+		return ""
+	}
+	return hex.EncodeToString(a.hash([]byte(id)))[:16]
+}
+
+// IP truncates an IPv4 address to its /24 network.
+func (a *Anonymizer) IP(ip string) string {
+	i := strings.LastIndexByte(ip, '.')
+	if i < 0 {
+		return ""
+	}
+	return ip[:i] + ".0"
+}
+
+// Apply anonymizes the event in place. Joinability within the key is
+// preserved: the same user or session maps to the same pseudonym, so
+// sessionization and funnel analyses still work on anonymized logs.
+func (a *Anonymizer) Apply(e *ClientEvent) {
+	e.UserID = a.UserID(e.UserID)
+	e.SessionID = a.SessionID(e.SessionID)
+	e.IP = a.IP(e.IP)
+	for _, k := range a.DropDetails {
+		delete(e.Details, k)
+	}
+}

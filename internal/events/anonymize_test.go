@@ -1,0 +1,90 @@
+package events
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAnonymizerStability(t *testing.T) {
+	a := NewAnonymizer([]byte("key-2012"))
+	if a.UserID(42) != a.UserID(42) {
+		t.Fatal("user pseudonym unstable")
+	}
+	if a.UserID(42) == 42 {
+		t.Fatal("user id not pseudonymized")
+	}
+	if a.UserID(0) != 0 {
+		t.Fatal("logged-out sentinel must survive")
+	}
+	if a.SessionID("cookie") != a.SessionID("cookie") {
+		t.Fatal("session pseudonym unstable")
+	}
+	if a.SessionID("cookie") == "cookie" {
+		t.Fatal("session id not pseudonymized")
+	}
+}
+
+func TestAnonymizerKeysUnlink(t *testing.T) {
+	a := NewAnonymizer([]byte("era-1"))
+	b := NewAnonymizer([]byte("era-2"))
+	if a.UserID(42) == b.UserID(42) {
+		t.Fatal("different keys produced linkable pseudonyms")
+	}
+}
+
+func TestAnonymizerIP(t *testing.T) {
+	a := NewAnonymizer([]byte("k"))
+	if got := a.IP("10.12.34.56"); got != "10.12.34.0" {
+		t.Fatalf("IP = %q", got)
+	}
+	if got := a.IP("garbage"); got != "" {
+		t.Fatalf("IP(garbage) = %q", got)
+	}
+}
+
+func TestAnonymizerApply(t *testing.T) {
+	a := NewAnonymizer([]byte("k"))
+	e := &ClientEvent{
+		Name:      MustParseName("web:home:::tweet:impression"),
+		UserID:    7,
+		SessionID: "ck",
+		IP:        "10.1.2.3",
+		Details:   map[string]string{"request_id": "secret", "ua": "agent", "rank": "3"},
+	}
+	a.Apply(e)
+	if e.UserID == 7 || e.SessionID == "ck" || e.IP != "10.1.2.0" {
+		t.Fatalf("apply left identifiers: %+v", e)
+	}
+	if _, ok := e.Details["request_id"]; ok {
+		t.Fatal("request_id not dropped")
+	}
+	if e.Details["rank"] != "3" {
+		t.Fatal("benign detail dropped")
+	}
+}
+
+// TestAnonymizedJoinability: the property that makes the policy usable —
+// two events of the same user still join after anonymization, different
+// users still differ.
+func TestAnonymizedJoinability(t *testing.T) {
+	a := NewAnonymizer([]byte("k"))
+	f := func(u1, u2 int64) bool {
+		if u1 == 0 || u2 == 0 {
+			return true
+		}
+		p1a, p1b, p2 := a.UserID(u1), a.UserID(u1), a.UserID(u2)
+		if p1a != p1b {
+			return false
+		}
+		if u1 != u2 && p1a == p2 {
+			return false // collision would merge users (astronomically unlikely)
+		}
+		if p1a < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

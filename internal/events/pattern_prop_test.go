@@ -1,0 +1,141 @@
+package events
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// patternToRegexp is an independent reference implementation: translate a
+// wildcard pattern into a regexp over the colon-joined name.
+func patternToRegexp(t *testing.T, pattern string) *regexp.Regexp {
+	t.Helper()
+	parts := strings.Split(pattern, ":")
+	const comp = `[a-z0-9_-]*`
+	// Normalize to exactly six components: tail-anchored patterns pad with
+	// wildcards on the left, prefix patterns on the right.
+	full := make([]string, 0, NumComponents)
+	if len(parts) < NumComponents && parts[0] == "*" {
+		rest := parts[1:]
+		for i := 0; i < NumComponents-len(rest); i++ {
+			full = append(full, "*")
+		}
+		full = append(full, rest...)
+	} else {
+		full = append(full, parts...)
+		for len(full) < NumComponents {
+			full = append(full, "*")
+		}
+	}
+	pieces := make([]string, len(full))
+	for i, p := range full {
+		if p == "*" {
+			pieces[i] = comp
+		} else {
+			pieces[i] = regexp.QuoteMeta(p)
+		}
+	}
+	re, err := regexp.Compile("^" + strings.Join(pieces, ":") + "$")
+	if err != nil {
+		t.Fatalf("reference regexp for %q: %v", pattern, err)
+	}
+	return re
+}
+
+// TestPatternMatchesReferenceRegexp cross-checks Pattern.Matches against an
+// independent regexp translation over randomized names and patterns.
+func TestPatternMatchesReferenceRegexp(t *testing.T) {
+	rng := rand.New(rand.NewSource(20120821))
+	vocab := []string{"web", "iphone", "home", "search", "stream", "tweet", "avatar", "click", "impression", "open", "x1", "y_2", ""}
+	randComp := func(canBeEmpty bool) string {
+		for {
+			v := vocab[rng.Intn(len(vocab))]
+			if v != "" || canBeEmpty {
+				return v
+			}
+		}
+	}
+	randName := func() EventName {
+		return EventName{
+			Client:    randComp(false),
+			Page:      randComp(true),
+			Section:   randComp(true),
+			Component: randComp(true),
+			Element:   randComp(true),
+			Action:    randComp(false),
+		}
+	}
+	for trial := 0; trial < 3000; trial++ {
+		n := randName()
+		// Random pattern: random depth, random tail anchoring, components
+		// drawn from the name (to get hits) or vocab (to get misses).
+		depth := 1 + rng.Intn(NumComponents)
+		parts := make([]string, 0, depth)
+		tail := depth < NumComponents && rng.Intn(2) == 0
+		if tail {
+			parts = append(parts, "*")
+		}
+		for len(parts) < depth {
+			switch rng.Intn(3) {
+			case 0:
+				parts = append(parts, "*")
+			case 1:
+				parts = append(parts, n.At(rng.Intn(NumComponents)))
+			default:
+				parts = append(parts, randComp(false))
+			}
+		}
+		// Pattern components may not be empty per ParsePattern; replace.
+		for i, p := range parts {
+			if p == "" {
+				parts[i] = "*"
+			}
+		}
+		src := strings.Join(parts, ":")
+		p, err := ParsePattern(src)
+		if err != nil {
+			continue // e.g. tail '*' at depth 6; skip invalid combos
+		}
+		got := p.Matches(n)
+		want := patternToRegexp(t, src).MatchString(n.String())
+		if got != want {
+			t.Fatalf("trial %d: Pattern(%q).Matches(%s) = %v, reference = %v", trial, src, n, got, want)
+		}
+	}
+}
+
+// TestRollupIdempotent: rolling up an already-rolled-up name at the same
+// level is a fixed point, and levels nest.
+func TestRollupIdempotent(t *testing.T) {
+	n := MustParseName("web:home:mentions:stream:avatar:profile_click")
+	for lvl := 0; lvl < NumRollupLevels; lvl++ {
+		r := n.Rollup(RollupLevel(lvl))
+		if again := r.Rollup(RollupLevel(lvl)); again != r {
+			t.Fatalf("level %d not idempotent: %v -> %v", lvl, r, again)
+		}
+		// Rolling a level-k name to level k+1 equals rolling the original.
+		if lvl+1 < NumRollupLevels {
+			if r.Rollup(RollupLevel(lvl+1)) != n.Rollup(RollupLevel(lvl+1)) {
+				t.Fatalf("levels don't nest at %d", lvl)
+			}
+		}
+		// Client and action always survive.
+		if r.Client != n.Client || r.Action != n.Action {
+			t.Fatalf("level %d destroyed client/action: %v", lvl, r)
+		}
+	}
+}
+
+func TestTypeCoverageSmoke(t *testing.T) {
+	// Exercise Stringers for coverage and stability.
+	for i := 0; i < 6; i++ {
+		if s := Initiator(i).String(); s == "" {
+			t.Fatalf("Initiator(%d).String() empty", i)
+		}
+	}
+	if fmt.Sprint(MustParsePattern("web:home")) != "web:home" {
+		t.Fatal("Pattern.String not source text")
+	}
+}

@@ -1,0 +1,59 @@
+// Package geo resolves client IP addresses to countries for the dashboard
+// breakdowns of §3.2 ("further broken down by country and logged in/logged
+// out status").
+//
+// The production system used a real geo-IP database; this stand-in keys off
+// the first octet using the same table the synthetic workload generator
+// allocates IPs from, so resolution is exact for generated traffic and
+// "unknown" for anything else.
+package geo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Unknown is returned for unresolvable addresses.
+const Unknown = "unknown"
+
+// Countries lists the country codes traffic is generated from, in prefix
+// order: the first octet 10+i maps to Countries[i].
+var Countries = []string{"us", "jp", "uk", "br", "in", "de", "id", "mx"}
+
+// firstOctetBase is the first octet assigned to Countries[0].
+const firstOctetBase = 10
+
+// CountryOf resolves an IPv4 address to a country code.
+func CountryOf(ip string) string {
+	dot := strings.IndexByte(ip, '.')
+	if dot < 0 {
+		return Unknown
+	}
+	octet, err := strconv.Atoi(ip[:dot])
+	if err != nil {
+		return Unknown
+	}
+	i := octet - firstOctetBase
+	if i < 0 || i >= len(Countries) {
+		return Unknown
+	}
+	return Countries[i]
+}
+
+// IPFor synthesizes an IPv4 address inside the given country's prefix; host
+// selects the low bits deterministically.
+func IPFor(country string, host int64) string {
+	idx := -1
+	for i, c := range Countries {
+		if c == country {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Sprintf("203.0.113.%d", host%250+1) // TEST-NET-3 for unknowns
+	}
+	h := uint64(host)
+	return fmt.Sprintf("%d.%d.%d.%d", firstOctetBase+idx, (h>>16)%250+1, (h>>8)%250+1, h%250+1)
+}

@@ -1,0 +1,38 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, c := range Countries {
+		for _, host := range []int64{0, 1, 12345, 1 << 40} {
+			ip := IPFor(c, host)
+			if got := CountryOf(ip); got != c {
+				t.Errorf("CountryOf(IPFor(%q, %d)) = %q via %s", c, host, got, ip)
+			}
+		}
+	}
+}
+
+func TestUnknowns(t *testing.T) {
+	for _, ip := range []string{"", "nonsense", "300.1.2.3", "9.9.9.9", "99.0.0.1"} {
+		if got := CountryOf(ip); got != Unknown {
+			t.Errorf("CountryOf(%q) = %q, want unknown", ip, got)
+		}
+	}
+	if ip := IPFor("zz", 5); CountryOf(ip) != Unknown {
+		t.Errorf("IPFor(unknown country) = %s resolved", ip)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ci uint8, host int64) bool {
+		c := Countries[int(ci)%len(Countries)]
+		return CountryOf(IPFor(c, host)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

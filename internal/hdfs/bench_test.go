@@ -1,0 +1,49 @@
+package hdfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkWriteFile(b *testing.B) {
+	fs := New(0)
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/bench/f%09d", i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFile(b *testing.B) {
+	fs := New(0)
+	data := make([]byte, 64<<10)
+	if err := fs.WriteFile("/bench/f", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile("/bench/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenameSubtree(b *testing.B) {
+	fs := New(0)
+	for i := 0; i < 50; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/src0/d/f%02d", i), []byte("x")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := fmt.Sprintf("/src%d", i)
+		dst := fmt.Sprintf("/src%d", i+1)
+		if err := fs.Rename(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(16)
+	data := []byte("hello, warehouse")
+	if err := fs.WriteFile("/logs/client_events/part-0", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/logs/client_events/part-0")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	// Parents are created implicitly.
+	if fi, err := fs.Stat("/logs/client_events"); err != nil || !fi.IsDir {
+		t.Fatalf("Stat parent = %+v, %v", fi, err)
+	}
+}
+
+func TestCreateVisibilityOnClose(t *testing.T) {
+	fs := New(0)
+	w, err := fs.Create("/tmp/pending")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/tmp/pending") {
+		t.Fatal("file visible before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/tmp/pending") {
+		t.Fatal("file missing after Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func TestCreateExisting(t *testing.T) {
+	fs := New(0)
+	if err := fs.WriteFile("/a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlockAccounting(t *testing.T) {
+	fs := New(10)
+	data := make([]byte, 95) // 10 blocks: 9 full + 1 partial
+	if err := fs.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fs.Stat("/f")
+	if err != nil || fi.Blocks != 10 {
+		t.Fatalf("Blocks = %d, %v; want 10", fi.Blocks, err)
+	}
+	before := fs.Snapshot()
+	if _, err := fs.ReadFile("/f"); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Snapshot()
+	if n := after.BlocksRead - before.BlocksRead; n != 10 {
+		t.Fatalf("BlocksRead delta = %d, want 10", n)
+	}
+	if n := after.BytesRead - before.BytesRead; n != 95 {
+		t.Fatalf("BytesRead delta = %d, want 95", n)
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	fs := New(4)
+	if err := fs.WriteFile("/f", []byte("abcdefghij")); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"abcd", "efgh", "ij"} {
+		got, err := fs.ReadBlock("/f", i)
+		if err != nil || string(got) != want {
+			t.Fatalf("block %d = %q, %v", i, got, err)
+		}
+	}
+	if _, err := fs.ReadBlock("/f", 3); err == nil {
+		t.Fatal("out-of-range block read succeeded")
+	}
+}
+
+func TestSmallReadsChargeBlocksOnce(t *testing.T) {
+	fs := New(10)
+	if err := fs.WriteFile("/f", make([]byte, 30)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Snapshot()
+	buf := make([]byte, 3)
+	for {
+		if _, err := r.Read(buf); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := fs.Snapshot().BlocksRead - before.BlocksRead
+	if delta != 3 {
+		t.Fatalf("BlocksRead delta = %d, want 3 (blocks charged once)", delta)
+	}
+}
+
+// TestAtomicRenameDirectory is the log-mover primitive: an hour of staged
+// logs appears in the warehouse in one atomic operation.
+func TestAtomicRenameDirectory(t *testing.T) {
+	fs := New(0)
+	for i := 0; i < 3; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/staging/ce/2012/08/21/14/part-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Rename("/staging/ce/2012/08/21/14", "/logs/client_events/2012/08/21/14"); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := fs.Walk("/logs/client_events/2012/08/21/14")
+	if err != nil || len(infos) != 3 {
+		t.Fatalf("after rename: %v, %v", infos, err)
+	}
+	if fs.Exists("/staging/ce/2012/08/21/14") {
+		t.Fatal("source directory survived rename")
+	}
+	// Destination conflicts are rejected.
+	if err := fs.WriteFile("/staging/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/staging/x", "/logs/client_events/2012/08/21/14"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing err = %v", err)
+	}
+}
+
+func TestRenameFile(t *testing.T) {
+	fs := New(0)
+	if err := fs.WriteFile("/a/b", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a/b", "/c/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/c/d/e")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("after rename = %q, %v", got, err)
+	}
+}
+
+func TestOutageInjection(t *testing.T) {
+	fs := New(0)
+	if err := fs.WriteFile("/ok", nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetAvailable(false)
+	if err := fs.WriteFile("/fail", nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("write during outage err = %v", err)
+	}
+	if _, err := fs.ReadFile("/ok"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("read during outage err = %v", err)
+	}
+	fs.SetAvailable(true)
+	if err := fs.WriteFile("/fail", nil); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+func TestWriterFailsDuringOutage(t *testing.T) {
+	fs := New(0)
+	w, err := fs.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetAvailable(false)
+	if err := w.Close(); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("close during outage err = %v", err)
+	}
+}
+
+func TestListAndWalk(t *testing.T) {
+	fs := New(0)
+	paths := []string{"/logs/a/1", "/logs/a/2", "/logs/b/1", "/logs/top"}
+	for _, p := range paths {
+		if err := fs.WriteFile(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls, err := fs.List("/logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, fi := range ls {
+		names = append(names, fi.Path)
+	}
+	want := []string{"/logs/a", "/logs/b", "/logs/top"}
+	if len(names) != 3 || names[0] != want[0] || names[1] != want[1] || names[2] != want[2] {
+		t.Fatalf("List = %v, want %v", names, want)
+	}
+	all, err := fs.Walk("/logs")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("Walk = %v, %v", all, err)
+	}
+	total, err := fs.TotalSize("/logs")
+	if err != nil || total != 0 {
+		t.Fatalf("TotalSize = %d, %v", total, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := New(0)
+	if err := fs.WriteFile("/d/f1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/d", false); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("non-recursive delete err = %v", err)
+	}
+	if err := fs.Delete("/d", true); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") || fs.Exists("/d/f1") {
+		t.Fatal("delete left residue")
+	}
+}
+
+func TestInvalidPaths(t *testing.T) {
+	fs := New(0)
+	for _, p := range []string{"", "rel", "/a//b", "/a/./b", "/.."} {
+		if err := fs.WriteFile(p, nil); !errors.Is(err, ErrInvalidPath) {
+			t.Errorf("WriteFile(%q) err = %v", p, err)
+		}
+	}
+	// Trailing slash is normalized rather than rejected.
+	if err := fs.MkdirAll("/ok/"); err != nil {
+		t.Errorf("MkdirAll with trailing slash: %v", err)
+	}
+}
+
+// TestRoundTripProperty: any byte content survives write/read, and block
+// math matches ceil(len/blockSize).
+func TestRoundTripProperty(t *testing.T) {
+	fs := New(7)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		path := fmt.Sprintf("/p/f%d", i)
+		if err := fs.WriteFile(path, data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(path)
+		if err != nil || !bytes.Equal(got, data) {
+			return false
+		}
+		fi, err := fs.Stat(path)
+		if err != nil {
+			return false
+		}
+		want := (len(data) + 6) / 7
+		return fi.Blocks == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	fs := New(0)
+	const n = 32
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			errs <- fs.WriteFile(fmt.Sprintf("/c/f%02d", i), bytes.Repeat([]byte{byte(i)}, 100))
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := fs.Walk("/c")
+	if err != nil || len(infos) != n {
+		t.Fatalf("Walk = %d files, %v", len(infos), err)
+	}
+	total, _ := fs.TotalSize("/c")
+	if total != n*100 {
+		t.Fatalf("TotalSize = %d", total)
+	}
+}

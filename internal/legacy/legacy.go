@@ -1,0 +1,289 @@
+// Package legacy reproduces the paper's *first-generation* logging — the
+// application-specific formats of §3.1 that the unified client events
+// replaced — so experiments can measure what unification buys.
+//
+// Three deliberately inconsistent categories are modelled, each with the
+// pathologies the paper complains about:
+//
+//   - web_frontend: nested JSON with camelCase field names (userId,
+//     sessionCookie) and an ISO-8601 string timestamp;
+//   - api_server: tab-delimited text with snake_case names (uid, sess) and a
+//     seconds-resolution unix timestamp;
+//   - search_service: a Thrift struct with user_id in millis — and *no
+//     session id at all*, so sessions must be inferred by user id and time
+//     proximity ("no consistent way across all applications to easily
+//     reconstruct the session, except based on timestamps and the user id").
+//
+// ReconstructSessions performs the join-based analysis those formats force
+// on the data scientist; its cost is compared against the unified group-by
+// and the materialized session sequences in experiment E3.
+package legacy
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/thrift"
+)
+
+// The legacy Scribe categories — "several dozen" in production, three here.
+const (
+	CategoryWeb    = "web_frontend"
+	CategoryAPI    = "api_server"
+	CategorySearch = "search_service"
+)
+
+// Categories lists all legacy categories.
+var Categories = []string{CategoryWeb, CategoryAPI, CategorySearch}
+
+// WebFrontendEvent is the JSON frontend log: rich, nested, camelCase.
+type WebFrontendEvent struct {
+	UserID        int64             `json:"userId"`
+	SessionCookie string            `json:"sessionCookie"`
+	ClientIP      string            `json:"clientIp"`
+	Timestamp     string            `json:"timestamp"` // ISO-8601
+	Event         webFrontendDetail `json:"event"`
+}
+
+type webFrontendDetail struct {
+	Type   string            `json:"type"`
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// EncodeWebFrontend marshals the event to its JSON wire form.
+func EncodeWebFrontend(userID int64, cookie, ip string, at time.Time, typ string, params map[string]string) []byte {
+	b, err := json.Marshal(WebFrontendEvent{
+		UserID:        userID,
+		SessionCookie: cookie,
+		ClientIP:      ip,
+		Timestamp:     at.UTC().Format(time.RFC3339Nano),
+		Event:         webFrontendDetail{Type: typ, Params: params},
+	})
+	if err != nil {
+		panic(err) // all field types are JSON-safe
+	}
+	return b
+}
+
+// DecodeWebFrontend parses a JSON frontend record.
+func DecodeWebFrontend(rec []byte) (WebFrontendEvent, error) {
+	var e WebFrontendEvent
+	if err := json.Unmarshal(rec, &e); err != nil {
+		return e, fmt.Errorf("legacy: web_frontend: %w", err)
+	}
+	return e, nil
+}
+
+// Time parses the event's ISO-8601 timestamp.
+func (e WebFrontendEvent) Time() (time.Time, error) {
+	return time.Parse(time.RFC3339Nano, e.Timestamp)
+}
+
+// APIServerEvent is the tab-delimited mobile API log.
+type APIServerEvent struct {
+	UID    int64
+	Sess   string
+	Action string
+	IP     string
+	Unix   int64 // seconds — coarser than every other category
+}
+
+// EncodeAPIServer renders the tab-delimited line.
+func EncodeAPIServer(uid int64, sess, action, ip string, at time.Time) []byte {
+	return []byte(fmt.Sprintf("%d\t%s\t%s\t%s\t%d", uid, sess, action, ip, at.Unix()))
+}
+
+// DecodeAPIServer parses a tab-delimited line. The wrong delimiter setting
+// "would yield no output or complete garbage" (§3.1); here it yields an
+// error.
+func DecodeAPIServer(rec []byte) (APIServerEvent, error) {
+	parts := strings.Split(string(rec), "\t")
+	if len(parts) != 5 {
+		return APIServerEvent{}, fmt.Errorf("legacy: api_server: %d fields, want 5", len(parts))
+	}
+	uid, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return APIServerEvent{}, fmt.Errorf("legacy: api_server uid: %w", err)
+	}
+	ts, err := strconv.ParseInt(parts[4], 10, 64)
+	if err != nil {
+		return APIServerEvent{}, fmt.Errorf("legacy: api_server ts: %w", err)
+	}
+	return APIServerEvent{UID: uid, Sess: parts[1], Action: parts[2], IP: parts[3], Unix: ts}, nil
+}
+
+// SearchEvent is the Thrift search log. Note the missing session id.
+type SearchEvent struct {
+	UserID int64
+	Action string
+	IP     string
+	Millis int64
+}
+
+// Encode implements thrift.Struct.
+func (e *SearchEvent) Encode(enc thrift.Encoder) {
+	enc.WriteStructBegin()
+	enc.WriteFieldBegin(thrift.I64, 1)
+	enc.WriteI64(e.UserID)
+	enc.WriteFieldBegin(thrift.STRING, 2)
+	enc.WriteString(e.Action)
+	enc.WriteFieldBegin(thrift.STRING, 3)
+	enc.WriteString(e.IP)
+	enc.WriteFieldBegin(thrift.I64, 4)
+	enc.WriteI64(e.Millis)
+	enc.WriteFieldStop()
+	enc.WriteStructEnd()
+}
+
+// Decode implements thrift.Struct.
+func (e *SearchEvent) Decode(dec thrift.Decoder) error {
+	if err := dec.ReadStructBegin(); err != nil {
+		return err
+	}
+	for {
+		ft, id, err := dec.ReadFieldBegin()
+		if err != nil {
+			return err
+		}
+		if ft == thrift.STOP {
+			break
+		}
+		switch id {
+		case 1:
+			e.UserID, err = dec.ReadI64()
+		case 2:
+			e.Action, err = dec.ReadString()
+		case 3:
+			e.IP, err = dec.ReadString()
+		case 4:
+			e.Millis, err = dec.ReadI64()
+		default:
+			err = dec.Skip(ft)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return dec.ReadStructEnd()
+}
+
+// FromClientEvent converts a unified client event into its legacy
+// (category, record) form — the format each application team would have
+// invented for itself. Mobile clients logged through the API servers, the
+// search page through the search service, everything else through the web
+// frontend.
+func FromClientEvent(e *events.ClientEvent) (category string, record []byte) {
+	at := time.UnixMilli(e.Timestamp)
+	switch {
+	case e.Name.Page == "search":
+		se := &SearchEvent{UserID: e.UserID, Action: e.Name.Action, IP: e.IP, Millis: e.Timestamp}
+		return CategorySearch, thrift.EncodeBinary(se)
+	case e.Name.Client != "web":
+		return CategoryAPI, EncodeAPIServer(e.UserID, e.SessionID, e.Name.Page+"/"+e.Name.Action, e.IP, at)
+	default:
+		return CategoryWeb, EncodeWebFrontend(e.UserID, e.SessionID, e.IP, at, e.Name.Page+":"+e.Name.Action, e.Details)
+	}
+}
+
+// normalized is the common schema every legacy record must be wrestled into
+// before sessions can be reconstructed.
+var normalizedSchema = dataflow.Schema{"user_id", "session_hint", "ip", "timestamp_ms", "action"}
+
+// Formats returns the per-category dataflow input formats that parse and
+// normalize each legacy log — the custom deserialization code the paper's
+// engineers had to write per category.
+func Formats() map[string]dataflow.RawRecordFormat {
+	return map[string]dataflow.RawRecordFormat{
+		CategoryWeb: {
+			Columns: normalizedSchema,
+			Decode: func(rec []byte) dataflow.Tuple {
+				e, err := DecodeWebFrontend(rec)
+				if err != nil {
+					return nil
+				}
+				t, err := e.Time()
+				if err != nil {
+					return nil
+				}
+				return dataflow.Tuple{e.UserID, e.SessionCookie, e.ClientIP, t.UnixMilli(), e.Event.Type}
+			},
+		},
+		CategoryAPI: {
+			Columns: normalizedSchema,
+			Decode: func(rec []byte) dataflow.Tuple {
+				e, err := DecodeAPIServer(rec)
+				if err != nil {
+					return nil
+				}
+				return dataflow.Tuple{e.UID, e.Sess, e.IP, e.Unix * 1000, e.Action}
+			},
+		},
+		CategorySearch: {
+			Columns: normalizedSchema,
+			Decode: func(rec []byte) dataflow.Tuple {
+				var e SearchEvent
+				if err := thrift.DecodeBinary(rec, &e); err != nil {
+					return nil
+				}
+				// No session id was logged; sessions will be inferred from
+				// user id + time proximity alone.
+				return dataflow.Tuple{e.UserID, "", e.IP, e.Millis, e.Action}
+			},
+		},
+	}
+}
+
+// ReconstructSessions performs the pre-unification session analysis of
+// §3.1: load all three categories with three different parsers, union them,
+// group by user id, order by timestamp, and split on 30-minute gaps. It
+// returns the number of sessions found. Compare its job stats with the
+// unified and materialized variants (experiment E3).
+func ReconstructSessions(j *dataflow.Job, dirsByCategory map[string][]string, gap time.Duration) (int64, error) {
+	formats := Formats()
+	var union *dataflow.Dataset
+	for _, cat := range Categories {
+		d, err := j.LoadDirs(dirsByCategory[cat], formats[cat])
+		if err != nil {
+			return 0, err
+		}
+		if union == nil {
+			union = d
+		} else {
+			union = dataflow.NewDataset(j, normalizedSchema, append(union.Tuples(), d.Tuples()...))
+		}
+	}
+	if union == nil || union.Len() == 0 {
+		return 0, nil
+	}
+	g, err := union.GroupBy("user_id")
+	if err != nil {
+		return 0, err
+	}
+	gapMs := gap.Milliseconds()
+	tsIdx := normalizedSchema.MustIndex("timestamp_ms")
+	counts := g.ForEachGroup(dataflow.Schema{"sessions"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
+		ts := make([]int64, len(group))
+		for i, t := range group {
+			ts[i] = t[tsIdx].(int64)
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+		n := int64(1)
+		for i := 1; i < len(ts); i++ {
+			if ts[i]-ts[i-1] > gapMs {
+				n++
+			}
+		}
+		return dataflow.Tuple{n}
+	})
+	total, err := counts.GroupAll().Aggregate(dataflow.Sum("sessions", "total"))
+	if err != nil {
+		return 0, err
+	}
+	return total.Tuples()[0][0].(int64), nil
+}

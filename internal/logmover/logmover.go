@@ -1,0 +1,360 @@
+// Package logmover implements the pipeline stage that copies logs from the
+// per-datacenter staging clusters into the main data warehouse (§2).
+//
+// For each category-hour the mover:
+//
+//  1. waits until every datacenter has sealed the hour (the _SEALED marker
+//     written after all aggregators flushed);
+//  2. applies sanity checks — each staging file must be a well-formed
+//     gzipped record stream; corrupt files fail the move rather than
+//     silently losing data;
+//  3. merges the many small per-aggregator files into a few big warehouse
+//     files, re-compressing as it goes;
+//  4. atomically slides the hour into /logs/<category>/YYYY/MM/DD/HH/ with
+//     a single directory rename;
+//  5. records an audit trace of what moved, how many records, and from
+//     where.
+//
+// Within a merged file, record order is the concatenation order of staging
+// files; across files it is unspecified — exactly the "partial
+// chronological order" the paper warns downstream analyses about.
+package logmover
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/warehouse"
+)
+
+// Errors reported by the mover.
+var (
+	// ErrHourIncomplete means at least one datacenter has not sealed the
+	// hour yet; the move is retried later.
+	ErrHourIncomplete = errors.New("logmover: hour not sealed by all datacenters")
+	// ErrAlreadyMoved means the warehouse already contains this hour.
+	ErrAlreadyMoved = errors.New("logmover: hour already present in warehouse")
+	// ErrCorruptFile means a staging file failed its sanity check.
+	ErrCorruptFile = errors.New("logmover: corrupt staging file")
+)
+
+// Source is one datacenter's staging cluster.
+type Source struct {
+	Datacenter string
+	FS         *hdfs.FS
+}
+
+// AuditRecord is the execution trace of one category-hour move.
+type AuditRecord struct {
+	Category string
+	Hour     time.Time
+	Started  time.Time
+	Finished time.Time
+	FilesIn  int
+	FilesOut int
+	Records  int64
+	// Dropped counts records removed by the Transform hook.
+	Dropped     int64
+	BytesIn     int64
+	BytesOut    int64
+	Datacenters []string
+}
+
+// Mover copies sealed staging hours into the warehouse.
+type Mover struct {
+	Warehouse *hdfs.FS
+	Sources   []Source
+	// TargetFileBytes is the approximate uncompressed size of each merged
+	// warehouse file ("merging many small files into a few big ones", §2).
+	TargetFileBytes int64
+	// Transform, when set, rewrites each record on its way into the
+	// warehouse — §2's "sanity checks and transformations". Returning nil
+	// drops the record (counted in the audit); a typical transform is the
+	// §3.2 anonymization policy. Errors abort the move.
+	Transform func(category string, rec []byte) ([]byte, error)
+	// Clock stamps audit records; nil uses time.Now.
+	Clock func() time.Time
+
+	audits []AuditRecord
+}
+
+// New returns a Mover targeting the given warehouse filesystem.
+func New(wh *hdfs.FS, sources ...Source) *Mover {
+	return &Mover{
+		Warehouse:       wh,
+		Sources:         sources,
+		TargetFileBytes: 4 << 20,
+		Clock:           time.Now,
+	}
+}
+
+// Audits returns the execution traces of completed moves.
+func (m *Mover) Audits() []AuditRecord { return m.audits }
+
+// HourSealed reports whether every datacenter has sealed the category-hour.
+func (m *Mover) HourSealed(category string, hour time.Time) bool {
+	dir := warehouse.StagingHourDir(category, hour)
+	for _, src := range m.Sources {
+		if !src.FS.Exists(dir + "/" + warehouse.SealedMarker) {
+			return false
+		}
+	}
+	return true
+}
+
+// MoveHour merges one sealed category-hour from all staging clusters into
+// the warehouse and atomically publishes it. On any error the warehouse is
+// untouched.
+func (m *Mover) MoveHour(category string, hour time.Time) (AuditRecord, error) {
+	rec := AuditRecord{Category: category, Hour: hour.UTC().Truncate(time.Hour), Started: m.Clock()}
+	destDir := warehouse.HourDir(category, hour)
+	if m.Warehouse.Exists(destDir) {
+		return rec, fmt.Errorf("%w: %s", ErrAlreadyMoved, destDir)
+	}
+	if !m.HourSealed(category, hour) {
+		return rec, fmt.Errorf("%w: %s %s", ErrHourIncomplete, category, warehouse.HourPath(hour))
+	}
+
+	tmpDir := fmt.Sprintf("%s/mover/%s/%s", warehouse.TmpRoot, category, warehouse.HourPath(hour))
+	// A previous failed attempt may have left debris; start clean.
+	if m.Warehouse.Exists(tmpDir) {
+		if err := m.Warehouse.Delete(tmpDir, true); err != nil {
+			return rec, err
+		}
+	}
+
+	merger := newMerger(m.Warehouse, tmpDir, m.TargetFileBytes)
+	srcDir := warehouse.StagingHourDir(category, hour)
+	type consumed struct {
+		fs   *hdfs.FS
+		path string
+	}
+	var toDelete []consumed
+	for _, src := range m.Sources {
+		infos, err := src.FS.Walk(srcDir)
+		if errors.Is(err, hdfs.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return rec, err
+		}
+		dcHadData := false
+		for _, fi := range infos {
+			if fi.Path == srcDir+"/"+warehouse.SealedMarker {
+				toDelete = append(toDelete, consumed{src.FS, fi.Path})
+				continue
+			}
+			data, err := src.FS.ReadFile(fi.Path)
+			if err != nil {
+				return rec, err
+			}
+			// Sanity check + transform + merge in one scan.
+			n := int64(0)
+			err = recordio.ScanGzipFile(data, func(r []byte) error {
+				n++
+				if m.Transform != nil {
+					out, terr := m.Transform(category, r)
+					if terr != nil {
+						return terr
+					}
+					if out == nil {
+						rec.Dropped++
+						n-- // not counted as moved
+						return nil
+					}
+					r = out
+				}
+				return merger.append(r)
+			})
+			if err != nil {
+				return rec, fmt.Errorf("%w: %s from %s: %v", ErrCorruptFile, fi.Path, src.Datacenter, err)
+			}
+			rec.FilesIn++
+			rec.Records += n
+			rec.BytesIn += fi.Size
+			dcHadData = true
+			toDelete = append(toDelete, consumed{src.FS, fi.Path})
+		}
+		if dcHadData {
+			rec.Datacenters = append(rec.Datacenters, src.Datacenter)
+		}
+	}
+	filesOut, bytesOut, err := merger.close()
+	if err != nil {
+		return rec, err
+	}
+	rec.FilesOut = filesOut
+	rec.BytesOut = bytesOut
+
+	// The atomic slide: one rename publishes the whole hour.
+	if filesOut > 0 {
+		if err := m.Warehouse.Rename(tmpDir, destDir); err != nil {
+			return rec, err
+		}
+	} else if err := m.Warehouse.MkdirAll(destDir); err != nil {
+		return rec, err
+	}
+
+	// Source files are consumed only after the hour is published.
+	for _, c := range toDelete {
+		if err := c.fs.Delete(c.path, false); err != nil && !errors.Is(err, hdfs.ErrNotFound) {
+			return rec, err
+		}
+	}
+	rec.Finished = m.Clock()
+	m.audits = append(m.audits, rec)
+	return rec, nil
+}
+
+// MoveAllSealed scans staging for sealed category-hours and moves each one,
+// returning the audit records of successful moves. Categories are
+// discovered from the staging directory trees.
+func (m *Mover) MoveAllSealed() ([]AuditRecord, error) {
+	type catHour struct {
+		category string
+		hour     time.Time
+	}
+	seen := make(map[catHour]bool)
+	var order []catHour
+	for _, src := range m.Sources {
+		infos, err := src.FS.Walk(warehouse.StagingRoot)
+		// A missing staging root means nothing staged yet; an unavailable
+		// cluster defers its hours to a later pass (they cannot pass the
+		// seal barrier this round anyway).
+		if errors.Is(err, hdfs.ErrNotFound) || errors.Is(err, hdfs.ErrUnavailable) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, fi := range infos {
+			cat, hour, ok := parseStagingPath(fi.Path)
+			if !ok {
+				continue
+			}
+			ch := catHour{cat, hour}
+			if !seen[ch] {
+				seen[ch] = true
+				order = append(order, ch)
+			}
+		}
+	}
+	var recs []AuditRecord
+	for _, ch := range order {
+		if !m.HourSealed(ch.category, ch.hour) {
+			continue
+		}
+		if m.Warehouse.Exists(warehouse.HourDir(ch.category, ch.hour)) {
+			continue
+		}
+		rec, err := m.MoveHour(ch.category, ch.hour)
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// parseStagingPath extracts (category, hour) from
+// /staging/<category>/YYYY/MM/DD/HH/<file>.
+func parseStagingPath(p string) (string, time.Time, bool) {
+	const prefix = warehouse.StagingRoot + "/"
+	if len(p) <= len(prefix) || p[:len(prefix)] != prefix {
+		return "", time.Time{}, false
+	}
+	// The remainder must be category/YYYY/MM/DD/HH/file.
+	parts := splitN(p[len(prefix):], '/', 6)
+	if len(parts) != 6 {
+		return "", time.Time{}, false
+	}
+	var y, mo, d, h int
+	for i, dst := range []*int{&y, &mo, &d, &h} {
+		if _, err := fmt.Sscanf(parts[i+1], "%d", dst); err != nil {
+			return "", time.Time{}, false
+		}
+	}
+	return parts[0], time.Date(y, time.Month(mo), d, h, 0, 0, 0, time.UTC), true
+}
+
+func splitN(s string, sep byte, n int) []string {
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(s) && len(out) < n-1; i++ {
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// merger accumulates records and rolls output files at the target size.
+type merger struct {
+	fs      *hdfs.FS
+	dir     string
+	target  int64
+	buf     *memBuf
+	w       *recordio.GzipWriter
+	raw     int64
+	seq     int
+	files   int
+	outSize int64
+}
+
+type memBuf struct{ data []byte }
+
+func (m *memBuf) Write(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}
+
+func newMerger(fs *hdfs.FS, dir string, target int64) *merger {
+	return &merger{fs: fs, dir: dir, target: target}
+}
+
+func (m *merger) append(rec []byte) error {
+	if m.w == nil {
+		m.buf = &memBuf{}
+		m.w = recordio.NewGzipWriter(m.buf)
+		m.raw = 0
+	}
+	if err := m.w.Append(rec); err != nil {
+		return err
+	}
+	m.raw += int64(len(rec))
+	if m.raw >= m.target {
+		return m.roll()
+	}
+	return nil
+}
+
+func (m *merger) roll() error {
+	if m.w == nil {
+		return nil
+	}
+	if err := m.w.Close(); err != nil {
+		return err
+	}
+	path := fmt.Sprintf("%s/part-%05d.gz", m.dir, m.seq)
+	m.seq++
+	if err := m.fs.WriteFile(path, m.buf.data); err != nil {
+		return err
+	}
+	m.files++
+	m.outSize += int64(len(m.buf.data))
+	m.w = nil
+	m.buf = nil
+	return nil
+}
+
+func (m *merger) close() (int, int64, error) {
+	if err := m.roll(); err != nil {
+		return 0, 0, err
+	}
+	return m.files, m.outSize, nil
+}

@@ -1,0 +1,175 @@
+package logmover
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/scribe"
+	"unilog/internal/session"
+	"unilog/internal/warehouse"
+	"unilog/internal/workload"
+	"unilog/internal/zk"
+)
+
+// stageEvents delivers generated client events into a staging cluster and
+// seals the hours they fall into.
+func stageEvents(t *testing.T, evs []events.ClientEvent) *scribe.Datacenter {
+	t.Helper()
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	clock := zk.NewManualClock(day)
+	dc, err := scribe.NewDatacenter("dc1", hdfs.New(0), clock, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for hr := 0; hr < 24; hr++ {
+		hour := day.Add(time.Duration(hr) * time.Hour)
+		for ; i < len(evs) && evs[i].Timestamp < hour.Add(time.Hour).UnixMilli(); i++ {
+			dc.Daemons[0].Log(events.Category, evs[i].Marshal())
+		}
+		clock.Advance(time.Hour)
+		if err := dc.SealHour([]string{events.Category}, hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dc
+}
+
+// TestAnonymizingTransform wires the §3.2 anonymization policy into the
+// mover's transformation hook: warehouse logs carry pseudonyms, and the
+// downstream session build still produces the same session structure.
+func TestAnonymizingTransform(t *testing.T) {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 60
+	evs, truth := workload.New(cfg).Generate()
+	dc := stageEvents(t, evs)
+
+	anon := events.NewAnonymizer([]byte("mover-policy"))
+	wh := hdfs.New(0)
+	m := New(wh, Source{Datacenter: "dc1", FS: dc.Staging})
+	m.Transform = func(category string, rec []byte) ([]byte, error) {
+		var e events.ClientEvent
+		if err := e.Unmarshal(rec); err != nil {
+			return nil, err
+		}
+		anon.Apply(&e)
+		return e.Marshal(), nil
+	}
+	if _, err := m.MoveAllSealed(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warehouse events are pseudonymized.
+	realIDs := make(map[int64]bool)
+	for uid := range truth.UserCountry {
+		realIDs[uid] = true
+	}
+	var n int64
+	err := warehouse.ScanDay(wh, events.Category, day, func(e *events.ClientEvent) error {
+		n++
+		if e.UserID != 0 && realIDs[e.UserID] {
+			t.Fatalf("raw user id %d survived anonymization", e.UserID)
+		}
+		if _, ok := e.Details["request_id"]; ok {
+			t.Fatal("request_id survived anonymization")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != truth.Events {
+		t.Fatalf("warehouse has %d events, want %d", n, truth.Events)
+	}
+	// Sessionization is unaffected: pseudonyms preserve joinability.
+	_, _, stats, err := session.BuildDay(wh, day, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions != truth.Sessions {
+		t.Fatalf("sessions = %d, truth %d", stats.Sessions, truth.Sessions)
+	}
+}
+
+// TestDroppingTransform: returning nil drops records and audits the count.
+func TestDroppingTransform(t *testing.T) {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 20
+	cfg.LoggedOutSessions = 0
+	evs, truth := workload.New(cfg).Generate()
+	dc := stageEvents(t, evs)
+
+	wh := hdfs.New(0)
+	m := New(wh, Source{Datacenter: "dc1", FS: dc.Staging})
+	// Policy: drop all logged-out events.
+	m.Transform = func(category string, rec []byte) ([]byte, error) {
+		var e events.ClientEvent
+		if err := e.Unmarshal(rec); err != nil {
+			return nil, err
+		}
+		if e.UserID == 0 {
+			return nil, nil
+		}
+		return rec, nil
+	}
+	recs, err := m.MoveAllSealed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved, dropped int64
+	for _, r := range recs {
+		moved += r.Records
+		dropped += r.Dropped
+	}
+	if moved+dropped != truth.Events {
+		t.Fatalf("moved %d + dropped %d != %d", moved, dropped, truth.Events)
+	}
+	var inWarehouse int64
+	if err := warehouse.ScanDay(wh, events.Category, day, func(e *events.ClientEvent) error {
+		if e.UserID == 0 {
+			t.Fatal("dropped record reached warehouse")
+		}
+		inWarehouse++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inWarehouse != moved {
+		t.Fatalf("warehouse %d != moved %d", inWarehouse, moved)
+	}
+}
+
+// TestFailingTransformAbortsMove: a transform error keeps the warehouse
+// untouched.
+func TestFailingTransformAbortsMove(t *testing.T) {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 5
+	evs, _ := workload.New(cfg).Generate()
+	dc := stageEvents(t, evs)
+
+	wh := hdfs.New(0)
+	m := New(wh, Source{Datacenter: "dc1", FS: dc.Staging})
+	boom := errors.New("policy violation")
+	m.Transform = func(string, []byte) ([]byte, error) { return nil, boom }
+	if _, err := m.MoveAllSealed(); !errors.Is(err, ErrCorruptFile) {
+		t.Fatalf("err = %v", err)
+	}
+	// Hours with data never published; only empty sealed hours may have
+	// created their (empty) directories.
+	var n int64
+	if err := warehouse.ScanDay(wh, events.Category, day, func(*events.ClientEvent) error {
+		n++
+		return nil
+	}); err != nil && !errors.Is(err, hdfs.ErrNotFound) {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("%d records reached the warehouse despite failing transform", n)
+	}
+}

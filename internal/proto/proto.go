@@ -1,0 +1,262 @@
+// Package proto implements the Protocol Buffers wire format, the second of
+// the two serialization frameworks §3 describes: "Protocol Buffers and
+// Thrift are two language-neutral data interchange formats that provide
+// compact encoding of structured data ... both protobufs and Thrift are
+// extensible, allowing messages to gradually evolve over time while
+// preserving backwards compatibility."
+//
+// The encoding is the standard one: each field is a varint key
+// (field_number << 3 | wire_type) followed by a payload in one of four
+// wire types — varint, 64-bit, length-delimited, 32-bit. Unknown fields
+// are skippable, which is what makes messages forward-compatible.
+//
+// Twitter preferred Thrift for logging (it doubled as the RPC framework),
+// so client events are Thrift; this package exists because parts of the
+// legacy logging zoo and Elephant Bird's record readers handled protobuf
+// too.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WireType is the low three bits of a field key.
+type WireType byte
+
+// Wire types of proto2/proto3.
+const (
+	WireVarint  WireType = 0
+	WireFixed64 WireType = 1
+	WireBytes   WireType = 2
+	WireFixed32 WireType = 5
+)
+
+// String names the wire type.
+func (w WireType) String() string {
+	switch w {
+	case WireVarint:
+		return "varint"
+	case WireFixed64:
+		return "fixed64"
+	case WireBytes:
+		return "bytes"
+	case WireFixed32:
+		return "fixed32"
+	}
+	return fmt.Sprintf("wire(%d)", byte(w))
+}
+
+// Errors reported by the decoder.
+var (
+	ErrTruncated = errors.New("proto: truncated message")
+	ErrBadWire   = errors.New("proto: invalid wire type")
+	ErrOverflow  = errors.New("proto: varint overflows")
+)
+
+// Encoder appends protobuf-encoded fields to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded message (aliases the internal buffer).
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len reports encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards buffered output.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) key(field int, w WireType) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(field)<<3|uint64(w))
+}
+
+// Varint writes an unsigned varint field.
+func (e *Encoder) Varint(field int, v uint64) {
+	e.key(field, WireVarint)
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Int64 writes a signed int64 as a (non-zigzag) varint, as proto int64.
+func (e *Encoder) Int64(field int, v int64) { e.Varint(field, uint64(v)) }
+
+// SInt64 writes a zigzag-encoded signed varint, as proto sint64.
+func (e *Encoder) SInt64(field int, v int64) {
+	e.Varint(field, uint64(v<<1)^uint64(v>>63))
+}
+
+// Bool writes a bool as a varint 0/1.
+func (e *Encoder) Bool(field int, v bool) {
+	if v {
+		e.Varint(field, 1)
+	} else {
+		e.Varint(field, 0)
+	}
+}
+
+// Double writes an IEEE-754 double as fixed64.
+func (e *Encoder) Double(field int, v float64) {
+	e.key(field, WireFixed64)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Fixed32 writes a little-endian 32-bit value.
+func (e *Encoder) Fixed32(field int, v uint32) {
+	e.key(field, WireFixed32)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// String writes a length-delimited UTF-8 string.
+func (e *Encoder) String(field int, v string) {
+	e.key(field, WireBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Bytes2 writes a length-delimited byte field. (Named to avoid clashing
+// with the Bytes accessor.)
+func (e *Encoder) Bytes2(field int, v []byte) {
+	e.key(field, WireBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Embedded writes a length-delimited nested message.
+func (e *Encoder) Embedded(field int, enc func(*Encoder)) {
+	var nested Encoder
+	enc(&nested)
+	e.Bytes2(field, nested.buf)
+}
+
+// Decoder consumes a protobuf message field by field.
+type Decoder struct {
+	data []byte
+	pos  int
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Remaining reports undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.pos }
+
+// Next returns the next field number and wire type, or ok=false at a clean
+// end of message.
+func (d *Decoder) Next() (field int, w WireType, ok bool, err error) {
+	if d.pos >= len(d.data) {
+		return 0, 0, false, nil
+	}
+	key, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, 0, false, ErrTruncated
+	}
+	d.pos += n
+	w = WireType(key & 7)
+	field = int(key >> 3)
+	switch w {
+	case WireVarint, WireFixed64, WireBytes, WireFixed32:
+		return field, w, true, nil
+	}
+	return 0, 0, false, fmt.Errorf("%w: %d", ErrBadWire, key&7)
+}
+
+// Varint reads an unsigned varint payload.
+func (d *Decoder) Varint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Int64 reads a proto int64 payload.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Varint()
+	return int64(v), err
+}
+
+// SInt64 reads a zigzag sint64 payload.
+func (d *Decoder) SInt64() (int64, error) {
+	v, err := d.Varint()
+	return int64(v>>1) ^ -int64(v&1), err
+}
+
+// Bool reads a varint bool payload.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Varint()
+	return v != 0, err
+}
+
+// Double reads a fixed64 IEEE-754 payload.
+func (d *Decoder) Double() (float64, error) {
+	if d.pos+8 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(v), nil
+}
+
+// Fixed32 reads a little-endian 32-bit payload.
+func (d *Decoder) Fixed32() (uint32, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+// Bytes reads a length-delimited payload; the slice aliases the input.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.Varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, fmt.Errorf("%w: declared %d bytes", ErrTruncated, n)
+	}
+	out := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// String reads a length-delimited payload as a string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes()
+	return string(b), err
+}
+
+// Skip discards a payload of the given wire type — the §3 extensibility
+// property ("messages can be augmented with additional fields in a
+// completely transparent way").
+func (d *Decoder) Skip(w WireType) error {
+	switch w {
+	case WireVarint:
+		_, err := d.Varint()
+		return err
+	case WireFixed64:
+		if d.pos+8 > len(d.data) {
+			return ErrTruncated
+		}
+		d.pos += 8
+		return nil
+	case WireFixed32:
+		if d.pos+4 > len(d.data) {
+			return ErrTruncated
+		}
+		d.pos += 4
+		return nil
+	case WireBytes:
+		_, err := d.Bytes()
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrBadWire, w)
+}

@@ -1,0 +1,200 @@
+package proto
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	e := NewEncoder()
+	e.Varint(1, 300)
+	e.Int64(2, -5)
+	e.SInt64(3, -5)
+	e.Bool(4, true)
+	e.Double(5, 3.25)
+	e.String(6, "client_events")
+	e.Bytes2(7, []byte{0, 1, 2})
+	e.Fixed32(8, 0xDEADBEEF)
+
+	d := NewDecoder(e.Bytes())
+	expect := func(wantField int, wantWire WireType) {
+		t.Helper()
+		f, w, ok, err := d.Next()
+		if err != nil || !ok || f != wantField || w != wantWire {
+			t.Fatalf("Next = %d %v %v %v, want %d %v", f, w, ok, err, wantField, wantWire)
+		}
+	}
+	expect(1, WireVarint)
+	if v, _ := d.Varint(); v != 300 {
+		t.Fatalf("varint = %d", v)
+	}
+	expect(2, WireVarint)
+	if v, _ := d.Int64(); v != -5 {
+		t.Fatalf("int64 = %d", v)
+	}
+	expect(3, WireVarint)
+	if v, _ := d.SInt64(); v != -5 {
+		t.Fatalf("sint64 = %d", v)
+	}
+	expect(4, WireVarint)
+	if v, _ := d.Bool(); !v {
+		t.Fatal("bool = false")
+	}
+	expect(5, WireFixed64)
+	if v, _ := d.Double(); v != 3.25 {
+		t.Fatalf("double = %f", v)
+	}
+	expect(6, WireBytes)
+	if v, _ := d.String(); v != "client_events" {
+		t.Fatalf("string = %q", v)
+	}
+	expect(7, WireBytes)
+	if v, _ := d.Bytes(); len(v) != 3 || v[2] != 2 {
+		t.Fatalf("bytes = %v", v)
+	}
+	expect(8, WireFixed32)
+	if v, _ := d.Fixed32(); v != 0xDEADBEEF {
+		t.Fatalf("fixed32 = %x", v)
+	}
+	if _, _, ok, err := d.Next(); ok || err != nil {
+		t.Fatalf("trailing field: %v %v", ok, err)
+	}
+}
+
+// TestSInt64VsInt64Size: zigzag is the right choice for negatives — the
+// "compact encoding" §3 credits both frameworks with.
+func TestSInt64VsInt64Size(t *testing.T) {
+	plain, zig := NewEncoder(), NewEncoder()
+	plain.Int64(1, -1)
+	zig.SInt64(1, -1)
+	if plain.Len() <= zig.Len() {
+		t.Fatalf("int64(-1) %d bytes <= sint64(-1) %d bytes", plain.Len(), zig.Len())
+	}
+}
+
+func TestSkipUnknownFields(t *testing.T) {
+	// A "v2" message with fields a v1 reader does not know.
+	e := NewEncoder()
+	e.String(1, "keep")
+	e.Varint(99, 12345)                                 // unknown varint
+	e.Double(98, 2.5)                                   // unknown fixed64
+	e.Bytes2(97, []byte("unknown payload"))             // unknown bytes
+	e.Fixed32(96, 7)                                    // unknown fixed32
+	e.Embedded(95, func(n *Encoder) { n.Varint(1, 1) }) // unknown message
+	e.Int64(2, 42)
+
+	d := NewDecoder(e.Bytes())
+	var got string
+	var gotInt int64
+	for {
+		f, w, ok, err := d.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		switch f {
+		case 1:
+			got, err = d.String()
+		case 2:
+			gotInt, err = d.Int64()
+		default:
+			err = d.Skip(w)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != "keep" || gotInt != 42 {
+		t.Fatalf("decoded %q %d", got, gotInt)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	e := NewEncoder()
+	e.String(1, "hello world")
+	data := e.Bytes()
+	for cut := 1; cut < len(data)-1; cut++ {
+		d := NewDecoder(data[:cut])
+		_, _, ok, err := d.Next()
+		if err != nil {
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if _, err := d.String(); err == nil {
+			t.Fatalf("decode of %d/%d prefix succeeded", cut, len(data))
+		}
+	}
+}
+
+func TestBadWireType(t *testing.T) {
+	// Key with wire type 3 (deprecated group) is rejected.
+	d := NewDecoder([]byte{1<<3 | 3})
+	if _, _, _, err := d.Next(); !errors.Is(err, ErrBadWire) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(u uint64, s int64, str string, fl float64, b bool) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		e := NewEncoder()
+		e.Varint(1, u)
+		e.SInt64(2, s)
+		e.String(3, str)
+		e.Double(4, fl)
+		e.Bool(5, b)
+		d := NewDecoder(e.Bytes())
+		var err error
+		read := func() {
+			if _, _, ok, nerr := d.Next(); !ok || nerr != nil {
+				err = ErrTruncated
+			}
+		}
+		read()
+		gu, _ := d.Varint()
+		read()
+		gs, _ := d.SInt64()
+		read()
+		gstr, _ := d.String()
+		read()
+		gfl, _ := d.Double()
+		read()
+		gb, _ := d.Bool()
+		return err == nil && gu == u && gs == s && gstr == str && gfl == fl && gb == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedded(t *testing.T) {
+	e := NewEncoder()
+	e.Embedded(1, func(n *Encoder) {
+		n.String(1, "inner")
+		n.Varint(2, 9)
+	})
+	d := NewDecoder(e.Bytes())
+	_, w, ok, err := d.Next()
+	if err != nil || !ok || w != WireBytes {
+		t.Fatal("embedded header wrong")
+	}
+	inner, err := d.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := NewDecoder(inner)
+	if _, _, ok, _ := id.Next(); !ok {
+		t.Fatal("inner empty")
+	}
+	if s, _ := id.String(); s != "inner" {
+		t.Fatalf("inner string = %q", s)
+	}
+}

@@ -1,0 +1,160 @@
+package recordio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := [][]byte{[]byte("one"), {}, []byte("three"), bytes.Repeat([]byte("x"), 1000)}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	r := NewReader(&buf)
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("record %d = %q, %v", i, got, err)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewGzipWriter(&buf)
+	for i := 0; i < 100; i++ {
+		if err := w.Append([]byte("the same compressible record")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= 100*len("the same compressible record") {
+		t.Fatalf("gzip did not compress: %d bytes", buf.Len())
+	}
+	n := 0
+	err := ScanGzipFile(buf.Bytes(), func(rec []byte) error {
+		if string(rec) != "the same compressible record" {
+			t.Fatalf("rec = %q", rec)
+		}
+		n++
+		return nil
+	})
+	if err != nil || n != 100 {
+		t.Fatalf("scanned %d records, %v", n, err)
+	}
+}
+
+func TestCorruptLength(t *testing.T) {
+	// A huge declared length must error, not allocate.
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		if err := w.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop")
+	n := 0
+	err := NewReader(&buf).ForEach(func(rec []byte) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 3 {
+		t.Fatalf("n = %d, err = %v", n, err)
+	}
+}
+
+func TestBadGzipHeader(t *testing.T) {
+	if err := ScanGzipFile([]byte("not gzip at all"), func([]byte) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRoundTripProperty: arbitrary record batches survive framing, with and
+// without compression.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(recs [][]byte) bool {
+		var plain, compressed bytes.Buffer
+		w := NewWriter(&plain)
+		gw := NewGzipWriter(&compressed)
+		for _, r := range recs {
+			if err := w.Append(r); err != nil {
+				return false
+			}
+			if err := gw.Append(r); err != nil {
+				return false
+			}
+		}
+		if err := gw.Close(); err != nil {
+			return false
+		}
+		check := func(got [][]byte) bool {
+			if len(got) != len(recs) {
+				return false
+			}
+			for i := range recs {
+				if !bytes.Equal(got[i], recs[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		var got1 [][]byte
+		if err := NewReader(&plain).ForEach(func(rec []byte) error {
+			got1 = append(got1, append([]byte(nil), rec...))
+			return nil
+		}); err != nil {
+			return false
+		}
+		var got2 [][]byte
+		if err := ScanGzipFile(compressed.Bytes(), func(rec []byte) error {
+			got2 = append(got2, append([]byte(nil), rec...))
+			return nil
+		}); err != nil {
+			return false
+		}
+		return check(got1) && check(got2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package scribe
+
+// CategoryConfig is the §2 "configuration metadata" associated with a
+// Scribe category, which determines "among other things, where the data is
+// written". Unconfigured categories get default behaviour.
+type CategoryConfig struct {
+	// WriteAs redirects the category's staging output under a different
+	// category name — how renamed or consolidated categories keep flowing
+	// without touching producers.
+	WriteAs string
+	// RollRecords overrides the aggregator's default file-roll threshold
+	// for this category (high-volume categories roll sooner).
+	RollRecords int64
+	// SampleKeepOneIn keeps only every Nth message (0 and 1 keep all) —
+	// the escape hatch for categories too hot to log in full.
+	SampleKeepOneIn int64
+	// Blackhole drops the category entirely (decommissioned producers).
+	Blackhole bool
+}
+
+// ConfigureCategory installs configuration metadata for a category on this
+// aggregator. In production this lived in the config store every
+// aggregator read; here it is set per aggregator by the test or operator.
+func (a *Aggregator) ConfigureCategory(category string, cfg CategoryConfig) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.catConfigs == nil {
+		a.catConfigs = make(map[string]CategoryConfig)
+	}
+	a.catConfigs[category] = cfg
+	if a.catSampleCounters == nil {
+		a.catSampleCounters = make(map[string]int64)
+	}
+}
+
+// applyCategoryPolicyLocked resolves the effective category, roll
+// threshold, and whether this message should be kept. Counters make
+// sampling deterministic: exactly one in every N consecutive messages of
+// the category survives.
+func (a *Aggregator) applyCategoryPolicyLocked(category string) (effective string, rollRecords int64, keep bool) {
+	effective, rollRecords, keep = category, a.RollRecords, true
+	cfg, ok := a.catConfigs[category]
+	if !ok {
+		return
+	}
+	if cfg.Blackhole {
+		a.stats.PolicyDropped++
+		return "", 0, false
+	}
+	if cfg.SampleKeepOneIn > 1 {
+		a.catSampleCounters[category]++
+		if a.catSampleCounters[category]%cfg.SampleKeepOneIn != 1 {
+			a.stats.PolicyDropped++
+			return "", 0, false
+		}
+	}
+	if cfg.WriteAs != "" {
+		effective = cfg.WriteAs
+	}
+	if cfg.RollRecords > 0 {
+		rollRecords = cfg.RollRecords
+	}
+	return effective, rollRecords, true
+}

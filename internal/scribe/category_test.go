@@ -1,0 +1,98 @@
+package scribe
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCategoryBlackhole(t *testing.T) {
+	dc, _ := newDC(t, 1, 1)
+	a := dc.Aggregators[0]
+	a.ConfigureCategory("decommissioned", CategoryConfig{Blackhole: true})
+	d := dc.Daemons[0]
+	for i := 0; i < 10; i++ {
+		d.Log("decommissioned", []byte("x"))
+		d.Log("live", []byte("y"))
+	}
+	if err := dc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := stagingMessages(t, dc.Staging, "decommissioned", t0); len(msgs) != 0 {
+		t.Fatalf("blackholed messages staged: %d", len(msgs))
+	}
+	if msgs := stagingMessages(t, dc.Staging, "live", t0); len(msgs) != 10 {
+		t.Fatalf("live messages = %d", len(msgs))
+	}
+	if st := a.Stats(); st.PolicyDropped != 10 {
+		t.Fatalf("PolicyDropped = %d", st.PolicyDropped)
+	}
+}
+
+func TestCategorySampling(t *testing.T) {
+	dc, _ := newDC(t, 1, 1)
+	a := dc.Aggregators[0]
+	a.ConfigureCategory("hot", CategoryConfig{SampleKeepOneIn: 5})
+	d := dc.Daemons[0]
+	const n = 53
+	for i := 0; i < n; i++ {
+		d.Log("hot", []byte(fmt.Sprintf("m%02d", i)))
+	}
+	if err := dc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := stagingMessages(t, dc.Staging, "hot", t0)
+	want := (n + 4) / 5 // exactly one per window of five
+	if len(msgs) != want {
+		t.Fatalf("sampled %d of %d, want %d", len(msgs), n, want)
+	}
+	if st := a.Stats(); st.PolicyDropped != int64(n-want) {
+		t.Fatalf("PolicyDropped = %d", st.PolicyDropped)
+	}
+}
+
+func TestCategoryWriteAs(t *testing.T) {
+	dc, _ := newDC(t, 1, 1)
+	dc.Aggregators[0].ConfigureCategory("old_name", CategoryConfig{WriteAs: "new_name"})
+	d := dc.Daemons[0]
+	d.Log("old_name", []byte("payload"))
+	if err := dc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := stagingMessages(t, dc.Staging, "old_name", t0); len(msgs) != 0 {
+		t.Fatalf("old category received data: %v", msgs)
+	}
+	if msgs := stagingMessages(t, dc.Staging, "new_name", t0); len(msgs) != 1 || msgs[0] != "payload" {
+		t.Fatalf("redirected = %v", msgs)
+	}
+}
+
+func TestCategoryRollOverride(t *testing.T) {
+	dc, _ := newDC(t, 1, 1)
+	a := dc.Aggregators[0]
+	a.RollRecords = 1000
+	a.ConfigureCategory("small_files", CategoryConfig{RollRecords: 3})
+	d := dc.Daemons[0]
+	for i := 0; i < 9; i++ {
+		d.Log("small_files", []byte("x"))
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Three files rolled at 3 records each, before any FlushAll.
+	if st := a.Stats(); st.FilesWritten != 3 {
+		t.Fatalf("FilesWritten = %d, want 3", st.FilesWritten)
+	}
+}
+
+func TestUnconfiguredCategoriesUnaffected(t *testing.T) {
+	dc, _ := newDC(t, 1, 1)
+	dc.Aggregators[0].ConfigureCategory("other", CategoryConfig{Blackhole: true})
+	d := dc.Daemons[0]
+	d.Log("normal", []byte("m"))
+	if err := dc.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := stagingMessages(t, dc.Staging, "normal", t0); len(msgs) != 1 {
+		t.Fatalf("normal = %v", msgs)
+	}
+}

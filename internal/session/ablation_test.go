@@ -1,0 +1,148 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/workload"
+)
+
+// TestGapAblation sweeps the inactivity threshold. The paper fixes 30
+// minutes as "standard practice" (§4.2); this ablation shows the design
+// sensitivity: session counts decrease monotonically as the gap grows, and
+// every event is conserved at every setting.
+func TestGapAblation(t *testing.T) {
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 100
+	evs, truth := workload.New(cfg).Generate()
+	hist := make(map[string]int64)
+	for i := range evs {
+		hist[evs[i].Name.String()]++
+	}
+	dict, err := Build(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gaps := []time.Duration{
+		1 * time.Minute, 5 * time.Minute, 15 * time.Minute,
+		30 * time.Minute, 60 * time.Minute, 6 * time.Hour,
+	}
+	var prevSessions int64 = 1 << 62
+	for _, gap := range gaps {
+		b := NewBuilder(dict)
+		b.SetGap(gap)
+		for i := range evs {
+			b.Add(&evs[i])
+		}
+		recs, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eventsSeen int64
+		for _, r := range recs {
+			eventsSeen += int64(r.EventCount())
+		}
+		if eventsSeen != truth.Events {
+			t.Fatalf("gap %v: %d events in sessions, want %d", gap, eventsSeen, truth.Events)
+		}
+		if int64(len(recs)) > prevSessions {
+			t.Fatalf("gap %v: sessions %d > previous %d (not monotone)", gap, len(recs), prevSessions)
+		}
+		prevSessions = int64(len(recs))
+		// At the paper's 30-minute setting the count matches ground truth.
+		if gap == InactivityGap && int64(len(recs)) != truth.Sessions {
+			t.Fatalf("30m gap: %d sessions, truth %d", len(recs), truth.Sessions)
+		}
+	}
+}
+
+// TestSessionSpanningMidnight documents the daily-build boundary behavior:
+// a session crossing the day boundary splits across the two daily builds,
+// as it does in the paper's daily production job.
+func TestSessionSpanningMidnight(t *testing.T) {
+	d1 := day
+	d2 := day.AddDate(0, 0, 1)
+	mk := func(at time.Time) *events.ClientEvent {
+		return &events.ClientEvent{
+			Name:      events.MustParseName("web:home:::tweet:impression"),
+			UserID:    1,
+			SessionID: "s",
+			IP:        "10.0.0.1",
+			Timestamp: at.UnixMilli(),
+		}
+	}
+	dict, err := Build(map[string]int64{"web:home:::tweet:impression": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events at 23:55 of day 1 and 00:05 of day 2: within the gap, but the
+	// daily job processes each day independently.
+	for _, evs := range [][]*events.ClientEvent{
+		{mk(d1.Add(23*time.Hour + 55*time.Minute))},
+		{mk(d2.Add(5 * time.Minute))},
+	} {
+		b := NewBuilder(dict)
+		for _, e := range evs {
+			b.Add(e)
+		}
+		recs, err := b.Finish()
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("recs = %v, %v", recs, err)
+		}
+	}
+}
+
+// TestDurationSemantics: duration is the whole-second interval between
+// first and last event; single-event sessions have duration zero.
+func TestDurationSemantics(t *testing.T) {
+	dict, err := Build(map[string]int64{"web:home:::tweet:impression": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(dict)
+	base := day.Add(2 * time.Hour)
+	e1 := &events.ClientEvent{Name: events.MustParseName("web:home:::tweet:impression"),
+		UserID: 1, SessionID: "a", Timestamp: base.UnixMilli()}
+	b.Add(e1)
+	e2 := &events.ClientEvent{Name: e1.Name, UserID: 1, SessionID: "a",
+		Timestamp: base.Add(90500 * time.Millisecond).UnixMilli()}
+	b.Add(e2)
+	e3 := &events.ClientEvent{Name: e1.Name, UserID: 2, SessionID: "b",
+		Timestamp: base.UnixMilli()}
+	b.Add(e3)
+	recs, err := b.Finish()
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("recs = %v, %v", recs, err)
+	}
+	if recs[0].Duration != 90 {
+		t.Fatalf("duration = %d, want 90 (millis truncated)", recs[0].Duration)
+	}
+	if recs[1].Duration != 0 {
+		t.Fatalf("single-event duration = %d", recs[1].Duration)
+	}
+	// Only relative order survives; no per-event timestamps in the record.
+	if recs[0].EventCount() != 2 {
+		t.Fatalf("events = %d", recs[0].EventCount())
+	}
+}
+
+// TestEmptyDayBuild: building a day with no logs yields an empty store and
+// an empty dictionary rather than an error.
+func TestEmptyDayBuild(t *testing.T) {
+	b := NewBuilder(mustDict(t))
+	recs, err := b.Finish()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs = %v, %v", recs, err)
+	}
+}
+
+func mustDict(t *testing.T) *Dictionary {
+	t.Helper()
+	d, err := Build(map[string]int64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,95 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unilog/internal/events"
+)
+
+func benchDictionary(b *testing.B, n int) *Dictionary {
+	b.Helper()
+	h := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		h[fmt.Sprintf("web:p%04d:::e:act", i)] = int64(n - i)
+	}
+	d, err := Build(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkDictionaryBuild(b *testing.B) {
+	h := make(map[string]int64, 1000)
+	for i := 0; i < 1000; i++ {
+		h[fmt.Sprintf("web:p%04d:::e:act", i)] = int64(1000 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	d := benchDictionary(b, 1000)
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = fmt.Sprintf("web:p%04d:::e:act", i%1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Encode(names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	d := benchDictionary(b, 1000)
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = fmt.Sprintf("web:p%04d:::e:act", i%1000)
+	}
+	seq, err := d.Encode(names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionize(b *testing.B) {
+	d := benchDictionary(b, 50)
+	base := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	evs := make([]events.ClientEvent, 0, 10000)
+	for u := int64(0); u < 100; u++ {
+		for i := 0; i < 100; i++ {
+			evs = append(evs, events.ClientEvent{
+				Name:      events.MustParseName(fmt.Sprintf("web:p%04d:::e:act", (int(u)+i)%50)),
+				UserID:    u,
+				SessionID: "s",
+				Timestamp: base.Add(time.Duration(u)*time.Minute + time.Duration(i)*time.Second).UnixMilli(),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := NewBuilder(d)
+		for j := range evs {
+			bu.Add(&evs[j])
+		}
+		recs, err := bu.Finish()
+		if err != nil || len(recs) != 100 {
+			b.Fatalf("recs = %d, %v", len(recs), err)
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events")
+}

@@ -1,0 +1,255 @@
+package thrift
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// BinaryEncoder implements the Thrift binary protocol: fixed-width
+// big-endian integers, 4-byte-length-prefixed strings, and one-byte type /
+// two-byte id field headers.
+type BinaryEncoder struct {
+	buf []byte
+}
+
+// NewBinaryEncoder returns an empty binary-protocol encoder.
+func NewBinaryEncoder() *BinaryEncoder { return &BinaryEncoder{} }
+
+var _ Encoder = (*BinaryEncoder)(nil)
+
+// WriteStructBegin is a no-op in the binary protocol.
+func (e *BinaryEncoder) WriteStructBegin() {}
+
+// WriteStructEnd is a no-op in the binary protocol.
+func (e *BinaryEncoder) WriteStructEnd() {}
+
+// WriteFieldBegin writes the one-byte type and two-byte field id header.
+func (e *BinaryEncoder) WriteFieldBegin(t Type, id int16) {
+	e.buf = append(e.buf, byte(t))
+	e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(id))
+}
+
+// WriteFieldStop writes the STOP sentinel ending a struct's field list.
+func (e *BinaryEncoder) WriteFieldStop() { e.buf = append(e.buf, byte(STOP)) }
+
+// WriteBool writes a bool as a single byte, 1 for true and 0 for false.
+func (e *BinaryEncoder) WriteBool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// WriteI8 writes a single byte.
+func (e *BinaryEncoder) WriteI8(v int8) { e.buf = append(e.buf, byte(v)) }
+
+// WriteI16 writes a big-endian 16-bit integer.
+func (e *BinaryEncoder) WriteI16(v int16) {
+	e.buf = binary.BigEndian.AppendUint16(e.buf, uint16(v))
+}
+
+// WriteI32 writes a big-endian 32-bit integer.
+func (e *BinaryEncoder) WriteI32(v int32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(v))
+}
+
+// WriteI64 writes a big-endian 64-bit integer.
+func (e *BinaryEncoder) WriteI64(v int64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, uint64(v))
+}
+
+// WriteDouble writes an IEEE-754 double, big-endian.
+func (e *BinaryEncoder) WriteDouble(v float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// WriteString writes a 4-byte length followed by the UTF-8 bytes.
+func (e *BinaryEncoder) WriteString(v string) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// WriteBinary writes a 4-byte length followed by the raw bytes.
+func (e *BinaryEncoder) WriteBinary(v []byte) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// WriteMapBegin writes the key type, value type, and 4-byte element count.
+func (e *BinaryEncoder) WriteMapBegin(k, v Type, size int) {
+	e.buf = append(e.buf, byte(k), byte(v))
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(size))
+}
+
+// WriteListBegin writes the element type and 4-byte element count.
+func (e *BinaryEncoder) WriteListBegin(elem Type, size int) {
+	e.buf = append(e.buf, byte(elem))
+	e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(size))
+}
+
+// WriteSetBegin writes the element type and 4-byte element count.
+func (e *BinaryEncoder) WriteSetBegin(elem Type, size int) { e.WriteListBegin(elem, size) }
+
+// Bytes returns the encoded bytes accumulated so far.
+func (e *BinaryEncoder) Bytes() []byte { return e.buf }
+
+// Len reports the number of encoded bytes so far.
+func (e *BinaryEncoder) Len() int { return len(e.buf) }
+
+// Reset discards buffered output, retaining capacity for reuse.
+func (e *BinaryEncoder) Reset() { e.buf = e.buf[:0] }
+
+// BinaryDecoder decodes messages produced by BinaryEncoder.
+type BinaryDecoder struct {
+	data []byte
+	pos  int
+}
+
+// NewBinaryDecoder returns a decoder consuming data.
+func NewBinaryDecoder(data []byte) *BinaryDecoder { return &BinaryDecoder{data: data} }
+
+var _ Decoder = (*BinaryDecoder)(nil)
+
+func (d *BinaryDecoder) need(n int) error {
+	if d.pos+n > len(d.data) {
+		return fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, d.pos, len(d.data))
+	}
+	return nil
+}
+
+// ReadStructBegin is a no-op in the binary protocol.
+func (d *BinaryDecoder) ReadStructBegin() error { return nil }
+
+// ReadStructEnd is a no-op in the binary protocol.
+func (d *BinaryDecoder) ReadStructEnd() error { return nil }
+
+// ReadFieldBegin reads the next field header; STOP ends the struct.
+func (d *BinaryDecoder) ReadFieldBegin() (Type, int16, error) {
+	if err := d.need(1); err != nil {
+		return STOP, 0, err
+	}
+	t := Type(d.data[d.pos])
+	d.pos++
+	if t == STOP {
+		return STOP, 0, nil
+	}
+	if err := d.need(2); err != nil {
+		return STOP, 0, err
+	}
+	id := int16(binary.BigEndian.Uint16(d.data[d.pos:]))
+	d.pos += 2
+	return t, id, nil
+}
+
+// ReadBool reads a single-byte bool.
+func (d *BinaryDecoder) ReadBool() (bool, error) {
+	v, err := d.ReadI8()
+	return v != 0, err
+}
+
+// ReadI8 reads a single byte.
+func (d *BinaryDecoder) ReadI8() (int8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := int8(d.data[d.pos])
+	d.pos++
+	return v, nil
+}
+
+// ReadI16 reads a big-endian 16-bit integer.
+func (d *BinaryDecoder) ReadI16() (int16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := int16(binary.BigEndian.Uint16(d.data[d.pos:]))
+	d.pos += 2
+	return v, nil
+}
+
+// ReadI32 reads a big-endian 32-bit integer.
+func (d *BinaryDecoder) ReadI32() (int32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := int32(binary.BigEndian.Uint32(d.data[d.pos:]))
+	d.pos += 4
+	return v, nil
+}
+
+// ReadI64 reads a big-endian 64-bit integer.
+func (d *BinaryDecoder) ReadI64() (int64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := int64(binary.BigEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+// ReadDouble reads a big-endian IEEE-754 double.
+func (d *BinaryDecoder) ReadDouble() (float64, error) {
+	v, err := d.ReadI64()
+	return math.Float64frombits(uint64(v)), err
+}
+
+// ReadString reads a 4-byte length-prefixed UTF-8 string.
+func (d *BinaryDecoder) ReadString() (string, error) {
+	b, err := d.ReadBinary()
+	return string(b), err
+}
+
+// ReadBinary reads a 4-byte length-prefixed byte slice. The returned slice
+// aliases the decoder's input.
+func (d *BinaryDecoder) ReadBinary() ([]byte, error) {
+	n, err := d.ReadI32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || int(n) > len(d.data)-d.pos {
+		return nil, fmt.Errorf("%w: binary of %d bytes", ErrSizeLimit, n)
+	}
+	v := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return v, nil
+}
+
+// ReadMapBegin reads a map header.
+func (d *BinaryDecoder) ReadMapBegin() (Type, Type, int, error) {
+	if err := d.need(6); err != nil {
+		return STOP, STOP, 0, err
+	}
+	k := Type(d.data[d.pos])
+	v := Type(d.data[d.pos+1])
+	n := int(int32(binary.BigEndian.Uint32(d.data[d.pos+2:])))
+	d.pos += 6
+	if n < 0 || n > len(d.data)-d.pos {
+		return STOP, STOP, 0, fmt.Errorf("%w: map of %d entries", ErrSizeLimit, n)
+	}
+	return k, v, n, nil
+}
+
+// ReadListBegin reads a list header.
+func (d *BinaryDecoder) ReadListBegin() (Type, int, error) {
+	if err := d.need(5); err != nil {
+		return STOP, 0, err
+	}
+	et := Type(d.data[d.pos])
+	n := int(int32(binary.BigEndian.Uint32(d.data[d.pos+1:])))
+	d.pos += 5
+	if n < 0 || n > len(d.data)-d.pos {
+		return STOP, 0, fmt.Errorf("%w: list of %d elements", ErrSizeLimit, n)
+	}
+	return et, n, nil
+}
+
+// ReadSetBegin reads a set header.
+func (d *BinaryDecoder) ReadSetBegin() (Type, int, error) { return d.ReadListBegin() }
+
+// Skip discards a value of type t, recursing into containers.
+func (d *BinaryDecoder) Skip(t Type) error { return skipValue(d, t, 0) }
+
+// Remaining reports undecoded bytes left in the input.
+func (d *BinaryDecoder) Remaining() int { return len(d.data) - d.pos }

@@ -1,0 +1,170 @@
+package thrift
+
+import "testing"
+
+// boolListStruct exercises bools inside containers, where the compact
+// protocol encodes them as standalone bytes instead of field-header nibbles.
+type boolListStruct struct {
+	Flags []bool
+	M     map[string]bool
+}
+
+func (s *boolListStruct) Encode(e Encoder) {
+	e.WriteStructBegin()
+	e.WriteFieldBegin(LIST, 1)
+	e.WriteListBegin(BOOL, len(s.Flags))
+	for _, b := range s.Flags {
+		e.WriteBool(b)
+	}
+	e.WriteFieldBegin(MAP, 2)
+	e.WriteMapBegin(STRING, BOOL, len(s.M))
+	for k, v := range s.M {
+		e.WriteString(k)
+		e.WriteBool(v)
+	}
+	e.WriteFieldStop()
+	e.WriteStructEnd()
+}
+
+func (s *boolListStruct) Decode(d Decoder) error {
+	if err := d.ReadStructBegin(); err != nil {
+		return err
+	}
+	for {
+		ft, id, err := d.ReadFieldBegin()
+		if err != nil {
+			return err
+		}
+		if ft == STOP {
+			break
+		}
+		switch id {
+		case 1:
+			et, n, err := d.ReadListBegin()
+			if err != nil {
+				return err
+			}
+			if et != BOOL {
+				return ErrInvalidType
+			}
+			s.Flags = make([]bool, 0, n)
+			for i := 0; i < n; i++ {
+				b, err := d.ReadBool()
+				if err != nil {
+					return err
+				}
+				s.Flags = append(s.Flags, b)
+			}
+		case 2:
+			_, _, n, err := d.ReadMapBegin()
+			if err != nil {
+				return err
+			}
+			s.M = make(map[string]bool, n)
+			for i := 0; i < n; i++ {
+				k, err := d.ReadString()
+				if err != nil {
+					return err
+				}
+				v, err := d.ReadBool()
+				if err != nil {
+					return err
+				}
+				s.M[k] = v
+			}
+		default:
+			if err := d.Skip(ft); err != nil {
+				return err
+			}
+		}
+	}
+	return d.ReadStructEnd()
+}
+
+func TestBoolsInContainers(t *testing.T) {
+	in := &boolListStruct{
+		Flags: []bool{true, false, true, true, false},
+		M:     map[string]bool{"a": true, "b": false},
+	}
+	for name, codec := range map[string]struct {
+		enc func(Struct) []byte
+		dec func([]byte, Struct) error
+	}{
+		"binary":  {EncodeBinary, DecodeBinary},
+		"compact": {EncodeCompact, DecodeCompact},
+	} {
+		var out boolListStruct
+		if err := codec.dec(codec.enc(in), &out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out.Flags) != len(in.Flags) {
+			t.Fatalf("%s: flags = %v", name, out.Flags)
+		}
+		for i := range in.Flags {
+			if out.Flags[i] != in.Flags[i] {
+				t.Fatalf("%s: flags[%d] = %v", name, i, out.Flags[i])
+			}
+		}
+		if out.M["a"] != true || out.M["b"] != false {
+			t.Fatalf("%s: map = %v", name, out.M)
+		}
+	}
+}
+
+// TestBoolContainerSkipped: a reader that doesn't know the field skips
+// bool containers correctly in both protocols.
+func TestBoolContainerSkipped(t *testing.T) {
+	in := &boolListStruct{Flags: []bool{true, false}, M: map[string]bool{"x": true}}
+	var out testStruct // knows neither field 1 as LIST-of-BOOL nor field 2 as MAP
+	// testStruct field ids 1 and 2 are BOOL and BYTE; wire types differ, so
+	// decode must skip them. Use ids outside its schema via a shim instead:
+	data := EncodeCompact(in)
+	_ = data
+	// Decode with a struct that skips everything.
+	var sink skipAll
+	if err := DecodeCompact(EncodeCompact(in), &sink); err != nil {
+		t.Fatalf("compact skip: %v", err)
+	}
+	if err := DecodeBinary(EncodeBinary(in), &sink); err != nil {
+		t.Fatalf("binary skip: %v", err)
+	}
+	_ = out
+}
+
+type skipAll struct{}
+
+func (skipAll) Encode(e Encoder) { e.WriteStructBegin(); e.WriteFieldStop(); e.WriteStructEnd() }
+func (s *skipAll) Decode(d Decoder) error {
+	if err := d.ReadStructBegin(); err != nil {
+		return err
+	}
+	for {
+		ft, _, err := d.ReadFieldBegin()
+		if err != nil {
+			return err
+		}
+		if ft == STOP {
+			break
+		}
+		if err := d.Skip(ft); err != nil {
+			return err
+		}
+	}
+	return d.ReadStructEnd()
+}
+
+func TestTypeStrings(t *testing.T) {
+	want := map[Type]string{
+		STOP: "stop", BOOL: "bool", BYTE: "byte", DOUBLE: "double",
+		I16: "i16", I32: "i32", I64: "i64", STRING: "string",
+		STRUCT: "struct", MAP: "map", SET: "set", LIST: "list",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type has empty String")
+	}
+}

@@ -1,0 +1,377 @@
+package thrift
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// testStruct exercises every wire type including nesting.
+type testStruct struct {
+	B   bool
+	I8  int8
+	I16 int16
+	I32 int32
+	I64 int64
+	F   float64
+	S   string
+	Bin []byte
+	M   map[string]int64
+	L   []string
+	Sub *testStruct
+}
+
+func (t *testStruct) Encode(e Encoder) {
+	e.WriteStructBegin()
+	e.WriteFieldBegin(BOOL, 1)
+	e.WriteBool(t.B)
+	e.WriteFieldBegin(BYTE, 2)
+	e.WriteI8(t.I8)
+	e.WriteFieldBegin(I16, 3)
+	e.WriteI16(t.I16)
+	e.WriteFieldBegin(I32, 4)
+	e.WriteI32(t.I32)
+	e.WriteFieldBegin(I64, 5)
+	e.WriteI64(t.I64)
+	e.WriteFieldBegin(DOUBLE, 6)
+	e.WriteDouble(t.F)
+	e.WriteFieldBegin(STRING, 7)
+	e.WriteString(t.S)
+	e.WriteFieldBegin(STRING, 8)
+	e.WriteBinary(t.Bin)
+	e.WriteFieldBegin(MAP, 9)
+	e.WriteMapBegin(STRING, I64, len(t.M))
+	for k, v := range t.M {
+		e.WriteString(k)
+		e.WriteI64(v)
+	}
+	e.WriteFieldBegin(LIST, 10)
+	e.WriteListBegin(STRING, len(t.L))
+	for _, s := range t.L {
+		e.WriteString(s)
+	}
+	if t.Sub != nil {
+		e.WriteFieldBegin(STRUCT, 11)
+		t.Sub.Encode(e)
+	}
+	e.WriteFieldStop()
+	e.WriteStructEnd()
+}
+
+func (t *testStruct) Decode(d Decoder) error {
+	if err := d.ReadStructBegin(); err != nil {
+		return err
+	}
+	for {
+		ft, id, err := d.ReadFieldBegin()
+		if err != nil {
+			return err
+		}
+		if ft == STOP {
+			break
+		}
+		switch id {
+		case 1:
+			t.B, err = d.ReadBool()
+		case 2:
+			t.I8, err = d.ReadI8()
+		case 3:
+			t.I16, err = d.ReadI16()
+		case 4:
+			t.I32, err = d.ReadI32()
+		case 5:
+			t.I64, err = d.ReadI64()
+		case 6:
+			t.F, err = d.ReadDouble()
+		case 7:
+			t.S, err = d.ReadString()
+		case 8:
+			var b []byte
+			b, err = d.ReadBinary()
+			t.Bin = make([]byte, len(b))
+			copy(t.Bin, b)
+		case 9:
+			var n int
+			if _, _, n, err = d.ReadMapBegin(); err == nil {
+				t.M = make(map[string]int64, n)
+				for i := 0; i < n; i++ {
+					var k string
+					var v int64
+					if k, err = d.ReadString(); err != nil {
+						return err
+					}
+					if v, err = d.ReadI64(); err != nil {
+						return err
+					}
+					t.M[k] = v
+				}
+			}
+		case 10:
+			var n int
+			if _, n, err = d.ReadListBegin(); err == nil {
+				t.L = make([]string, 0, n)
+				for i := 0; i < n; i++ {
+					var s string
+					if s, err = d.ReadString(); err != nil {
+						return err
+					}
+					t.L = append(t.L, s)
+				}
+			}
+		case 11:
+			t.Sub = &testStruct{}
+			err = t.Sub.Decode(d)
+		default:
+			err = d.Skip(ft)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return d.ReadStructEnd()
+}
+
+func sample() *testStruct {
+	return &testStruct{
+		B: true, I8: -7, I16: -12345, I32: 1 << 30, I64: -(1 << 60),
+		F: 3.14159, S: "web:home:mentions:stream:avatar:profile_click",
+		Bin: []byte{0, 1, 2, 255},
+		M:   map[string]int64{"rank": 3, "url_id": 991},
+		L:   []string{"a", "b", "c"},
+		Sub: &testStruct{S: "nested", I64: 42, M: map[string]int64{}, Bin: []byte{}, L: []string{}},
+	}
+}
+
+func roundTrip(t *testing.T, enc func(Struct) []byte, dec func([]byte, Struct) error) {
+	t.Helper()
+	in := sample()
+	data := enc(in)
+	var out testStruct
+	if err := dec(data, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, &out)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T)  { roundTrip(t, EncodeBinary, DecodeBinary) }
+func TestCompactRoundTrip(t *testing.T) { roundTrip(t, EncodeCompact, DecodeCompact) }
+
+func TestCompactSmallerThanBinary(t *testing.T) {
+	s := sample()
+	b, c := EncodeBinary(s), EncodeCompact(s)
+	if len(c) >= len(b) {
+		t.Fatalf("compact (%d bytes) not smaller than binary (%d bytes)", len(c), len(b))
+	}
+}
+
+// v2Struct is testStruct plus extra fields an old reader has never seen.
+type v2Struct struct {
+	testStruct
+	Extra     string
+	ExtraList []int64
+	ExtraSub  *testStruct
+}
+
+func (v *v2Struct) Encode(e Encoder) {
+	e.WriteStructBegin()
+	e.WriteFieldBegin(BOOL, 1)
+	e.WriteBool(v.B)
+	e.WriteFieldBegin(STRING, 7)
+	e.WriteString(v.S)
+	// New fields unknown to v1 readers, deliberately interleaved.
+	e.WriteFieldBegin(STRING, 20)
+	e.WriteString(v.Extra)
+	e.WriteFieldBegin(LIST, 21)
+	e.WriteListBegin(I64, len(v.ExtraList))
+	for _, x := range v.ExtraList {
+		e.WriteI64(x)
+	}
+	if v.ExtraSub != nil {
+		e.WriteFieldBegin(STRUCT, 22)
+		v.ExtraSub.Encode(e)
+	}
+	e.WriteFieldBegin(I64, 5)
+	e.WriteI64(v.I64)
+	e.WriteFieldStop()
+	e.WriteStructEnd()
+}
+
+func (v *v2Struct) Decode(d Decoder) error { return v.testStruct.Decode(d) }
+
+// TestSchemaEvolution verifies the paper's backwards-compatibility property:
+// messages "can be augmented with additional fields in a completely
+// transparent way" (§3) — a v1 reader must skip v2 fields.
+func TestSchemaEvolution(t *testing.T) {
+	v2 := &v2Struct{
+		testStruct: testStruct{B: true, S: "hello", I64: 99},
+		Extra:      "new-field",
+		ExtraList:  []int64{1, 2, 3},
+		ExtraSub:   &testStruct{S: "deep", M: map[string]int64{}},
+	}
+	for name, codec := range map[string]struct {
+		enc func(Struct) []byte
+		dec func([]byte, Struct) error
+	}{
+		"binary":  {EncodeBinary, DecodeBinary},
+		"compact": {EncodeCompact, DecodeCompact},
+	} {
+		data := codec.enc(v2)
+		var v1 testStruct
+		if err := codec.dec(data, &v1); err != nil {
+			t.Fatalf("%s: v1 reader failed on v2 message: %v", name, err)
+		}
+		if !v1.B || v1.S != "hello" || v1.I64 != 99 {
+			t.Fatalf("%s: v1 fields corrupted: %+v", name, v1)
+		}
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	for _, v := range []int64{0, -1, 1, -2, 2, math.MaxInt64, math.MinInt64, 12345, -12345} {
+		if got := unzigzag64(zigzag64(v)); got != v {
+			t.Errorf("zigzag64(%d) round trip = %d", v, got)
+		}
+	}
+	for _, v := range []int32{0, -1, 1, math.MaxInt32, math.MinInt32} {
+		if got := unzigzag32(zigzag32(v)); got != v {
+			t.Errorf("zigzag32(%d) round trip = %d", v, got)
+		}
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	f := func(v int64) bool { return unzigzag64(zigzag64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(v int32) bool {
+		// Small magnitudes must encode small: |v| <= 63 fits one varint byte.
+		if v > -64 && v < 64 {
+			return zigzag32(v) < 128
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripProperty fuzzes struct contents through both protocols.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(b bool, i8 int8, i16 int16, i32 int32, i64 int64, fl float64, s string, bin []byte, l []string) bool {
+		if math.IsNaN(fl) {
+			return true // NaN != NaN; skip.
+		}
+		if bin == nil {
+			bin = []byte{}
+		}
+		if l == nil {
+			l = []string{}
+		}
+		in := &testStruct{B: b, I8: i8, I16: i16, I32: i32, I64: i64, F: fl, S: s, Bin: bin, L: l, M: map[string]int64{}}
+		var outB, outC testStruct
+		if err := DecodeBinary(EncodeBinary(in), &outB); err != nil {
+			return false
+		}
+		if err := DecodeCompact(EncodeCompact(in), &outC); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, &outB) && reflect.DeepEqual(in, &outC)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	data := EncodeBinary(sample())
+	for cut := 0; cut < len(data); cut += 7 {
+		var out testStruct
+		if err := DecodeBinary(data[:cut], &out); err == nil {
+			// Truncation at a field boundary after all required data may
+			// decode only if a STOP byte happens to align; reaching here
+			// without error on a strict prefix that lacks STOP is a bug.
+			if cut < len(data)-1 {
+				t.Fatalf("no error decoding %d/%d byte prefix", cut, len(data))
+			}
+		}
+	}
+	dataC := EncodeCompact(sample())
+	for cut := 0; cut < len(dataC); cut += 7 {
+		var out testStruct
+		if err := DecodeCompact(dataC[:cut], &out); err == nil && cut < len(dataC)-1 {
+			t.Fatalf("compact: no error decoding %d/%d byte prefix", cut, len(dataC))
+		}
+	}
+}
+
+func TestMaliciousSizes(t *testing.T) {
+	// A declared list of 2^31-1 strings in 6 bytes of input must not OOM.
+	e := NewBinaryEncoder()
+	e.WriteFieldBegin(LIST, 10)
+	e.WriteListBegin(STRING, math.MaxInt32)
+	data := append([]byte{}, e.Bytes()...)
+	data = append(data, byte(STOP))
+	var out testStruct
+	if err := DecodeBinary(data, &out); err == nil {
+		t.Fatal("expected size-limit error for absurd list size")
+	}
+}
+
+func TestSkipDepthLimit(t *testing.T) {
+	// 100 nested structs exceeds maxSkipDepth when skipped as unknown.
+	e := NewBinaryEncoder()
+	for i := 0; i < 100; i++ {
+		e.WriteFieldBegin(STRUCT, 30)
+	}
+	for i := 0; i < 100; i++ {
+		e.WriteFieldStop()
+	}
+	var out testStruct
+	if err := DecodeBinary(e.Bytes(), &out); err == nil {
+		t.Fatal("expected depth-limit error")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewCompactEncoder()
+	sample().Encode(e)
+	n := e.Len()
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	sample().Encode(e)
+	if e.Len() != n {
+		t.Fatalf("re-encode after Reset: %d bytes, want %d", e.Len(), n)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	data := EncodeBinary(sample())
+	d := NewBinaryDecoder(data)
+	var out testStruct
+	if err := out.Decode(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after full decode", d.Remaining())
+	}
+}
+
+func TestFieldIDDeltaAcrossNesting(t *testing.T) {
+	// Compact field-id deltas must be scoped per struct: after a nested
+	// struct with high field ids, the outer struct's delta context resumes.
+	in := sample()
+	in.Sub = &testStruct{S: "x", M: map[string]int64{}, Sub: &testStruct{I64: 7, M: map[string]int64{}}}
+	var out testStruct
+	if err := DecodeCompact(EncodeCompact(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Sub == nil || out.Sub.Sub == nil || out.Sub.Sub.I64 != 7 {
+		t.Fatalf("nested decode mismatch: %+v", out.Sub)
+	}
+}

@@ -1,0 +1,245 @@
+package twin
+
+import (
+	"sort"
+	"strings"
+
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/thrift"
+)
+
+// This file implements Elephant Twin's other flagship application (§6):
+// "we perform full-text indexing of all tweets for our internal tools; as
+// our text processing libraries improve (e.g., better tokenization), we
+// drop all indexes and rebuild from scratch; in fact, this has already
+// happened several times during the past year."
+//
+// A TextIndex is an inverted index from token to the files (and record
+// ordinals) containing it, stored alongside the data like the event-name
+// indexes, so dropping and rebuilding with a new tokenizer is routine.
+
+// Tokenizer splits text into index terms. Improved tokenizers are exactly
+// why the paper rebuilds indexes from scratch.
+type Tokenizer func(text string) []string
+
+// SimpleTokenizer lowercases and splits on non-alphanumeric runes — the
+// "v1" text processing library.
+func SimpleTokenizer(text string) []string {
+	return splitTokens(text, false)
+}
+
+// HashtagAwareTokenizer additionally keeps #hashtags and @mentions intact —
+// the "improved" library that motivates a rebuild.
+func HashtagAwareTokenizer(text string) []string {
+	return splitTokens(text, true)
+}
+
+func splitTokens(text string, keepSigils bool) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		case keepSigils && (r == '#' || r == '@') && cur.Len() == 0:
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Posting locates one occurrence list: a file and the record ordinals
+// within it.
+type Posting struct {
+	Path     string
+	Ordinals []int64
+}
+
+// TextIndexSuffix names full-text index files beside their data.
+const TextIndexSuffix = ".tidx"
+
+// BuildTextIndex indexes every record of every data file under dir,
+// extracting text with extract (returning "" skips a record) and
+// tokenizing with tok. It returns the number of files indexed.
+func BuildTextIndex(fs *hdfs.FS, dir string, extract func(rec []byte) string, tok Tokenizer) (int, error) {
+	infos, err := fs.Walk(dir)
+	if err != nil {
+		return 0, err
+	}
+	files := 0
+	for _, fi := range infos {
+		if IsIndexPath(fi.Path) || strings.HasSuffix(fi.Path, TextIndexSuffix) || strings.Contains(fi.Path, "/_") {
+			continue
+		}
+		data, err := fs.ReadFile(fi.Path)
+		if err != nil {
+			return files, err
+		}
+		terms := make(map[string][]int64)
+		var ord int64
+		err = recordio.ScanGzipFile(data, func(rec []byte) error {
+			text := extract(rec)
+			if text != "" {
+				seen := map[string]bool{}
+				for _, term := range tok(text) {
+					if !seen[term] {
+						seen[term] = true
+						terms[term] = append(terms[term], ord)
+					}
+				}
+			}
+			ord++
+			return nil
+		})
+		if err != nil {
+			return files, err
+		}
+		out, err := marshalTextIndex(terms)
+		if err != nil {
+			return files, err
+		}
+		idxPath := fi.Path + TextIndexSuffix
+		if fs.Exists(idxPath) {
+			if err := fs.Delete(idxPath, false); err != nil {
+				return files, err
+			}
+		}
+		if err := fs.WriteFile(idxPath, out); err != nil {
+			return files, err
+		}
+		files++
+	}
+	return files, nil
+}
+
+func marshalTextIndex(terms map[string][]int64) ([]byte, error) {
+	keys := make([]string, 0, len(terms))
+	for t := range terms {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	buf := &memBuf{}
+	w := recordio.NewGzipWriter(buf)
+	enc := thrift.NewCompactEncoder()
+	for _, term := range keys {
+		enc.Reset()
+		enc.WriteStructBegin()
+		enc.WriteFieldBegin(thrift.STRING, 1)
+		enc.WriteString(term)
+		enc.WriteFieldBegin(thrift.LIST, 2)
+		ords := terms[term]
+		enc.WriteListBegin(thrift.I64, len(ords))
+		for _, o := range ords {
+			enc.WriteI64(o)
+		}
+		enc.WriteFieldStop()
+		enc.WriteStructEnd()
+		if err := w.Append(enc.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.data, nil
+}
+
+// QueryText returns the postings of a term under dir, consulting only the
+// index files.
+func QueryText(fs *hdfs.FS, dir, term string) ([]Posting, error) {
+	infos, err := fs.Walk(dir)
+	if err != nil {
+		return nil, err
+	}
+	term = strings.ToLower(term)
+	var out []Posting
+	for _, fi := range infos {
+		if !strings.HasSuffix(fi.Path, TextIndexSuffix) {
+			continue
+		}
+		data, err := fs.ReadFile(fi.Path)
+		if err != nil {
+			return nil, err
+		}
+		var ords []int64
+		err = recordio.ScanGzipFile(data, func(rec []byte) error {
+			dec := thrift.NewCompactDecoder(rec)
+			var t string
+			var list []int64
+			if err := dec.ReadStructBegin(); err != nil {
+				return err
+			}
+			for {
+				ft, id, err := dec.ReadFieldBegin()
+				if err != nil {
+					return err
+				}
+				if ft == thrift.STOP {
+					break
+				}
+				switch id {
+				case 1:
+					t, err = dec.ReadString()
+				case 2:
+					var n int
+					if _, n, err = dec.ReadListBegin(); err == nil {
+						list = make([]int64, 0, n)
+						for i := 0; i < n; i++ {
+							v, verr := dec.ReadI64()
+							if verr != nil {
+								return verr
+							}
+							list = append(list, v)
+						}
+					}
+				default:
+					err = dec.Skip(ft)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			if t == term {
+				ords = list
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(ords) > 0 {
+			out = append(out, Posting{Path: strings.TrimSuffix(fi.Path, TextIndexSuffix), Ordinals: ords})
+		}
+	}
+	return out, nil
+}
+
+// DropTextIndexes deletes every full-text index under dir — step one of
+// the paper's "drop all indexes and rebuild from scratch".
+func DropTextIndexes(fs *hdfs.FS, dir string) (int, error) {
+	infos, err := fs.Walk(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, fi := range infos {
+		if !strings.HasSuffix(fi.Path, TextIndexSuffix) {
+			continue
+		}
+		if err := fs.Delete(fi.Path, false); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,142 @@
+package twin
+
+import (
+	"fmt"
+	"testing"
+
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/warehouse"
+)
+
+// writeTweets stores a small corpus of "tweets" as a gzipped record file
+// per shard.
+func writeTweets(t *testing.T, fs *hdfs.FS, shards [][]string) {
+	t.Helper()
+	for si, tweets := range shards {
+		buf := &memBuf{}
+		w := recordio.NewGzipWriter(buf)
+		for _, tw := range tweets {
+			if err := w.Append([]byte(tw)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile(fmt.Sprintf("/tweets/part-%05d.gz", si), buf.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func rawText(rec []byte) string { return string(rec) }
+
+func TestTokenizers(t *testing.T) {
+	text := "Just setting up my #twttr @jack 2006"
+	simple := SimpleTokenizer(text)
+	want := []string{"just", "setting", "up", "my", "twttr", "jack", "2006"}
+	if fmt.Sprint(simple) != fmt.Sprint(want) {
+		t.Fatalf("simple = %v", simple)
+	}
+	aware := HashtagAwareTokenizer(text)
+	found := map[string]bool{}
+	for _, tok := range aware {
+		found[tok] = true
+	}
+	if !found["#twttr"] || !found["@jack"] {
+		t.Fatalf("aware = %v", aware)
+	}
+}
+
+func TestTextIndexQuery(t *testing.T) {
+	fs := hdfs.New(0)
+	writeTweets(t, fs, [][]string{
+		{"the quick brown fox", "hello world"},
+		{"world peace now", "nothing here"},
+		{"quick quick quick"},
+	})
+	n, err := BuildTextIndex(fs, "/tweets", rawText, SimpleTokenizer)
+	if err != nil || n != 3 {
+		t.Fatalf("indexed %d files, %v", n, err)
+	}
+	posts, err := QueryText(fs, "/tweets", "world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 2 {
+		t.Fatalf("postings = %+v", posts)
+	}
+	// Ordinals identify the exact records.
+	for _, p := range posts {
+		switch p.Path {
+		case "/tweets/part-00000.gz":
+			if len(p.Ordinals) != 1 || p.Ordinals[0] != 1 {
+				t.Fatalf("ordinals = %v", p.Ordinals)
+			}
+		case "/tweets/part-00001.gz":
+			if len(p.Ordinals) != 1 || p.Ordinals[0] != 0 {
+				t.Fatalf("ordinals = %v", p.Ordinals)
+			}
+		default:
+			t.Fatalf("unexpected posting file %s", p.Path)
+		}
+	}
+	// Case-insensitive lookup; absent terms return nothing.
+	if posts, _ := QueryText(fs, "/tweets", "QUICK"); len(posts) != 2 {
+		t.Fatalf("QUICK postings = %v", posts)
+	}
+	if posts, _ := QueryText(fs, "/tweets", "absent"); len(posts) != 0 {
+		t.Fatalf("absent = %v", posts)
+	}
+	// Repeated terms within a record index once.
+	posts, _ = QueryText(fs, "/tweets", "quick")
+	for _, p := range posts {
+		if p.Path == "/tweets/part-00002.gz" && len(p.Ordinals) != 1 {
+			t.Fatalf("dedup failed: %v", p.Ordinals)
+		}
+	}
+}
+
+// TestDropAndRebuildWithBetterTokenizer is the §6 story verbatim: the text
+// libraries improve, so all indexes are dropped and rebuilt from scratch.
+func TestDropAndRebuildWithBetterTokenizer(t *testing.T) {
+	fs := hdfs.New(0)
+	writeTweets(t, fs, [][]string{{"shipping the #newui today", "no tags here"}})
+	if _, err := BuildTextIndex(fs, "/tweets", rawText, SimpleTokenizer); err != nil {
+		t.Fatal(err)
+	}
+	// v1 tokenizer split the hashtag; searching "#newui" finds nothing.
+	if posts, _ := QueryText(fs, "/tweets", "#newui"); len(posts) != 0 {
+		t.Fatalf("v1 found %v", posts)
+	}
+	dropped, err := DropTextIndexes(fs, "/tweets")
+	if err != nil || dropped != 1 {
+		t.Fatalf("dropped %d, %v", dropped, err)
+	}
+	if _, err := BuildTextIndex(fs, "/tweets", rawText, HashtagAwareTokenizer); err != nil {
+		t.Fatal(err)
+	}
+	posts, err := QueryText(fs, "/tweets", "#newui")
+	if err != nil || len(posts) != 1 {
+		t.Fatalf("v2 postings = %v, %v", posts, err)
+	}
+}
+
+// TestTextIndexesInvisibleToScans: .tidx files must never be mistaken for
+// data by the loaders.
+func TestTextIndexesInvisibleToScans(t *testing.T) {
+	if !warehouse.IsAuxiliary("/tweets/part-00000.gz.tidx") {
+		t.Fatal("tidx not auxiliary")
+	}
+	fs := hdfs.New(0)
+	writeTweets(t, fs, [][]string{{"only record"}})
+	if _, err := BuildTextIndex(fs, "/tweets", rawText, SimpleTokenizer); err != nil {
+		t.Fatal(err)
+	}
+	// Re-indexing must not index the index files themselves.
+	n, err := BuildTextIndex(fs, "/tweets", rawText, SimpleTokenizer)
+	if err != nil || n != 1 {
+		t.Fatalf("reindex touched %d files, %v", n, err)
+	}
+}

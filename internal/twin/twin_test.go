@@ -1,0 +1,185 @@
+package twin
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/warehouse"
+	"unilog/internal/workload"
+)
+
+var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+
+// populate writes a day of traffic with small part files so pruning has
+// files to skip.
+func populate(t *testing.T) (*hdfs.FS, *workload.Truth) {
+	t.Helper()
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 120
+	evs, truth := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	w.RollRecords = 500 // many small files
+	for i := range evs {
+		if err := w.Append(&evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fs, truth
+}
+
+func TestIndexBuildAndLoad(t *testing.T) {
+	fs, _ := populate(t)
+	n, err := IndexDay(fs, events.Category, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no indexes built")
+	}
+	// Indexes are idempotent: a second pass builds nothing.
+	n2, err := IndexDay(fs, events.Category, day)
+	if err != nil || n2 != 0 {
+		t.Fatalf("reindex built %d, %v", n2, err)
+	}
+	// Every data file has a sibling index whose counts sum to its records.
+	infos, err := fs.Walk(warehouse.CategoryDir(events.Category))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataFiles := 0
+	for _, fi := range infos {
+		if IsIndexPath(fi.Path) || warehouse.IsAuxiliary(fi.Path) {
+			continue
+		}
+		dataFiles++
+		ix, err := LoadIndex(fs, fi.Path)
+		if err != nil || ix == nil {
+			t.Fatalf("LoadIndex(%s) = %v, %v", fi.Path, ix, err)
+		}
+		if len(ix.Counts) == 0 {
+			t.Fatalf("empty index for %s", fi.Path)
+		}
+	}
+	if dataFiles != n {
+		t.Fatalf("indexed %d, data files %d", n, dataFiles)
+	}
+}
+
+// TestSelectivePruning is the Elephant Twin win (§6): a highly-selective
+// query reads only the files that contain matches.
+func TestSelectivePruning(t *testing.T) {
+	fs, truth := populate(t)
+	if _, err := IndexDay(fs, events.Category, day); err != nil {
+		t.Fatal(err)
+	}
+	// The signup-complete event is rare: only funnel survivors emit it.
+	match := func(name string) bool { return strings.HasSuffix(name, ":signup:flow:step:complete:view") }
+
+	idx := &IndexedFormat{Match: match}
+	idxJob := dataflow.NewJob("indexed", fs)
+	d, err := idxJob.LoadDirs(dataflow.HourDirs(fs, events.Category, day), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := truth.FunnelStage[len(truth.FunnelStage)-1]
+	if int64(d.Len()) != want {
+		t.Fatalf("indexed load found %d events, truth %d", d.Len(), want)
+	}
+	if idx.SkippedFiles() == 0 {
+		t.Fatal("no files pruned for a highly-selective query")
+	}
+
+	// Full scan answers identically but reads more.
+	fullJob := dataflow.NewJob("full", fs)
+	full, err := fullJob.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameIdx := full.Schema().MustIndex("name")
+	n := int64(full.Filter(func(tp dataflow.Tuple) bool { return match(tp[nameIdx].(string)) }).Count())
+	if n != want {
+		t.Fatalf("full scan found %d", n)
+	}
+	is, fsStats := idxJob.Stats(), fullJob.Stats()
+	if is.BytesRead >= fsStats.BytesRead || is.MapTasks >= fsStats.MapTasks {
+		t.Fatalf("indexed not cheaper: indexed %+v full %+v", is, fsStats)
+	}
+}
+
+func TestMissingIndexFallsBackToScan(t *testing.T) {
+	fs, _ := populate(t)
+	// No indexes built at all: the format must still answer correctly.
+	match := func(name string) bool { return strings.HasSuffix(name, ":page:open") }
+	idx := &IndexedFormat{Match: match}
+	j := dataflow.NewJob("noidx", fs)
+	d, err := j.LoadDirs(dataflow.HourDirs(fs, events.Category, day), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 {
+		t.Fatal("no events found without indexes")
+	}
+	if idx.SkippedFiles() != 0 {
+		t.Fatal("files skipped without indexes")
+	}
+}
+
+// TestDropAndRebuild reproduces the §6 reindexing story.
+func TestDropAndRebuild(t *testing.T) {
+	fs, _ := populate(t)
+	built, err := IndexDay(fs, events.Category, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := DropIndexes(fs, warehouse.CategoryDir(events.Category))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != built {
+		t.Fatalf("dropped %d, built %d", dropped, built)
+	}
+	rebuilt, err := IndexDay(fs, events.Category, day)
+	if err != nil || rebuilt != built {
+		t.Fatalf("rebuilt %d, %v", rebuilt, err)
+	}
+}
+
+// TestIndexedRawScansAgree: with indexes present, raw scans that ignore
+// them (ScanDay, session builds) still see exactly the data files.
+func TestIndexesInvisibleToRawScans(t *testing.T) {
+	fs, truth := populate(t)
+	if _, err := IndexDay(fs, events.Category, day); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := warehouse.ScanDay(fs, events.Category, day, func(e *events.ClientEvent) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != truth.Events {
+		t.Fatalf("scan saw %d events, truth %d", n, truth.Events)
+	}
+}
+
+func TestIndexFileErrors(t *testing.T) {
+	fs := hdfs.New(0)
+	if err := IndexFile(fs, "/missing.gz"); err == nil {
+		t.Fatal("indexing a missing file succeeded")
+	}
+	if err := fs.WriteFile("/bad.gz", []byte("not gzip")); err != nil {
+		t.Fatal(err)
+	}
+	if err := IndexFile(fs, "/bad.gz"); err == nil {
+		t.Fatal("indexing a corrupt file succeeded")
+	}
+}

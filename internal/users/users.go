@@ -1,0 +1,70 @@
+// Package users materializes the users dimension table from workload
+// ground truth — the table the paper's data scientists join against for
+// ad-hoc segment queries ("a join with the users table followed by
+// selection with the appropriate criteria", §5.2).
+package users
+
+import (
+	"sort"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/elephantbird"
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/workload"
+)
+
+// Dir is the warehouse location of the users dimension table.
+const Dir = "/tables/users"
+
+// Descriptor is the Elephant Bird schema of the users table the paper
+// describes data scientists joining against ("a join with the users table
+// followed by selection with the appropriate criteria", §5.2).
+var Descriptor = &elephantbird.Descriptor{
+	Name: "users",
+	Fields: []elephantbird.Field{
+		{Name: "user_id", Kind: elephantbird.KindI64, ID: 1},
+		{Name: "country", Kind: elephantbird.KindString, ID: 2},
+		{Name: "primary_client", Kind: elephantbird.KindString, ID: 3},
+	},
+}
+
+// Write materializes the users dimension table from the generator's
+// ground truth, Thrift-compact-encoded via Elephant Bird.
+func Write(fs *hdfs.FS, truth *workload.Truth) error {
+	ids := make([]int64, 0, len(truth.UserCountry))
+	for id := range truth.UserCountry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := &usersBuf{}
+	w := recordio.NewGzipWriter(buf)
+	for _, id := range ids {
+		rec, err := Descriptor.Encode(
+			dataflow.Tuple{id, truth.UserCountry[id], truth.UserClient[id]},
+			elephantbird.ThriftCompact,
+		)
+		if err != nil {
+			return err
+		}
+		if err := w.Append(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return fs.WriteFile(Dir+"/part-00000.gz", buf.data)
+}
+
+// Format is the generated record reader for the users table.
+func Format() elephantbird.Format {
+	return elephantbird.Format{Desc: Descriptor, Enc: elephantbird.ThriftCompact}
+}
+
+type usersBuf struct{ data []byte }
+
+func (b *usersBuf) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

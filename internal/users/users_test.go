@@ -1,0 +1,52 @@
+package users
+
+import (
+	"testing"
+	"time"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/geo"
+	"unilog/internal/hdfs"
+	"unilog/internal/workload"
+)
+
+func TestWriteAndLoad(t *testing.T) {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 50
+	_, truth := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	if err := Write(fs, truth); err != nil {
+		t.Fatal(err)
+	}
+	j := dataflow.NewJob("users", fs)
+	ds, err := j.Load(Dir, Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != len(truth.UserCountry) {
+		t.Fatalf("rows = %d, want %d", ds.Len(), len(truth.UserCountry))
+	}
+	uidIdx := ds.Schema().MustIndex("user_id")
+	ctryIdx := ds.Schema().MustIndex("country")
+	clientIdx := ds.Schema().MustIndex("primary_client")
+	valid := map[string]bool{}
+	for _, c := range geo.Countries {
+		valid[c] = true
+	}
+	for _, tp := range ds.Tuples() {
+		uid := tp[uidIdx].(int64)
+		if truth.UserCountry[uid] != tp[ctryIdx].(string) {
+			t.Fatalf("user %d country = %v, want %v", uid, tp[ctryIdx], truth.UserCountry[uid])
+		}
+		if truth.UserClient[uid] != tp[clientIdx].(string) {
+			t.Fatalf("user %d client = %v", uid, tp[clientIdx])
+		}
+		if !valid[tp[ctryIdx].(string)] {
+			t.Fatalf("unknown country %v", tp[ctryIdx])
+		}
+	}
+	if err := Descriptor.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package warehouse defines the layout of the main Hadoop data warehouse
+// and the staging clusters as the paper describes them (§2): logs arrive in
+// per-category, per-hour directories, /logs/category/YYYY/MM/DD/HH/, with
+// messages bundled into a small number of large gzipped record files.
+//
+// It also provides a direct Writer/Scanner pair over that layout. The full
+// delivery path (daemon → aggregator → staging → log mover) produces the
+// same layout; the direct writer exists so analytics benchmarks can populate
+// a warehouse without running the whole pipeline.
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+)
+
+// Root directories of the two clusters.
+const (
+	// LogsRoot is the warehouse root: /logs/<category>/YYYY/MM/DD/HH/.
+	LogsRoot = "/logs"
+	// StagingRoot is the per-datacenter staging root with the same shape.
+	StagingRoot = "/staging"
+	// TmpRoot holds in-flight data that will be renamed into place.
+	TmpRoot = "/tmp"
+	// SessionRoot holds materialized session sequences, per day.
+	SessionRoot = "/session_sequences"
+)
+
+// HourPath formats t's UTC hour as YYYY/MM/DD/HH.
+func HourPath(t time.Time) string {
+	u := t.UTC()
+	return fmt.Sprintf("%04d/%02d/%02d/%02d", u.Year(), int(u.Month()), u.Day(), u.Hour())
+}
+
+// DatePath formats t's UTC date as YYYY/MM/DD.
+func DatePath(t time.Time) string {
+	u := t.UTC()
+	return fmt.Sprintf("%04d/%02d/%02d", u.Year(), int(u.Month()), u.Day())
+}
+
+// CategoryDir is the warehouse directory of a category: /logs/<category>.
+func CategoryDir(category string) string {
+	return LogsRoot + "/" + category
+}
+
+// HourDir is the warehouse directory of one imported hour.
+func HourDir(category string, t time.Time) string {
+	return CategoryDir(category) + "/" + HourPath(t)
+}
+
+// StagingHourDir is the staging-cluster directory for one category-hour.
+func StagingHourDir(category string, t time.Time) string {
+	return StagingRoot + "/" + category + "/" + HourPath(t)
+}
+
+// SealedMarker is the empty file an aggregator cluster writes once a
+// staging hour is complete; the log mover waits for it from every
+// datacenter before sliding the hour into the warehouse.
+const SealedMarker = "_SEALED"
+
+// SessionDayDir is the directory of one day of materialized session
+// sequences.
+func SessionDayDir(t time.Time) string {
+	return SessionRoot + "/" + DatePath(t)
+}
+
+// Writer writes client events straight into warehouse layout, bypassing the
+// delivery pipeline. Files roll at RollRecords records.
+type Writer struct {
+	fs       *hdfs.FS
+	category string
+	// RollRecords caps records per part file; it defaults to 50000.
+	RollRecords int
+
+	hour    time.Time
+	buf     *memFile
+	rw      *recordio.GzipWriter
+	inFile  int
+	partSeq int
+	written int64
+}
+
+type memFile struct{ data []byte }
+
+func (m *memFile) Write(p []byte) (int, error) {
+	m.data = append(m.data, p...)
+	return len(p), nil
+}
+
+// NewWriter returns a Writer for the category on fs.
+func NewWriter(fs *hdfs.FS, category string) *Writer {
+	return &Writer{fs: fs, category: category, RollRecords: 50000}
+}
+
+// Append adds one event, bucketing it into the directory of its own
+// timestamp's hour. Events must be appended in non-decreasing hour order.
+func (w *Writer) Append(e *events.ClientEvent) error {
+	hr := time.UnixMilli(e.Timestamp).UTC().Truncate(time.Hour)
+	if w.rw == nil || !hr.Equal(w.hour) || w.inFile >= w.RollRecords {
+		if err := w.roll(); err != nil {
+			return err
+		}
+		w.hour = hr
+	}
+	if err := w.rw.Append(e.Marshal()); err != nil {
+		return err
+	}
+	w.inFile++
+	w.written++
+	return nil
+}
+
+func (w *Writer) roll() error {
+	if err := w.flushCurrent(); err != nil {
+		return err
+	}
+	w.buf = &memFile{}
+	w.rw = recordio.NewGzipWriter(w.buf)
+	w.inFile = 0
+	return nil
+}
+
+func (w *Writer) flushCurrent() error {
+	if w.rw == nil || w.inFile == 0 {
+		return nil
+	}
+	if err := w.rw.Close(); err != nil {
+		return err
+	}
+	path := fmt.Sprintf("%s/part-%05d.gz", HourDir(w.category, w.hour), w.partSeq)
+	w.partSeq++
+	if err := w.fs.WriteFile(path, w.buf.data); err != nil {
+		return err
+	}
+	w.rw = nil
+	w.buf = nil
+	return nil
+}
+
+// Close flushes the final part file.
+func (w *Writer) Close() error { return w.flushCurrent() }
+
+// Written reports the number of events appended.
+func (w *Writer) Written() int64 { return w.written }
+
+// ScanHour decodes every event in one imported category-hour, in file
+// order, invoking fn on each.
+func ScanHour(fs *hdfs.FS, category string, hour time.Time, fn func(*events.ClientEvent) error) error {
+	dir := HourDir(category, hour)
+	infos, err := fs.Walk(dir)
+	if err != nil {
+		return err
+	}
+	for _, fi := range infos {
+		if IsAuxiliary(fi.Path) {
+			continue
+		}
+		data, err := fs.ReadFile(fi.Path)
+		if err != nil {
+			return err
+		}
+		err = recordio.ScanGzipFile(data, func(rec []byte) error {
+			var e events.ClientEvent
+			if err := e.Unmarshal(rec); err != nil {
+				return fmt.Errorf("warehouse: %s: %w", fi.Path, err)
+			}
+			return fn(&e)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanDay decodes every event of a category across all 24 hours of t's day.
+func ScanDay(fs *hdfs.FS, category string, day time.Time, fn func(*events.ClientEvent) error) error {
+	day = day.UTC().Truncate(24 * time.Hour)
+	for h := 0; h < 24; h++ {
+		hour := day.Add(time.Duration(h) * time.Hour)
+		if !fs.Exists(HourDir(category, hour)) {
+			continue
+		}
+		if err := ScanHour(fs, category, hour, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DictionaryDir is the "known location in HDFS" (§4.2) where the daily
+// histogram job stores the event-count histogram, the client event
+// dictionary, and per-event samples.
+func DictionaryDir(t time.Time) string {
+	return "/event_dictionary/" + DatePath(t)
+}
+
+// IsAuxiliary reports whether a path names a non-data file living beside
+// log data: seal markers (leading underscore) and Elephant Twin indexes
+// (.idx event-name indexes, .tidx full-text indexes). Scanners and loaders
+// skip these.
+func IsAuxiliary(path string) bool {
+	base := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		base = path[i+1:]
+	}
+	return strings.HasPrefix(base, "_") ||
+		strings.HasSuffix(base, ".idx") ||
+		strings.HasSuffix(base, ".tidx")
+}
+
+// DataSize sums the sizes of data files (excluding auxiliaries) under dir.
+func DataSize(fs *hdfs.FS, dir string) (int64, error) {
+	infos, err := fs.Walk(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, fi := range infos {
+		if IsAuxiliary(fi.Path) {
+			continue
+		}
+		total += fi.Size
+	}
+	return total, nil
+}

@@ -1,0 +1,201 @@
+package warehouse
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+)
+
+var t14 = time.Date(2012, 8, 21, 14, 30, 0, 0, time.UTC)
+
+func TestPathHelpers(t *testing.T) {
+	if got := HourPath(t14); got != "2012/08/21/14" {
+		t.Fatalf("HourPath = %q", got)
+	}
+	if got := DatePath(t14); got != "2012/08/21" {
+		t.Fatalf("DatePath = %q", got)
+	}
+	if got := HourDir("client_events", t14); got != "/logs/client_events/2012/08/21/14" {
+		t.Fatalf("HourDir = %q", got)
+	}
+	if got := StagingHourDir("ce", t14); got != "/staging/ce/2012/08/21/14" {
+		t.Fatalf("StagingHourDir = %q", got)
+	}
+	if got := SessionDayDir(t14); got != "/session_sequences/2012/08/21" {
+		t.Fatalf("SessionDayDir = %q", got)
+	}
+	if got := DictionaryDir(t14); got != "/event_dictionary/2012/08/21" {
+		t.Fatalf("DictionaryDir = %q", got)
+	}
+}
+
+func TestHourPathUsesUTC(t *testing.T) {
+	est := time.FixedZone("EST", -5*3600)
+	local := time.Date(2012, 8, 21, 22, 0, 0, 0, est) // 03:00 UTC next day
+	if got := HourPath(local); got != "2012/08/22/03" {
+		t.Fatalf("HourPath(EST 22:00) = %q", got)
+	}
+}
+
+func TestIsAuxiliary(t *testing.T) {
+	cases := map[string]bool{
+		"/logs/ce/2012/08/21/14/part-00000.gz":     false,
+		"/logs/ce/2012/08/21/14/part-00000.gz.idx": true,
+		"/staging/ce/2012/08/21/14/_SEALED":        true,
+		"/logs/ce/_tmp":                            true,
+		"part-1.gz":                                false,
+		"_marker":                                  true,
+	}
+	for p, want := range cases {
+		if got := IsAuxiliary(p); got != want {
+			t.Errorf("IsAuxiliary(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func mkEvent(user int64, at time.Time) *events.ClientEvent {
+	return &events.ClientEvent{
+		Name:      events.MustParseName("web:home:::tweet:impression"),
+		UserID:    user,
+		SessionID: "s",
+		IP:        "10.0.0.1",
+		Timestamp: at.UnixMilli(),
+	}
+}
+
+func TestWriterBucketsByHour(t *testing.T) {
+	fs := hdfs.New(0)
+	w := NewWriter(fs, "ce")
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	for hr := 0; hr < 3; hr++ {
+		for i := 0; i < 5; i++ {
+			e := mkEvent(int64(i), day.Add(time.Duration(hr)*time.Hour+time.Duration(i)*time.Minute))
+			if err := w.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != 15 {
+		t.Fatalf("Written = %d", w.Written())
+	}
+	for hr := 0; hr < 3; hr++ {
+		n := 0
+		err := ScanHour(fs, "ce", day.Add(time.Duration(hr)*time.Hour), func(e *events.ClientEvent) error {
+			n++
+			return nil
+		})
+		if err != nil || n != 5 {
+			t.Fatalf("hour %d: %d events, %v", hr, n, err)
+		}
+	}
+}
+
+func TestWriterRollsAtRecordLimit(t *testing.T) {
+	fs := hdfs.New(0)
+	w := NewWriter(fs, "ce")
+	w.RollRecords = 10
+	day := time.Date(2012, 8, 21, 5, 0, 0, 0, time.UTC)
+	for i := 0; i < 35; i++ {
+		if err := w.Append(mkEvent(int64(i), day.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := fs.Walk(HourDir("ce", day))
+	if err != nil || len(infos) != 4 {
+		t.Fatalf("part files = %d, %v", len(infos), err)
+	}
+}
+
+func TestScanDaySkipsMissingHours(t *testing.T) {
+	fs := hdfs.New(0)
+	w := NewWriter(fs, "ce")
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	// Only hours 3 and 17 have data.
+	for _, hr := range []int{3, 17} {
+		if err := w.Append(mkEvent(1, day.Add(time.Duration(hr)*time.Hour))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := ScanDay(fs, "ce", day, func(*events.ClientEvent) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("scanned %d events", n)
+	}
+}
+
+func TestDataSizeExcludesAuxiliary(t *testing.T) {
+	fs := hdfs.New(0)
+	if err := fs.WriteFile("/logs/ce/part-0.gz", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/logs/ce/part-0.gz.idx", make([]byte, 999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/logs/ce/_SEALED", make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := DataSize(fs, "/logs/ce")
+	if err != nil || sz != 100 {
+		t.Fatalf("DataSize = %d, %v", sz, err)
+	}
+}
+
+// TestWriterScannerRoundTripProperty: any batch of events written through
+// the Writer is scanned back intact.
+func TestWriterScannerRoundTripProperty(t *testing.T) {
+	day := time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+	run := 0
+	f := func(users []uint8, minuteOffsets []uint16) bool {
+		run++
+		if len(users) == 0 {
+			return true
+		}
+		fs := hdfs.New(0)
+		w := NewWriter(fs, fmt.Sprintf("cat%d", run))
+		n := 0
+		prev := day
+		for i, u := range users {
+			at := prev
+			if i < len(minuteOffsets) {
+				at = at.Add(time.Duration(minuteOffsets[i]%30) * time.Minute)
+			}
+			if at.After(day.Add(23 * time.Hour)) {
+				break
+			}
+			prev = at
+			if err := w.Append(mkEvent(int64(u), at)); err != nil {
+				return false
+			}
+			n++
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		got := 0
+		if err := ScanDay(fs, fmt.Sprintf("cat%d", run), day, func(*events.ClientEvent) error {
+			got++
+			return nil
+		}); err != nil {
+			return false
+		}
+		return got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

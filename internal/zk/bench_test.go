@@ -1,0 +1,41 @@
+package zk
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkCreateEphemeral(b *testing.B) {
+	srv := NewServer(nil)
+	c := srv.Connect(time.Hour)
+	if _, err := c.Create("/agg", nil, Persistent); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Create(fmt.Sprintf("/agg/n%09d", i), nil, Ephemeral); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChildrenDiscovery(b *testing.B) {
+	srv := NewServer(nil)
+	c := srv.Connect(time.Hour)
+	if _, err := c.Create("/agg", nil, Persistent); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := c.Create(fmt.Sprintf("/agg/a%02d", i), []byte("id"), Ephemeral); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kids, err := c.Children("/agg")
+		if err != nil || len(kids) != 16 {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestServer() (*Server, *ManualClock) {
+	clock := NewManualClock(time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC))
+	return NewServer(clock), clock
+}
+
+func TestCreateGetSetDelete(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	defer c.Close()
+
+	if _, err := c.Create("/a", []byte("one"), Persistent); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := c.Get("/a")
+	if err != nil || string(data) != "one" || ver != 0 {
+		t.Fatalf("Get = %q v%d, %v", data, ver, err)
+	}
+	if _, err := c.Set("/a", []byte("two"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Set("/a", []byte("three"), 0); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale version Set err = %v", err)
+	}
+	if _, err := c.Set("/a", []byte("three"), -1); err != nil {
+		t.Fatalf("unconditional Set: %v", err)
+	}
+	if err := c.Delete("/a", -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("/a"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Get deleted err = %v", err)
+	}
+}
+
+func TestCreateRequiresParent(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	if _, err := c.Create("/a/b", nil, Persistent); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("err = %v, want ErrNoNode", err)
+	}
+	mustCreate(t, c, "/a")
+	if _, err := c.Create("/a/b", nil, Persistent); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/a", -1); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("delete non-empty err = %v", err)
+	}
+}
+
+func mustCreate(t *testing.T, c *Conn, path string) string {
+	t.Helper()
+	p, err := c.Create(path, nil, Persistent)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	return p
+}
+
+func TestInvalidPaths(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	for _, p := range []string{"", "a", "/a/", "//", "/a//b", "/a/./b", "/a/../b"} {
+		if _, err := c.Create(p, nil, Persistent); !errors.Is(err, ErrInvalidPath) {
+			t.Errorf("Create(%q) err = %v, want ErrInvalidPath", p, err)
+		}
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	mustCreate(t, c, "/agg")
+	p1, err := c.Create("/agg/node-", nil, PersistentSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Create("/agg/node-", nil, PersistentSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != "/agg/node-0000000000" || p2 != "/agg/node-0000000001" {
+		t.Fatalf("sequential paths = %s, %s", p1, p2)
+	}
+	kids, err := c.Children("/agg")
+	if err != nil || len(kids) != 2 {
+		t.Fatalf("children = %v, %v", kids, err)
+	}
+	if kids[0] != "node-0000000000" || kids[1] != "node-0000000001" {
+		t.Fatalf("children not sorted: %v", kids)
+	}
+}
+
+// TestEphemeralLifecycle is the paper's aggregator-discovery mechanism:
+// "Aggregators register themselves ... using an 'ephemeral' znode, which
+// exists only for the duration of a client session" (§2).
+func TestEphemeralLifecycle(t *testing.T) {
+	srv, _ := newTestServer()
+	owner := srv.Connect(time.Minute)
+	watcher := srv.Connect(time.Minute)
+	mustCreate(t, watcher, "/scribe")
+	mustCreate(t, watcher, "/scribe/aggregators")
+
+	if _, err := owner.Create("/scribe/aggregators/agg1", []byte("dc1:host1"), Ephemeral); err != nil {
+		t.Fatal(err)
+	}
+	kids, ch, err := watcher.ChildrenW("/scribe/aggregators")
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("children = %v, %v", kids, err)
+	}
+
+	owner.Close() // simulated crash
+
+	select {
+	case ev := <-ch:
+		if ev.Type != EventChildrenChanged {
+			t.Fatalf("event = %v", ev)
+		}
+	default:
+		t.Fatal("no child watch fired on ephemeral deletion")
+	}
+	kids, err = watcher.Children("/scribe/aggregators")
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("after close children = %v, %v", kids, err)
+	}
+}
+
+func TestEphemeralCannotHaveChildren(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	if _, err := c.Create("/e", nil, Ephemeral); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("/e/child", nil, Persistent); !errors.Is(err, ErrNoChildrenForEphemerals) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	srv, clock := newTestServer()
+	c := srv.Connect(30 * time.Second)
+	if _, err := c.Create("/live", nil, Ephemeral); err != nil {
+		t.Fatal(err)
+	}
+	obs := srv.Connect(time.Hour)
+
+	clock.Advance(10 * time.Second)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping within timeout: %v", err)
+	}
+	clock.Advance(31 * time.Second)
+	if n := srv.CheckSessions(); n != 1 {
+		t.Fatalf("expired %d sessions, want 1", n)
+	}
+	if ok, _ := obs.Exists("/live"); ok {
+		t.Fatal("ephemeral survived session expiry")
+	}
+	if err := c.Ping(); !errors.Is(err, ErrSessionExpired) && !errors.Is(err, ErrClosed) {
+		t.Fatalf("ping after expiry err = %v", err)
+	}
+	select {
+	case ev := <-c.Events():
+		if ev.Type != EventSessionExpired {
+			t.Fatalf("event = %v", ev)
+		}
+	default:
+		t.Fatal("no session-expired event delivered")
+	}
+}
+
+func TestLazyExpiryOnOperation(t *testing.T) {
+	srv, clock := newTestServer()
+	c := srv.Connect(time.Second)
+	clock.Advance(2 * time.Second)
+	if _, err := c.Create("/x", nil, Persistent); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("err = %v, want ErrSessionExpired", err)
+	}
+}
+
+func TestDataWatch(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	mustCreate(t, c, "/cfg")
+	_, _, ch, err := c.GetW("/cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Set("/cfg", []byte("v2"), -1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDataChanged || ev.Path != "/cfg" {
+			t.Fatalf("event = %+v", ev)
+		}
+	default:
+		t.Fatal("data watch did not fire")
+	}
+	// Watches are one-shot: a second Set must not deliver another event.
+	if _, err := c.Set("/cfg", []byte("v3"), -1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("one-shot watch fired twice: %+v", ev)
+	default:
+	}
+}
+
+func TestExistsWatchOnMissingNode(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	mustCreate(t, c, "/parent")
+	ok, ch, err := c.ExistsW("/parent/future")
+	if err != nil || ok {
+		t.Fatalf("ExistsW = %v, %v", ok, err)
+	}
+	mustCreate(t, c, "/parent/future")
+	select {
+	case <-ch:
+	default:
+		t.Fatal("exists watch did not fire on creation")
+	}
+}
+
+func TestClosedConnRejectsOps(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	c.Close()
+	if _, err := c.Create("/x", nil, Persistent); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	c.Close() // double close must be safe
+}
+
+func TestConcurrentSequentialCreates(t *testing.T) {
+	srv, _ := newTestServer()
+	setup := srv.Connect(time.Minute)
+	mustCreate(t, setup, "/q")
+	const workers, per = 8, 25
+	done := make(chan string, workers*per)
+	for w := 0; w < workers; w++ {
+		go func() {
+			c := srv.Connect(time.Minute)
+			defer c.Close()
+			for i := 0; i < per; i++ {
+				p, err := c.Create("/q/item-", nil, PersistentSequential)
+				if err != nil {
+					done <- ""
+					continue
+				}
+				done <- p
+			}
+		}()
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < workers*per; i++ {
+		p := <-done
+		if p == "" {
+			t.Fatal("concurrent create failed")
+		}
+		if seen[p] {
+			t.Fatalf("duplicate sequential path %s", p)
+		}
+		seen[p] = true
+	}
+	kids, err := setup.Children("/q")
+	if err != nil || len(kids) != workers*per {
+		t.Fatalf("children = %d, %v", len(kids), err)
+	}
+}
+
+// TestParentProperty checks parent() against a reference over generated paths.
+func TestParentProperty(t *testing.T) {
+	f := func(depth uint8, segment uint16) bool {
+		d := int(depth%5) + 1
+		p := ""
+		for i := 0; i < d; i++ {
+			p += fmt.Sprintf("/s%d", segment)
+		}
+		par := parent(p)
+		if d == 1 {
+			return par == "/"
+		}
+		return p == par+fmt.Sprintf("/s%d", segment)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEphemeralDeleteClearsSessionTracking(t *testing.T) {
+	srv, _ := newTestServer()
+	c := srv.Connect(time.Minute)
+	if _, err := c.Create("/tmp", nil, Ephemeral); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/tmp", -1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-create persistently; closing the session must not delete it.
+	obs := srv.Connect(time.Minute)
+	mustCreate(t, obs, "/tmp")
+	c.Close()
+	if ok, _ := obs.Exists("/tmp"); !ok {
+		t.Fatal("persistent node deleted by stale ephemeral tracking")
+	}
+}
