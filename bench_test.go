@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"unilog/internal/align"
 	"unilog/internal/analytics"
@@ -23,6 +24,7 @@ import (
 	"unilog/internal/hdfs"
 	"unilog/internal/legacy"
 	"unilog/internal/ngram"
+	"unilog/internal/realtime"
 	"unilog/internal/recordio"
 	"unilog/internal/scribe"
 	"unilog/internal/session"
@@ -612,6 +614,111 @@ func BenchmarkCounterUDF(b *testing.B) {
 		b.Fatal("nothing counted")
 	}
 	b.ReportMetric(float64(total), "events")
+}
+
+// --- E14: realtime streaming counters (§6 real-time direction) ---
+
+// BenchmarkRealtimeIngest measures the streaming hot path: decoded events
+// fanned across four counter shards through a Batcher, ns per event
+// end-to-end (digest, enqueue, amortized drain).
+func BenchmarkRealtimeIngest(b *testing.B) {
+	c := getCorpus(b)
+	rt := realtime.New(realtime.Config{Shards: 4})
+	defer rt.Close()
+	batcher := rt.NewBatcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batcher.Add(&c.evs[i%len(c.evs)])
+	}
+	batcher.Flush()
+	rt.Sync()
+	b.StopTimer()
+	b.ReportMetric(float64(rt.Shards()), "shards")
+	if rt.Stats().Observed != int64(b.N) {
+		b.Fatalf("observed %d, want %d", rt.Stats().Observed, b.N)
+	}
+}
+
+// BenchmarkRealtimeTapIngest measures the same path from the aggregator
+// tap: Thrift decode included, as entries arrive from Scribe daemons.
+func BenchmarkRealtimeTapIngest(b *testing.B) {
+	c := getCorpus(b)
+	const batchSize = 200
+	batch := make([]scribe.Entry, batchSize)
+	for i := range batch {
+		batch[i] = scribe.Entry{Category: events.Category, Message: c.evs[i%len(c.evs)].Marshal()}
+	}
+	rt := realtime.New(realtime.Config{Shards: 4})
+	defer rt.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batchSize {
+		rt.TapBatch(batch)
+	}
+	rt.Sync()
+}
+
+// realtimeCorpus returns a counter pre-loaded with the benchmark day.
+var (
+	rtOnce   sync.Once
+	rtLoaded *realtime.Counter
+)
+
+func getRealtime(b *testing.B) *realtime.Counter {
+	c := getCorpus(b)
+	rtOnce.Do(func() {
+		rtLoaded = realtime.New(realtime.Config{Shards: 4})
+		batcher := rtLoaded.NewBatcher()
+		for i := range c.evs {
+			batcher.Add(&c.evs[i])
+		}
+		batcher.Flush()
+		rtLoaded.Sync()
+	})
+	return rtLoaded
+}
+
+// BenchmarkRealtimeQueryPoint measures the point-lookup latency BirdBrain
+// pays for a "today so far" number, full-day window.
+func BenchmarkRealtimeQueryPoint(b *testing.B) {
+	rt := getRealtime(b)
+	end := day.Add(24 * time.Hour)
+	var n int64
+	for i := 0; i < b.N; i++ {
+		n = rt.PathSum("web", day, end)
+	}
+	if n == 0 {
+		b.Fatal("nothing counted")
+	}
+	b.ReportMetric(float64(n), "events")
+}
+
+// BenchmarkRealtimeQueryTopK measures the prefix drill-down (top pages of
+// the web client) over the full day.
+func BenchmarkRealtimeQueryTopK(b *testing.B) {
+	rt := getRealtime(b)
+	end := day.Add(24 * time.Hour)
+	for i := 0; i < b.N; i++ {
+		if top := rt.TopK("web", 5, day, end); len(top) == 0 {
+			b.Fatal("no children")
+		}
+	}
+}
+
+// BenchmarkRealtimeReconcile runs the full lambda check: batch rollups
+// plus a streaming replay of the day, diffed to exact agreement.
+func BenchmarkRealtimeReconcile(b *testing.B) {
+	c := getCorpus(b)
+	for i := 0; i < b.N; i++ {
+		rep, err := realtime.Reconcile(c.fs, day, realtime.Config{Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("diverged: %s", rep)
+		}
+	}
 }
 
 // --- §6 ongoing-work extensions ---

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"unilog/internal/analytics"
@@ -27,6 +28,7 @@ import (
 	"unilog/internal/legacy"
 	"unilog/internal/logmover"
 	"unilog/internal/ngram"
+	"unilog/internal/realtime"
 	"unilog/internal/recordio"
 	"unilog/internal/scribe"
 	"unilog/internal/session"
@@ -110,6 +112,7 @@ func main() {
 		{"e11", "Elephant Twin selective queries (§6)", e11},
 		{"e12", "dictionary ordering ablation (§4.2 variable-length coding)", e12},
 		{"e13", "ad-hoc segment queries via users-table join (§4.1, §5.2)", e13},
+		{"e14", "realtime streaming counters: ingest, queries, lambda reconciliation (§6)", e14},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -568,6 +571,65 @@ func e13(e *env) {
 	}
 	fmt.Printf("  planted CTR %.3f is country-independent; every sizable segment recovers it\n",
 		e.cfg.CTR[workload.FeatureWhoToFollow])
+}
+
+func e14(e *env) {
+	// Ingest throughput: replay the day through the sharded counters until
+	// at least one million events have been fanned out, four producers in
+	// parallel — the scale the subsystem is built for.
+	const producers = 4
+	target := 1_000_000
+	reps := (target + len(e.evs) - 1) / len(e.evs)
+	rt := realtime.New(realtime.Config{Shards: 4})
+	defer rt.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			b := rt.NewBatcher()
+			for r := p; r < reps; r += producers {
+				for i := range e.evs {
+					b.Add(&e.evs[i])
+				}
+			}
+			b.Flush()
+		}(p)
+	}
+	wg.Wait()
+	rt.Sync()
+	ingestT := time.Since(start)
+	st := rt.Stats()
+	fmt.Printf("  ingest: %d events (day replayed %dx) through %d shards in %v — %.0f events/s\n",
+		st.Observed, reps, rt.Shards(), ingestT.Round(time.Millisecond), float64(st.Observed)/ingestT.Seconds())
+	fmt.Printf("  backpressure: %d full-queue waits; dropped-old %d, decode errors %d\n",
+		st.QueueFull, st.DroppedOld, st.DecodeErrors)
+
+	// Query latency over the populated windows.
+	end := day.Add(24 * time.Hour)
+	lat := func(name string, n int, fn func()) {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		fmt.Printf("  %-34s %10v/op\n", name, (time.Since(t0) / time.Duration(n)).Round(time.Microsecond))
+	}
+	lat("point lookup PathSum(web, day)", 200, func() { rt.PathSum("web", day, end) })
+	lat("windowed sum PathSum(web, 1h)", 200, func() { rt.PathSum("web", day.Add(12*time.Hour), day.Add(13*time.Hour)) })
+	lat("prefix top-5 TopK(web:home)", 50, func() { rt.TopK("web:home", 5, day, end) })
+	lat("rollup total (level 4)", 200, func() { rt.RollupTotal(4, "web:*:*:*:*:profile_click", day, end) })
+	fmt.Printf("  consistency: PathSum(web) = %d over %d replays (per-replay %d)\n",
+		rt.PathSum("web", day, end), reps, rt.PathSum("web", day, end)/int64(reps))
+
+	// Lambda reconciliation: the streaming path must agree exactly with
+	// the batch rollup job on a sealed day.
+	start = time.Now()
+	rep, err := realtime.Reconcile(e.fs, day, realtime.Config{Shards: 4})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %s (replay+diff in %v)\n", rep, time.Since(start).Round(time.Millisecond))
 }
 
 type memBuf struct{ data []byte }

@@ -22,6 +22,7 @@ import (
 	"unilog/internal/events"
 	"unilog/internal/hdfs"
 	"unilog/internal/logmover"
+	"unilog/internal/realtime"
 	"unilog/internal/scribe"
 	"unilog/internal/session"
 	"unilog/internal/warehouse"
@@ -35,6 +36,7 @@ func main() {
 	users := flag.Int("users", 300, "logged-in user population")
 	seed := flag.Int64("seed", 2012, "workload seed")
 	faults := flag.Bool("faults", true, "inject an aggregator restart and a staging outage")
+	live := flag.Bool("live", true, "print realtime counters mid-run")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig(day)
@@ -53,6 +55,18 @@ func main() {
 	mover := logmover.New(wh,
 		logmover.Source{Datacenter: "dc1", FS: dc1.Staging},
 		logmover.Source{Datacenter: "dc2", FS: dc2.Staging})
+
+	// The realtime subsystem taps every aggregator: accepted client events
+	// fan into sharded in-memory counters and are queryable seconds later,
+	// a day before the warehouse path publishes the same numbers.
+	rt := realtime.New(realtime.Config{Shards: 4})
+	defer rt.Close()
+	for _, dc := range dcs {
+		for _, a := range dc.Aggregators {
+			a.Tap = rt.TapBatch
+		}
+	}
+	lambda := birdbrain.NewLambda(wh, rt, clock.Now)
 
 	fmt.Println("replaying the day hour by hour through the delivery pipeline:")
 	i := 0
@@ -86,6 +100,16 @@ func main() {
 		check(err)
 		if n > 0 || len(moved) > 0 {
 			fmt.Printf("  hour %02d: %5d events logged, %d category-hours moved to warehouse\n", hr, n, len(moved))
+		}
+		if *live && (hr == 8 || hr == 16) {
+			rt.Sync()
+			fmt.Printf("  realtime: %d events in the counters; top clients:", rt.Stats().Observed)
+			for _, pc := range rt.TopK("", 3, day, hour.Add(time.Hour)) {
+				fmt.Printf(" %s=%d", pc.Path, pc.Count)
+			}
+			n, src, err := lambda.EventTotal(day, 4, "web:*:*:*:*:profile_click")
+			check(err)
+			fmt.Printf("; web profile_clicks today so far = %d (served from %s)\n", n, src)
 		}
 	}
 	// Recovery pass for the outage hours.
@@ -145,6 +169,24 @@ func main() {
 	summary, err := birdbrain.Build(wh, day, 5)
 	check(err)
 	summary.Render(os.Stdout)
+
+	// --- Lambda reconciliation: the streaming and batch paths must agree. ---
+	rt.Sync()
+	rts := rt.Stats()
+	fmt.Printf("\nrealtime tap: %d entries tapped, %d events counted, in warehouse %d (streams agree: %v)\n",
+		rts.TapEntries, rts.Observed, inWarehouse, rts.Observed == inWarehouse)
+	rep, err := realtime.Reconcile(wh, day, realtime.Config{Shards: 4})
+	check(err)
+	fmt.Println(rep)
+
+	// The clock is past midnight, so BirdBrain hands the day over to the
+	// warehouse path; the number must not jump.
+	const metric = "web:*:*:*:*:profile_click"
+	wasLive := rt.RollupTotal(4, metric, day, day.Add(24*time.Hour))
+	sealed, src, err := lambda.EventTotal(day, 4, metric)
+	check(err)
+	fmt.Printf("lambda handover: %s = %d from %s after midnight (realtime served %d — jump-free: %v)\n",
+		metric, sealed, src, wasLive, sealed == wasLive)
 }
 
 func mustDC(name string, clock zk.Clock, aggs, daemons int, seed int64) *scribe.Datacenter {

@@ -12,6 +12,17 @@
 // collocations) — over a deterministic synthetic workload with planted
 // ground truth.
 //
+// Beyond the paper's batch pipeline, internal/realtime adds the §6
+// "real-time processing" direction as a Rainbird-style streaming counter
+// subsystem: a tap on the Scribe aggregators fans accepted client events
+// into sharded, lock-striped, one-minute-windowed hierarchical counters
+// (knobs: Config.Shards, Stripes, Retention, QueueDepth, MaxBatch), which
+// answer point lookups, prefix top-K, and time-range sums seconds after
+// events occur. birdbrain.Lambda splits serving between the two paths —
+// "today so far" from the realtime counters, sealed days from the
+// warehouse rollups — and realtime.Reconcile replays a sealed day through
+// the counters to prove both paths compute identical §3.2 rollup tables.
+//
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and the examples/ directory
 // for runnable entry points.

@@ -1,0 +1,3 @@
+module unilog
+
+go 1.24

@@ -1,0 +1,131 @@
+package birdbrain
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/realtime"
+)
+
+// Lambda serves BirdBrain counting queries with the batch/realtime split
+// of a lambda architecture: queries about the current (unsealed) day are
+// answered from the realtime counters seconds after the events occur,
+// while sealed days come from the warehouse rollup job — the §3.2 daily
+// aggregates the batch pipeline publishes. realtime.Reconcile proves the
+// two paths compute identical rollup tables, so a metric does not jump
+// when its day seals and responsibility hands over from memory to HDFS.
+type Lambda struct {
+	fs *hdfs.FS
+	rt *realtime.Counter
+	// now decides which day is "today" (the realtime-served day).
+	now func() time.Time
+
+	mu     sync.Mutex
+	sealed map[time.Time]map[analytics.RollupKey]int64
+}
+
+// Source labels which path of the lambda architecture answered a query.
+type Source string
+
+// Sources.
+const (
+	SourceRealtime  Source = "realtime"
+	SourceWarehouse Source = "warehouse"
+)
+
+// NewLambda builds a server over the warehouse fs and the live counter.
+// now defaults to time.Now; inject a clock for replayed days.
+func NewLambda(fs *hdfs.FS, rt *realtime.Counter, now func() time.Time) *Lambda {
+	if now == nil {
+		now = time.Now
+	}
+	return &Lambda{
+		fs:     fs,
+		rt:     rt,
+		now:    now,
+		sealed: make(map[time.Time]map[analytics.RollupKey]int64),
+	}
+}
+
+// today reports whether day is the current, realtime-served day.
+func (l *Lambda) today(day time.Time) bool {
+	return day.Equal(l.now().UTC().Truncate(24 * time.Hour))
+}
+
+// sealedRollups computes and caches the batch rollup table of a sealed
+// day. The rollup job runs outside the lock so a cold day does not block
+// cache hits for other days; concurrent cold queries for the same day may
+// duplicate the job, and the first result stored wins.
+func (l *Lambda) sealedRollups(day time.Time) (map[analytics.RollupKey]int64, error) {
+	l.mu.Lock()
+	r, ok := l.sealed[day]
+	l.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	j := dataflow.NewJob("birdbrain-rollups", l.fs)
+	r, err := analytics.Rollups(j, day)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if cached, ok := l.sealed[day]; ok {
+		r = cached
+	} else {
+		l.sealed[day] = r
+	}
+	l.mu.Unlock()
+	return r, nil
+}
+
+// EventTotal answers the dashboard's top-line counting query — the total
+// of a (possibly rolled-up) event name on one day, summed over countries
+// and login status — from whichever path owns that day.
+func (l *Lambda) EventTotal(day time.Time, level events.RollupLevel, name string) (int64, Source, error) {
+	day = day.UTC().Truncate(24 * time.Hour)
+	if l.today(day) {
+		l.rt.Sync()
+		return l.rt.RollupTotal(level, name, day, day.Add(24*time.Hour)), SourceRealtime, nil
+	}
+	r, err := l.sealedRollups(day)
+	if err != nil {
+		return 0, SourceWarehouse, err
+	}
+	return analytics.RollupTotal(r, level, name), SourceWarehouse, nil
+}
+
+// ClientTotals breaks one day's events down by client — the first level
+// of the §3 hierarchy — from whichever path owns the day.
+func (l *Lambda) ClientTotals(day time.Time) (map[string]int64, Source, error) {
+	day = day.UTC().Truncate(24 * time.Hour)
+	out := make(map[string]int64)
+	if l.today(day) {
+		l.rt.Sync()
+		for _, pc := range l.rt.TopK("", 1<<30, day, day.Add(24*time.Hour)) {
+			out[pc.Path] = pc.Count
+		}
+		return out, SourceRealtime, nil
+	}
+	r, err := l.sealedRollups(day)
+	if err != nil {
+		return nil, SourceWarehouse, err
+	}
+	// Level-4 rows are (client, *, *, *, *, action); summing them per
+	// leading component yields exact per-client totals.
+	for k, n := range r {
+		if k.Level != events.NumRollupLevels-1 {
+			continue
+		}
+		client := k.Name
+		if i := strings.IndexByte(client, ':'); i >= 0 {
+			client = client[:i]
+		}
+		out[client] += n
+	}
+	return out, SourceWarehouse, nil
+}

@@ -1,0 +1,74 @@
+package realtime
+
+import (
+	"unilog/internal/events"
+	"unilog/internal/scribe"
+)
+
+// TapBatch observes one batch of Scribe entries. Assign it to
+// scribe.Aggregator.Tap to make an aggregator fan its accepted
+// client_events into the counters; entries of other categories pass
+// through uncounted. Safe for concurrent use by many aggregators.
+func (c *Counter) TapBatch(batch []scribe.Entry) {
+	b := c.NewBatcher()
+	for i := range batch {
+		if batch[i].Category != events.Category {
+			continue
+		}
+		c.tapEntries.Add(1)
+		var e events.ClientEvent
+		if err := e.Unmarshal(batch[i].Message); err != nil {
+			c.decodeErrors.Add(1)
+			continue
+		}
+		b.Add(&e)
+	}
+	b.Flush()
+}
+
+// Ingest counts one already-decoded event. For bulk loads prefer a
+// Batcher, which amortizes the channel send.
+func (c *Counter) Ingest(e *events.ClientEvent) {
+	o, shard, ok := c.observe(e)
+	if !ok {
+		return
+	}
+	c.send(shard, []obs{o})
+}
+
+// Batcher accumulates per-shard batches of observations and ships each
+// when it reaches Config.MaxBatch. One Batcher serves one producer
+// goroutine; create one per goroutine.
+type Batcher struct {
+	c   *Counter
+	per [][]obs
+}
+
+// NewBatcher returns an empty batcher bound to the counter.
+func (c *Counter) NewBatcher() *Batcher {
+	return &Batcher{c: c, per: make([][]obs, len(c.shards))}
+}
+
+// Add digests and buffers one event, flushing its shard's batch if full.
+func (b *Batcher) Add(e *events.ClientEvent) {
+	o, shard, ok := b.c.observe(e)
+	if !ok {
+		return
+	}
+	b.per[shard] = append(b.per[shard], o)
+	if len(b.per[shard]) >= b.c.cfg.MaxBatch {
+		b.c.send(shard, b.per[shard])
+		b.per[shard] = nil
+	}
+}
+
+// Flush ships every non-empty shard batch. Call when the producer is done
+// (or wants its writes visible after the next Sync).
+func (b *Batcher) Flush() {
+	for shard, batch := range b.per {
+		if len(batch) > 0 {
+			b.c.send(shard, batch)
+			b.per[shard] = nil
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package realtime
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/events"
+	"unilog/internal/geo"
+)
+
+// TestCounterMatchesReferenceModel drives a randomized workload through a
+// small counter and checks every query against a brute-force reference:
+// point sums over random windows, per-minute series, prefix top-K, and the
+// full rollup table.
+func TestCounterMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(20120821))
+	clients := []string{"web", "iphone", "android"}
+	pages := []string{"home", "search", "profile"}
+	sections := []string{"timeline", "mentions", ""}
+	elements := []string{"tweet", "avatar", ""}
+	actions := []string{"impression", "click", "open"}
+	countries := []string{"us", "jp", "uk", "xx"} // xx resolves to unknown
+
+	const (
+		nEvents = 4000
+		minutes = 120
+	)
+	c := newCounter(t, Config{Shards: 3, Stripes: 2, Retention: 4 * time.Hour, MaxBatch: 64})
+	b := c.NewBatcher()
+
+	refMinute := map[string]map[int64]int64{} // path -> minute -> count
+	refRollup := map[analytics.RollupKey]int64{}
+	seenNames := map[string]bool{}
+	m0 := t0.Unix() / 60
+
+	for i := 0; i < nEvents; i++ {
+		name := events.EventName{
+			Client:  clients[rng.Intn(len(clients))],
+			Page:    pages[rng.Intn(len(pages))],
+			Section: sections[rng.Intn(len(sections))],
+			Element: elements[rng.Intn(len(elements))],
+			Action:  actions[rng.Intn(len(actions))],
+		}
+		if rng.Intn(4) > 0 {
+			name.Component = "stream"
+		}
+		minute := m0 + rng.Int63n(minutes)
+		country := countries[rng.Intn(len(countries))]
+		user := rng.Int63n(3) // 0 = logged out
+		e := ev(name.String(), time.Unix(minute*60, 0).Add(time.Duration(rng.Intn(60))*time.Second), user, country)
+		b.Add(e)
+
+		full := name.String()
+		seenNames[full] = true
+		parts := strings.Split(full, ":")
+		for d := 1; d <= events.NumComponents; d++ {
+			p := strings.Join(parts[:d], ":")
+			if refMinute[p] == nil {
+				refMinute[p] = map[int64]int64{}
+			}
+			refMinute[p][minute]++
+		}
+		for lvl := 0; lvl < events.NumRollupLevels; lvl++ {
+			refRollup[analytics.RollupKey{
+				Level:    events.RollupLevel(lvl),
+				Name:     name.Rollup(events.RollupLevel(lvl)).String(),
+				Country:  geo.CountryOf(e.IP),
+				LoggedIn: user != 0,
+			}]++
+		}
+	}
+	b.Flush()
+	c.Sync()
+
+	refSum := func(path string, fromMin, toMin int64) int64 {
+		var total int64
+		for m, n := range refMinute[path] {
+			if m >= fromMin && m < toMin {
+				total += n
+			}
+		}
+		return total
+	}
+
+	// Random paths (existing prefixes plus a few misses) over random windows.
+	paths := make([]string, 0, len(refMinute)+2)
+	for p := range refMinute {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	paths = append(paths, "ipad", "web:nosuchpage")
+	for trial := 0; trial < 300; trial++ {
+		path := paths[rng.Intn(len(paths))]
+		a := m0 + rng.Int63n(minutes)
+		z := a + 1 + rng.Int63n(minutes)
+		got := c.PathSum(path, time.Unix(a*60, 0), time.Unix(z*60, 0))
+		want := refSum(path, a, z)
+		if got != want {
+			t.Fatalf("PathSum(%q, m+%d, m+%d) = %d, want %d", path, a-m0, z-m0, got, want)
+		}
+	}
+
+	// Per-minute series over the whole window.
+	for trial := 0; trial < 20; trial++ {
+		path := paths[rng.Intn(len(paths))]
+		series := c.Series(path, time.Unix(m0*60, 0), time.Unix((m0+minutes)*60, 0))
+		for i, got := range series {
+			if want := refMinute[path][m0+int64(i)]; got != want {
+				t.Fatalf("Series(%q)[%d] = %d, want %d", path, i, got, want)
+			}
+		}
+	}
+
+	// Top-K of every parent depth against the reference ranking.
+	from, to := time.Unix(m0*60, 0), time.Unix((m0+minutes)*60, 0)
+	parents := append([]string{""}, paths[:len(paths)-2]...)
+	for trial := 0; trial < 40; trial++ {
+		parent := parents[rng.Intn(len(parents))]
+		childDepth := 0
+		if parent != "" {
+			childDepth = strings.Count(parent, ":") + 1
+		}
+		var want []PathCount
+		for p := range refMinute {
+			if strings.Count(p, ":") != childDepth {
+				continue
+			}
+			if parent != "" && !strings.HasPrefix(p, parent+":") {
+				continue
+			}
+			want = append(want, PathCount{Path: p, Count: refSum(p, m0, m0+minutes)})
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Count != want[j].Count {
+				return want[i].Count > want[j].Count
+			}
+			return want[i].Path < want[j].Path
+		})
+		k := 1 + rng.Intn(5)
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := c.TopK(parent, k, from, to)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TopK(%q, %d) = %v, want %v", parent, k, got, want)
+		}
+	}
+
+	// The full rollup table matches the reference exactly.
+	snap := c.RollupSnapshot(from, to)
+	if !reflect.DeepEqual(snap, refRollup) {
+		t.Fatalf("rollup snapshot diverges: %d rows vs %d reference rows", len(snap), len(refRollup))
+	}
+
+	if got := c.Stats().Observed; got != nEvents {
+		t.Fatalf("Observed = %d, want %d", got, nEvents)
+	}
+	if testing.Verbose() {
+		fmt.Printf("reference model: %d names, %d prefix paths, %d rollup rows\n",
+			len(seenNames), len(refMinute), len(refRollup))
+	}
+}

@@ -1,0 +1,149 @@
+package realtime
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/events"
+)
+
+// Queries merge counts across every shard, stripe, and minute bucket whose
+// minute falls in [from, to). They read committed state only — call Sync
+// first for read-your-writes against a live ingest stream.
+
+// minuteRange converts a [from, to) time window to a half-open Unix-minute
+// interval, widening to to's enclosing minute when to is mid-minute.
+func minuteRange(from, to time.Time) (int64, int64) {
+	fm := from.Unix() / 60
+	tm := to.Unix() / 60
+	if to.Unix()%60 != 0 {
+		tm++
+	}
+	return fm, tm
+}
+
+// forEachBucket invokes fn under the stripe lock for every bucket in the
+// window. The ring holds one bucket per minute, so this visits at most
+// ring-length buckets regardless of the window width.
+func (c *Counter) forEachBucket(from, to time.Time, fn func(*bucket)) {
+	fm, tm := minuteRange(from, to)
+	for _, s := range c.shards {
+		for i := range s.stripes {
+			st := &s.stripes[i]
+			st.mu.Lock()
+			for j := range st.ring {
+				b := &st.ring[j]
+				if b.minute >= fm && b.minute < tm && b.prefix != nil {
+					fn(b)
+				}
+			}
+			st.mu.Unlock()
+		}
+	}
+}
+
+// PathSum is the point lookup: the total count of a hierarchy path —
+// any prefix of an event name, or a full name — over [from, to).
+func (c *Counter) PathSum(path string, from, to time.Time) int64 {
+	var total int64
+	c.forEachBucket(from, to, func(b *bucket) {
+		total += b.prefix[path]
+	})
+	return total
+}
+
+// Series returns per-minute counts of a path over [from, to), index 0
+// holding from's minute. The window is capped at the retention length.
+func (c *Counter) Series(path string, from, to time.Time) []int64 {
+	fm, tm := minuteRange(from, to)
+	if tm-fm > int64(c.buckets) {
+		tm = fm + int64(c.buckets)
+		to = time.Unix(tm*60, 0)
+	}
+	if tm <= fm {
+		return nil
+	}
+	out := make([]int64, tm-fm)
+	c.forEachBucket(from, to, func(b *bucket) {
+		out[b.minute-fm] += b.prefix[path]
+	})
+	return out
+}
+
+// PathCount pairs a hierarchy path with its count.
+type PathCount struct {
+	Path  string
+	Count int64
+}
+
+// TopK ranks the children of a hierarchy path by count over [from, to):
+// TopK("", k, ...) ranks clients, TopK("web", k, ...) ranks web pages,
+// and so on down the namespace. Ties break by path, ascending.
+func (c *Counter) TopK(parent string, k int, from, to time.Time) []PathCount {
+	if k <= 0 {
+		return nil
+	}
+	childDepth := 0 // number of ':' in a child key
+	prefix := ""
+	if parent != "" {
+		childDepth = strings.Count(parent, ":") + 1
+		prefix = parent + ":"
+	}
+	acc := make(map[string]int64)
+	c.forEachBucket(from, to, func(b *bucket) {
+		for key, n := range b.prefix {
+			if strings.Count(key, ":") != childDepth {
+				continue
+			}
+			if prefix != "" && !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			acc[key] += n
+		}
+	})
+	if len(acc) == 0 {
+		return nil
+	}
+	ranked := make([]PathCount, 0, len(acc))
+	for p, n := range acc {
+		ranked = append(ranked, PathCount{Path: p, Count: n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Count != ranked[j].Count {
+			return ranked[i].Count > ranked[j].Count
+		}
+		return ranked[i].Path < ranked[j].Path
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// RollupSnapshot merges the §3.2 rollup rows accumulated over [from, to)
+// into one table, keyed identically to analytics.Rollups.
+func (c *Counter) RollupSnapshot(from, to time.Time) map[analytics.RollupKey]int64 {
+	out := make(map[analytics.RollupKey]int64)
+	c.forEachBucket(from, to, func(b *bucket) {
+		for k, n := range b.rollup {
+			out[k] += n
+		}
+	})
+	return out
+}
+
+// RollupTotal sums one rolled-up name across countries and login status
+// over [from, to) — the live equivalent of analytics.RollupTotal.
+func (c *Counter) RollupTotal(level events.RollupLevel, name string, from, to time.Time) int64 {
+	var total int64
+	c.forEachBucket(from, to, func(b *bucket) {
+		for k, n := range b.rollup {
+			if k.Level == level && k.Name == name {
+				total += n
+			}
+		}
+	})
+	return total
+}

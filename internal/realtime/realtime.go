@@ -1,0 +1,384 @@
+// Package realtime is the streaming counterpart of the batch pipeline: a
+// Rainbird-style sharded, windowed counting service that tails the Scribe
+// ingestion path and answers BirdBrain-style counting queries seconds after
+// events occur, instead of the day-later latency of the log mover plus
+// daily jobs (§2, §6 "real-time processing").
+//
+// The design exploits the property §3 built into the event namespace: the
+// six-level client:page:section:component:element:action hierarchy means
+// every count of interest is a sum along a path prefix. Each incoming event
+// therefore increments all six prefixes of its name — "web",
+// "web:home", ..., the full name — so point lookups, drill-downs, and
+// prefix top-K all become map reads, no scan required.
+//
+// Architecture:
+//
+//   - a Tap on scribe.Aggregator.Append fans accepted client_events into N
+//     counter shards (hash of the event name) over bounded channels;
+//     producers block when a shard queue is full (backpressure), and each
+//     shard drains whole batches at a time;
+//   - a shard's key space is lock-striped: each stripe owns a ring of
+//     one-minute buckets (configurable retention), so the single drain
+//     goroutine and any number of concurrent readers contend only
+//     per-stripe, and shards scale with cores;
+//   - alongside the prefix counters every bucket keeps the five §3.2
+//     rollup rows (analytics.RollupKey: level, rolled name, country,
+//     logged-in), which makes the streaming path directly comparable with
+//     the warehouse batch job — Reconcile replays a sealed day and asserts
+//     exact agreement with analytics.Rollups.
+//
+// Totals are distributive: a key's count is the sum of its per-shard,
+// per-stripe, per-bucket cells, so ingestion never coordinates across
+// shards and queries merge at read time.
+package realtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/events"
+	"unilog/internal/geo"
+)
+
+// Config sizes the counter. Zero values take the defaults below.
+type Config struct {
+	// Shards is the number of counter shards, each with its own drain
+	// goroutine and queue. Default 4.
+	Shards int
+	// Stripes is the number of lock stripes per shard. Default 8.
+	Stripes int
+	// Retention is how much history the ring of one-minute buckets keeps.
+	// Observations older than the newest minute seen by the whole counter
+	// minus Retention are dropped and counted in Stats.DroppedOld, so a
+	// window older than the horizon reads uniformly empty rather than
+	// partially evicted. Default 26h (a full day plus slack, so a day
+	// replay always fits).
+	Retention time.Duration
+	// QueueDepth is the per-shard channel capacity in batches. Default 128.
+	QueueDepth int
+	// MaxBatch caps observations per enqueued batch. Default 512.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Stripes <= 0 {
+		c.Stripes = 8
+	}
+	if c.Retention <= 0 {
+		c.Retention = 26 * time.Hour
+	}
+	if c.Retention < 2*time.Minute {
+		c.Retention = 2 * time.Minute
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 512
+	}
+	return c
+}
+
+// Stats counts counter activity. All fields are monotonic.
+type Stats struct {
+	// Observed is the number of events applied to the counters.
+	Observed int64
+	// TapEntries is the number of Scribe entries seen by TapBatch.
+	TapEntries int64
+	// DecodeErrors counts tap entries that failed Thrift decoding.
+	DecodeErrors int64
+	// Invalid counts events whose name failed validation.
+	Invalid int64
+	// DroppedOld counts observations older than the retention window.
+	DroppedOld int64
+	// Evicted counts minute buckets recycled by the ring.
+	Evicted int64
+	// QueueFull counts enqueues that found a shard queue full and had to
+	// block — the backpressure signal.
+	QueueFull int64
+}
+
+// obs is one decoded, pre-digested observation: everything a shard needs
+// to apply the event without touching the Thrift message again. Producers
+// do the string work in parallel; the shard goroutine only increments.
+type obs struct {
+	minute int64 // event timestamp in Unix minutes
+	stripe uint32
+	// prefixes[d] is the first d+1 components of the event name.
+	prefixes [events.NumComponents]string
+	// rollups[l] is the level-l rolled name of §3.2.
+	rollups  [events.NumRollupLevels]string
+	country  string
+	loggedIn bool
+}
+
+// bucket is one minute of counters within one stripe.
+type bucket struct {
+	minute int64 // Unix minute this slot currently holds; 0 = empty
+	prefix map[string]int64
+	rollup map[analytics.RollupKey]int64
+}
+
+// stripe is one lock-striped slice of a shard's key space: a ring of
+// minute buckets guarded by a single mutex.
+type stripe struct {
+	mu   sync.Mutex
+	ring []bucket
+}
+
+type shardMsg struct {
+	batch []obs
+	// sync, when non-nil, is closed once every message enqueued before it
+	// has been applied.
+	sync chan struct{}
+}
+
+// shard owns one queue, one drain goroutine, and Stripes stripes.
+type shard struct {
+	ch      chan shardMsg
+	stripes []stripe
+	scratch [][]obs // per-stripe grouping buffer, drain-goroutine-local
+}
+
+// Counter is the realtime counting service. Create with New, feed it via
+// TapBatch (wired to scribe.Aggregator.Tap), a Batcher, or Ingest, and
+// read it with the query methods in query.go.
+type Counter struct {
+	cfg     Config
+	shards  []*shard
+	buckets int // ring length, minutes
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+
+	// maxMinute is the newest Unix minute any shard has applied — the
+	// high-water mark the retention horizon hangs from.
+	maxMinute atomic.Int64
+
+	observed     atomic.Int64
+	tapEntries   atomic.Int64
+	decodeErrors atomic.Int64
+	invalid      atomic.Int64
+	droppedOld   atomic.Int64
+	evicted      atomic.Int64
+	queueFull    atomic.Int64
+}
+
+// New starts a counter with cfg's shards and drain goroutines running.
+func New(cfg Config) *Counter {
+	cfg = cfg.withDefaults()
+	c := &Counter{
+		cfg:     cfg,
+		buckets: int(cfg.Retention / time.Minute),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			ch:      make(chan shardMsg, cfg.QueueDepth),
+			stripes: make([]stripe, cfg.Stripes),
+			scratch: make([][]obs, cfg.Stripes),
+		}
+		for j := range s.stripes {
+			s.stripes[j].ring = make([]bucket, c.buckets)
+		}
+		c.shards = append(c.shards, s)
+		c.wg.Add(1)
+		go c.drain(s)
+	}
+	return c
+}
+
+// Close stops the drain goroutines after the queues empty. The counters
+// remain readable; further ingestion is a no-op.
+func (c *Counter) Close() {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, s := range c.shards {
+		close(s.ch)
+	}
+	c.closeMu.Unlock()
+	c.wg.Wait()
+}
+
+// Sync blocks until every observation enqueued before the call has been
+// applied — the read-your-writes barrier queries and tests need.
+func (c *Counter) Sync() {
+	c.closeMu.RLock()
+	if c.closed {
+		c.closeMu.RUnlock()
+		c.wg.Wait()
+		return
+	}
+	dones := make([]chan struct{}, len(c.shards))
+	for i, s := range c.shards {
+		dones[i] = make(chan struct{})
+		s.ch <- shardMsg{sync: dones[i]}
+	}
+	c.closeMu.RUnlock()
+	for _, d := range dones {
+		<-d
+	}
+}
+
+// Stats returns a snapshot of the counter's activity counters.
+func (c *Counter) Stats() Stats {
+	return Stats{
+		Observed:     c.observed.Load(),
+		TapEntries:   c.tapEntries.Load(),
+		DecodeErrors: c.decodeErrors.Load(),
+		Invalid:      c.invalid.Load(),
+		DroppedOld:   c.droppedOld.Load(),
+		Evicted:      c.evicted.Load(),
+		QueueFull:    c.queueFull.Load(),
+	}
+}
+
+// Shards reports the configured shard count.
+func (c *Counter) Shards() int { return len(c.shards) }
+
+// hash32 is FNV-1a; it picks both the shard (low bits) and the stripe
+// (higher bits) for an event name.
+func hash32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// observe digests one event into an obs and its shard index. It reports
+// false for events that should not be counted (invalid name).
+func (c *Counter) observe(e *events.ClientEvent) (obs, int, bool) {
+	if e.Name.Validate() != nil {
+		c.invalid.Add(1)
+		return obs{}, 0, false
+	}
+	full := e.Name.String()
+	o := obs{
+		minute:   e.Timestamp / 60_000,
+		country:  geo.CountryOf(e.IP),
+		loggedIn: e.LoggedIn(),
+	}
+	// The six hierarchy prefixes are substrings of the full name; slicing
+	// shares the one allocation.
+	d := 0
+	for i := 0; i < len(full); i++ {
+		if full[i] == ':' {
+			o.prefixes[d] = full[:i]
+			d++
+		}
+	}
+	o.prefixes[events.NumComponents-1] = full
+	o.rollups[0] = full
+	for lvl := 1; lvl < events.NumRollupLevels; lvl++ {
+		o.rollups[lvl] = e.Name.Rollup(events.RollupLevel(lvl)).String()
+	}
+	h := hash32(full)
+	o.stripe = (h >> 16) % uint32(c.cfg.Stripes)
+	return o, int(h % uint32(c.cfg.Shards)), true
+}
+
+// send enqueues one batch on a shard, blocking when the queue is full.
+func (c *Counter) send(shardIdx int, batch []obs) {
+	if len(batch) == 0 {
+		return
+	}
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed {
+		return
+	}
+	s := c.shards[shardIdx]
+	if len(s.ch) == cap(s.ch) {
+		c.queueFull.Add(1)
+	}
+	s.ch <- shardMsg{batch: batch}
+}
+
+// drain is the per-shard goroutine: it pulls batches off the queue,
+// groups them by stripe, and applies each group under one lock
+// acquisition.
+func (c *Counter) drain(s *shard) {
+	defer c.wg.Done()
+	for msg := range s.ch {
+		if msg.batch != nil {
+			c.apply(s, msg.batch)
+		}
+		if msg.sync != nil {
+			close(msg.sync)
+		}
+	}
+}
+
+func (c *Counter) apply(s *shard, batch []obs) {
+	for i := range batch {
+		st := batch[i].stripe
+		s.scratch[st] = append(s.scratch[st], batch[i])
+	}
+	for st := range s.scratch {
+		group := s.scratch[st]
+		if len(group) == 0 {
+			continue
+		}
+		stripe := &s.stripes[st]
+		stripe.mu.Lock()
+		for i := range group {
+			c.applyOne(stripe, &group[i])
+		}
+		stripe.mu.Unlock()
+		s.scratch[st] = group[:0]
+	}
+}
+
+// applyOne increments one observation's 6 prefix counters and 5 rollup
+// rows in its minute bucket. Callers hold the stripe lock.
+func (c *Counter) applyOne(st *stripe, o *obs) {
+	for {
+		cur := c.maxMinute.Load()
+		if o.minute <= cur || c.maxMinute.CompareAndSwap(cur, o.minute) {
+			break
+		}
+	}
+	if o.minute <= c.maxMinute.Load()-int64(c.buckets) {
+		// Older than the retention horizon: drop rather than serve a
+		// partially-evicted minute.
+		c.droppedOld.Add(1)
+		return
+	}
+	b := &st.ring[int(o.minute)%c.buckets]
+	if b.minute != o.minute {
+		if b.minute > o.minute {
+			// The slot already holds a newer minute (the horizon advanced
+			// between the checks above): treat as past retention.
+			c.droppedOld.Add(1)
+			return
+		}
+		if b.prefix != nil {
+			c.evicted.Add(1)
+		}
+		b.minute = o.minute
+		b.prefix = make(map[string]int64, 2*events.NumComponents)
+		b.rollup = make(map[analytics.RollupKey]int64, events.NumRollupLevels)
+	}
+	for _, p := range o.prefixes {
+		b.prefix[p]++
+	}
+	for lvl, name := range o.rollups {
+		b.rollup[analytics.RollupKey{
+			Level:    events.RollupLevel(lvl),
+			Name:     name,
+			Country:  o.country,
+			LoggedIn: o.loggedIn,
+		}]++
+	}
+	c.observed.Add(1)
+}

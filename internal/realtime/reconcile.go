@@ -1,0 +1,131 @@
+package realtime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/warehouse"
+)
+
+// Reconcile is the lambda-architecture check: it computes one sealed day
+// both ways — the batch path (analytics.Rollups over the warehouse) and
+// the streaming path (a replay of the same warehouse day through a fresh
+// Counter) — and diffs the two rollup tables. Exact agreement proves the
+// realtime subsystem computes the same answers the daily jobs publish,
+// which is what lets BirdBrain serve "today so far" from memory and
+// sealed days from the warehouse without the numbers jumping at midnight.
+
+// Diff is one disagreeing rollup row.
+type Diff struct {
+	Key           analytics.RollupKey
+	Batch, Stream int64
+}
+
+// Report summarizes one reconciliation run.
+type Report struct {
+	Day    time.Time
+	Events int64 // events replayed through the streaming path
+	// BatchRows and StreamRows are the sizes of the two rollup tables.
+	BatchRows, StreamRows int
+	// Missing rows exist only in the batch table, Extra rows only in the
+	// streaming table, Mismatched in both with different counts. Each
+	// slice is capped at MaxDiffs with the overflow in the counts.
+	Missing, Extra, Mismatched  []Diff
+	MissingN, ExtraN, MismatchN int
+}
+
+// MaxDiffs caps the example rows kept per diff class in a Report.
+const MaxDiffs = 10
+
+// OK reports whether the two paths agreed exactly.
+func (r *Report) OK() bool {
+	return r.MissingN == 0 && r.ExtraN == 0 && r.MismatchN == 0
+}
+
+// String renders a one-line verdict.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("reconcile %s: OK — %d events, %d rollup rows identical on both paths",
+			r.Day.Format("2006-01-02"), r.Events, r.BatchRows)
+	}
+	return fmt.Sprintf("reconcile %s: DIVERGED — %d missing, %d extra, %d mismatched of %d batch rows",
+		r.Day.Format("2006-01-02"), r.MissingN, r.ExtraN, r.MismatchN, r.BatchRows)
+}
+
+// Reconcile replays the sealed day from the warehouse through a fresh
+// counter configured by cfg (retention is widened to hold a full day) and
+// compares against the batch rollup job.
+func Reconcile(fs *hdfs.FS, day time.Time, cfg Config) (*Report, error) {
+	day = day.UTC().Truncate(24 * time.Hour)
+
+	j := dataflow.NewJob("reconcile-batch", fs)
+	batch, err := analytics.Rollups(j, day)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Retention < 25*time.Hour {
+		cfg.Retention = 25 * time.Hour
+	}
+	c := New(cfg)
+	defer c.Close()
+	b := c.NewBatcher()
+	var n int64
+	err = warehouse.ScanDay(fs, events.Category, day, func(e *events.ClientEvent) error {
+		b.Add(e)
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.Flush()
+	c.Sync()
+	stream := c.RollupSnapshot(day, day.Add(24*time.Hour))
+
+	r := &Report{Day: day, Events: n}
+	r.diff(batch, stream)
+	return r, nil
+}
+
+// diff fills the report with the disagreement between the batch and
+// streaming rollup tables.
+func (r *Report) diff(batch, stream map[analytics.RollupKey]int64) {
+	r.BatchRows, r.StreamRows = len(batch), len(stream)
+	for k, want := range batch {
+		got, ok := stream[k]
+		switch {
+		case !ok:
+			r.MissingN++
+			if len(r.Missing) < MaxDiffs {
+				r.Missing = append(r.Missing, Diff{Key: k, Batch: want})
+			}
+		case got != want:
+			r.MismatchN++
+			if len(r.Mismatched) < MaxDiffs {
+				r.Mismatched = append(r.Mismatched, Diff{Key: k, Batch: want, Stream: got})
+			}
+		}
+	}
+	for k, got := range stream {
+		if _, ok := batch[k]; !ok {
+			r.ExtraN++
+			if len(r.Extra) < MaxDiffs {
+				r.Extra = append(r.Extra, Diff{Key: k, Stream: got})
+			}
+		}
+	}
+	for _, ds := range [][]Diff{r.Missing, r.Extra, r.Mismatched} {
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].Key.Level != ds[j].Key.Level {
+				return ds[i].Key.Level < ds[j].Key.Level
+			}
+			return ds[i].Key.Name < ds[j].Key.Name
+		})
+	}
+}

@@ -109,6 +109,14 @@ type Aggregator struct {
 	// RollRecords caps messages per staging file before it is rolled.
 	RollRecords int64
 
+	// Tap, when set, observes every entry Append accepts — after category
+	// policy (blackhole/sampling) and with the policy-resolved category —
+	// so a streaming consumer sees exactly the traffic that will reach
+	// staging. It runs synchronously once the batch has committed, outside
+	// the aggregator lock; a slow tap therefore slows the sending daemon,
+	// which is the intended backpressure. Set it before traffic starts.
+	Tap func(batch []Entry)
+
 	mu                sync.Mutex
 	state             aggState
 	streams           map[string]*categoryStream
@@ -177,18 +185,35 @@ func (a *Aggregator) heartbeatLocked() {
 // outages (buffered locally) but not against a hard Crash of this
 // aggregator.
 func (a *Aggregator) Append(batch []Entry) error {
+	tap, tapped, err := a.appendLocked(batch)
+	// Even on a mid-batch error the entries collected so far were
+	// committed to their streams, so the tap must still observe them.
+	if tap != nil && len(tapped) > 0 {
+		tap(tapped)
+	}
+	return err
+}
+
+// appendLocked commits the batch under the lock and returns the tap
+// callback plus the entries it should observe (kept entries, with their
+// policy-resolved categories). The tap itself runs in Append, unlocked.
+func (a *Aggregator) appendLocked(batch []Entry) (func(batch []Entry), []Entry, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.state != aggRunning {
-		return fmt.Errorf("%w: %s", ErrAggregatorDown, a.ID)
+		return nil, nil, fmt.Errorf("%w: %s", ErrAggregatorDown, a.ID)
 	}
 	a.heartbeatLocked()
 	a.stats.BatchesReceived++
+	var tapped []Entry
 	now := a.clock.Now().UTC().Truncate(time.Hour)
 	for _, e := range batch {
 		category, rollAt, keep := a.applyCategoryPolicyLocked(e.Category)
 		if !keep {
 			continue
+		}
+		if a.Tap != nil {
+			tapped = append(tapped, Entry{Category: category, Message: e.Message})
 		}
 		s := a.streams[category]
 		if s != nil && !s.hour.Equal(now) {
@@ -201,7 +226,11 @@ func (a *Aggregator) Append(batch []Entry) error {
 			a.streams[category] = s
 		}
 		if err := s.w.Append(e.Message); err != nil {
-			return err
+			if a.Tap != nil && len(tapped) > 0 {
+				// Drop the entry that failed; the earlier ones committed.
+				tapped = tapped[:len(tapped)-1]
+			}
+			return a.Tap, tapped, err
 		}
 		s.count++
 		a.stats.MessagesReceived++
@@ -211,7 +240,7 @@ func (a *Aggregator) Append(batch []Entry) error {
 		}
 	}
 	a.retryPendingLocked()
-	return nil
+	return a.Tap, tapped, nil
 }
 
 // rollStreamLocked closes the stream and queues its file for writing.
