@@ -640,6 +640,66 @@ func BenchmarkRealtimeIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkRealtimeWALIngest measures the same hot path with durability
+// on: every drained batch is CRC-framed into a per-shard write-ahead log
+// (batch fsync cadence) before it is applied. Compare against
+// BenchmarkRealtimeIngest for the durability overhead; E15 requires it to
+// stay within 2x.
+func BenchmarkRealtimeWALIngest(b *testing.B) {
+	c := getCorpus(b)
+	rt, err := realtime.Open(b.TempDir(), realtime.Config{Shards: 4, SnapshotEvery: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	batcher := rt.NewBatcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batcher.Add(&c.evs[i%len(c.evs)])
+	}
+	batcher.Flush()
+	rt.Sync()
+	b.StopTimer()
+	st := rt.Stats()
+	if st.Observed != int64(b.N) || st.WALErrors != 0 {
+		b.Fatalf("observed %d (want %d), wal errors %d", st.Observed, b.N, st.WALErrors)
+	}
+	b.ReportMetric(float64(st.WALBytes)/float64(b.N), "walB/event")
+}
+
+// BenchmarkRealtimeRecover measures crash recovery: a WAL holding the
+// corpus is replayed into a fresh counter by realtime.Open.
+func BenchmarkRealtimeRecover(b *testing.B) {
+	c := getCorpus(b)
+	dir := b.TempDir()
+	rt, err := realtime.Open(dir, realtime.Config{Shards: 4, SnapshotEvery: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batcher := rt.NewBatcher()
+	for i := range c.evs {
+		batcher.Add(&c.evs[i])
+	}
+	batcher.Flush()
+	rt.Sync()
+	want := rt.Stats().Observed
+	rt.Crash()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := realtime.Open(dir, realtime.Config{Shards: 4, SnapshotEvery: time.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Stats().Observed != want {
+			b.Fatalf("recovered %d events, want %d", rec.Stats().Observed, want)
+		}
+		rec.Crash()
+	}
+	b.ReportMetric(float64(len(c.evs)), "events")
+}
+
 // BenchmarkRealtimeTapIngest measures the same path from the aggregator
 // tap: Thrift decode included, as entries arrive from Scribe daemons.
 func BenchmarkRealtimeTapIngest(b *testing.B) {

@@ -37,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 2012, "workload seed")
 	faults := flag.Bool("faults", true, "inject an aggregator restart and a staging outage")
 	live := flag.Bool("live", true, "print realtime counters mid-run")
+	crash := flag.Bool("crash", true, "kill and recover the realtime counters mid-run (WAL + snapshot durability)")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig(day)
@@ -57,15 +58,26 @@ func main() {
 		logmover.Source{Datacenter: "dc2", FS: dc2.Staging})
 
 	// The realtime subsystem taps every aggregator: accepted client events
-	// fan into sharded in-memory counters and are queryable seconds later,
-	// a day before the warehouse path publishes the same numbers.
-	rt := realtime.New(realtime.Config{Shards: 4})
-	defer rt.Close()
-	for _, dc := range dcs {
-		for _, a := range dc.Aggregators {
-			a.Tap = rt.TapBatch
+	// fan into sharded counters and are queryable seconds later, a day
+	// before the warehouse path publishes the same numbers. The counters
+	// are durable: every drained batch hits a per-shard write-ahead log,
+	// and periodic snapshots bound recovery time, so a crashed shard
+	// remembers "today so far".
+	walDir, err := os.MkdirTemp("", "unilog-rt-wal-")
+	check(err)
+	defer os.RemoveAll(walDir)
+	rtCfg := realtime.Config{Shards: 4}
+	rt, err := realtime.Open(walDir, rtCfg)
+	check(err)
+	defer func() { rt.Close() }()
+	retap := func() {
+		for _, dc := range dcs {
+			for _, a := range dc.Aggregators {
+				a.Tap = rt.TapBatch
+			}
 		}
 	}
+	retap()
 	lambda := birdbrain.NewLambda(wh, rt, clock.Now)
 
 	fmt.Println("replaying the day hour by hour through the delivery pipeline:")
@@ -83,6 +95,23 @@ func main() {
 		if *faults && hr == 12 {
 			fmt.Println("  hour 12: dc2 staging HDFS recovers (buffered files flush)")
 			dc2.Staging.SetAvailable(true)
+		}
+		if *crash && hr == 10 {
+			rt.Sync()
+			check(rt.Snapshot())
+			fmt.Println("  hour 10: realtime snapshot cut (stripe rings serialized, WAL truncated)")
+		}
+		if *crash && hr == 14 {
+			rt.Sync()
+			before := rt.Stats().Observed
+			rt.Crash()
+			fmt.Printf("  hour 14: realtime counters killed without graceful close (%d events in memory)\n", before)
+			rt, err = realtime.Open(walDir, rtCfg)
+			check(err)
+			retap()
+			lambda = birdbrain.NewLambda(wh, rt, clock.Now)
+			fmt.Printf("  hour 14: recovered from snapshot + WAL tail: %d of %d events survive (exact: %v)\n",
+				rt.Stats().Observed, before, rt.Stats().Observed == before)
 		}
 		n := 0
 		for ; i < len(evs) && evs[i].Timestamp < hour.Add(time.Hour).UnixMilli(); i++ {

@@ -23,6 +23,18 @@
 // warehouse rollups — and realtime.Reconcile replays a sealed day through
 // the counters to prove both paths compute identical §3.2 rollup tables.
 //
+// The counters are durable: realtime.Open roots a counter in a directory
+// where every drained batch is appended to a per-shard, CRC-framed
+// write-ahead log (recordio.CRCWriter framing; Config.FsyncEvery trades
+// fsync cadence against throughput) before it is applied, and a periodic
+// snapshotter (Config.SnapshotEvery) serializes the stripe rings and
+// truncates the covered log segments. After a crash, Open loads the
+// newest valid snapshot and replays the WAL tail — tolerating a torn
+// final record, flipped bits, and damaged or missing snapshots — so a
+// restarted shard remembers "today so far" instead of waiting a day for
+// the warehouse rollup, and still reconciles exactly against the batch
+// path.
+//
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and the examples/ directory
 // for runnable entry points.

@@ -25,8 +25,26 @@ type Lambda struct {
 	// now decides which day is "today" (the realtime-served day).
 	now func() time.Time
 
+	// MaxSealedDays caps the sealed-day rollup cache; when an insert
+	// would exceed it, the least recently used day is evicted and will be
+	// recomputed on its next query. Set it before serving; values < 1
+	// fall back to DefaultMaxSealedDays.
+	MaxSealedDays int
+
 	mu     sync.Mutex
-	sealed map[time.Time]map[analytics.RollupKey]int64
+	tick   int64 // LRU clock: bumped on every cache touch
+	sealed map[time.Time]*sealedEntry
+}
+
+// DefaultMaxSealedDays is the sealed-day cache cap when Lambda.MaxSealedDays
+// is unset: a month of dashboards stays warm, and an ad-hoc backfill over
+// years of history cannot pin every day in memory.
+const DefaultMaxSealedDays = 32
+
+// sealedEntry is one cached sealed-day rollup table plus its LRU stamp.
+type sealedEntry struct {
+	rollups  map[analytics.RollupKey]int64
+	lastUsed int64
 }
 
 // Source labels which path of the lambda architecture answered a query.
@@ -48,8 +66,15 @@ func NewLambda(fs *hdfs.FS, rt *realtime.Counter, now func() time.Time) *Lambda 
 		fs:     fs,
 		rt:     rt,
 		now:    now,
-		sealed: make(map[time.Time]map[analytics.RollupKey]int64),
+		sealed: make(map[time.Time]*sealedEntry),
 	}
+}
+
+// SealedCached reports how many sealed days the cache currently holds.
+func (l *Lambda) SealedCached() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sealed)
 }
 
 // today reports whether day is the current, realtime-served day.
@@ -60,26 +85,44 @@ func (l *Lambda) today(day time.Time) bool {
 // sealedRollups computes and caches the batch rollup table of a sealed
 // day. The rollup job runs outside the lock so a cold day does not block
 // cache hits for other days; concurrent cold queries for the same day may
-// duplicate the job, and the first result stored wins.
+// duplicate the job, and the first result stored wins. The cache holds at
+// most MaxSealedDays entries, evicting the least recently used.
 func (l *Lambda) sealedRollups(day time.Time) (map[analytics.RollupKey]int64, error) {
 	l.mu.Lock()
-	r, ok := l.sealed[day]
-	l.mu.Unlock()
-	if ok {
-		return r, nil
+	if e, ok := l.sealed[day]; ok {
+		l.tick++
+		e.lastUsed = l.tick
+		l.mu.Unlock()
+		return e.rollups, nil
 	}
+	l.mu.Unlock()
 	j := dataflow.NewJob("birdbrain-rollups", l.fs)
 	r, err := analytics.Rollups(j, day)
 	if err != nil {
 		return nil, err
 	}
 	l.mu.Lock()
-	if cached, ok := l.sealed[day]; ok {
-		r = cached
-	} else {
-		l.sealed[day] = r
+	defer l.mu.Unlock()
+	l.tick++
+	if e, ok := l.sealed[day]; ok {
+		e.lastUsed = l.tick
+		return e.rollups, nil
 	}
-	l.mu.Unlock()
+	max := l.MaxSealedDays
+	if max < 1 {
+		max = DefaultMaxSealedDays
+	}
+	for len(l.sealed) >= max {
+		var coldest time.Time
+		oldest := int64(1<<63 - 1)
+		for d, e := range l.sealed {
+			if e.lastUsed < oldest {
+				oldest, coldest = e.lastUsed, d
+			}
+		}
+		delete(l.sealed, coldest)
+	}
+	l.sealed[day] = &sealedEntry{rollups: r, lastUsed: l.tick}
 	return r, nil
 }
 

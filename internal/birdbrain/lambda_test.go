@@ -156,3 +156,93 @@ func TestLambdaMidnightHandover(t *testing.T) {
 		t.Errorf("handover jumped: realtime %d, warehouse %d, want 5 both", before, after)
 	}
 }
+
+// TestLambdaSealedCacheEviction pins the max-entries LRU policy: the cache
+// never exceeds MaxSealedDays, the least recently used day goes first, and
+// an evicted day still answers correctly (recomputed on demand).
+func TestLambdaSealedCacheEviction(t *testing.T) {
+	const imp = "web:home:timeline:stream:tweet:impression"
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	days := make([]time.Time, 4)
+	for i := range days {
+		days[i] = sealedDay.AddDate(0, 0, -i)
+		// Day i carries i+1 impressions so answers identify their day.
+		for k := 0; k <= i; k++ {
+			if err := w.Append(lambdaEvent(imp, days[i], k%12)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt := realtime.New(realtime.Config{Shards: 1})
+	defer rt.Close()
+	l := NewLambda(fs, rt, func() time.Time { return liveDay.Add(time.Hour) })
+	l.MaxSealedDays = 2
+
+	query := func(i int) {
+		t.Helper()
+		n, src, err := l.EventTotal(days[i], 0, imp)
+		if err != nil || src != SourceWarehouse || n != int64(i+1) {
+			t.Fatalf("EventTotal(day %d) = %d/%s/%v, want %d/warehouse", i, n, src, err, i+1)
+		}
+	}
+	query(0)
+	query(1)
+	if got := l.SealedCached(); got != 2 {
+		t.Fatalf("cache holds %d days, want 2", got)
+	}
+	query(0) // refresh day 0: day 1 is now the LRU victim
+	query(2) // evicts day 1
+	if got := l.SealedCached(); got != 2 {
+		t.Fatalf("cache holds %d days after eviction, want 2", got)
+	}
+	query(1) // recomputed, still correct; evicts day 0
+	query(3)
+	if got := l.SealedCached(); got != 2 {
+		t.Fatalf("cache holds %d days, want 2", got)
+	}
+}
+
+// TestLambdaServesRecoveredEngine proves the serving API is oblivious to
+// durability: a Lambda built over a counter that crashed and was recovered
+// by realtime.Open answers "today so far" exactly as one over the
+// never-crashed counter would.
+func TestLambdaServesRecoveredEngine(t *testing.T) {
+	const imp = "web:home:timeline:stream:tweet:impression"
+	dir := t.TempDir()
+	cfg := realtime.Config{Shards: 2, FsyncEvery: 1, SnapshotEvery: time.Hour}
+	rt, err := realtime.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		rt.Ingest(lambdaEvent(imp, liveDay, i%5))
+	}
+	rt.Sync()
+	if err := rt.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // WAL tail only
+		rt.Ingest(lambdaEvent(imp, liveDay, 6))
+	}
+	rt.Sync()
+	rt.Crash()
+
+	recovered, err := realtime.Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	l := NewLambda(hdfs.New(0), recovered, func() time.Time { return liveDay.Add(8 * time.Hour) })
+	n, src, err := l.EventTotal(liveDay, 0, imp)
+	if err != nil || src != SourceRealtime || n != 11 {
+		t.Fatalf("EventTotal from recovered engine = %d/%s/%v, want 11/realtime", n, src, err)
+	}
+	totals, src, err := l.ClientTotals(liveDay)
+	if err != nil || src != SourceRealtime || totals["web"] != 11 {
+		t.Fatalf("ClientTotals from recovered engine = %v/%s/%v, want web=11", totals, src, err)
+	}
+}

@@ -1,0 +1,582 @@
+package realtime
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/warehouse"
+	"unilog/internal/workload"
+)
+
+// durCfg keeps durability tests deterministic: every batch fsyncs, and the
+// automatic snapshotter never fires on its own (tests cut snapshots
+// explicitly).
+func durCfg(shards, stripes int) Config {
+	return Config{
+		Shards:        shards,
+		Stripes:       stripes,
+		FsyncEvery:    1,
+		SnapshotEvery: time.Hour,
+	}
+}
+
+// feedBoth streams one deterministic mixed workload into any number of
+// counters: several names, minutes, countries, and login states, n events
+// total.
+func feedBoth(n int, cs ...*Counter) {
+	names := []string{
+		"web:home:mentions:stream:avatar:profile_click",
+		"web:home:timeline:stream:tweet:impression",
+		"web:search:results:stream:tweet:impression",
+		"iphone:home:timeline:stream:tweet:impression",
+		"android:profile:header:card:follow:click",
+	}
+	countries := []string{"us", "jp", "uk", "br"}
+	for i := 0; i < n; i++ {
+		e := ev(names[i%len(names)], t0.Add(time.Duration(i%120)*time.Minute),
+			int64(i%3), countries[i%len(countries)])
+		for _, c := range cs {
+			c.Ingest(e)
+		}
+	}
+}
+
+// sameAnswers asserts two counters answer a battery of queries over the
+// day identically: full rollup tables, path sums, per-minute series,
+// top-K, and the observed total.
+func sameAnswers(t *testing.T, got, want *Counter) {
+	t.Helper()
+	from := t0.Truncate(24 * time.Hour)
+	to := from.Add(24 * time.Hour)
+	if g, w := got.Stats().Observed, want.Stats().Observed; g != w {
+		t.Errorf("Observed = %d, want %d", g, w)
+	}
+	if g, w := got.RollupSnapshot(from, to), want.RollupSnapshot(from, to); !reflect.DeepEqual(g, w) {
+		t.Errorf("RollupSnapshot diverged: %d rows vs %d rows", len(g), len(w))
+	}
+	for _, path := range []string{"web", "web:home", "web:home:mentions", "iphone", "android",
+		"web:home:mentions:stream:avatar:profile_click", "ipad"} {
+		if g, w := got.PathSum(path, from, to), want.PathSum(path, from, to); g != w {
+			t.Errorf("PathSum(%q) = %d, want %d", path, g, w)
+		}
+	}
+	if g, w := got.Series("web", t0, t0.Add(2*time.Hour)), want.Series("web", t0, t0.Add(2*time.Hour)); !reflect.DeepEqual(g, w) {
+		t.Errorf("Series diverged: %v vs %v", g, w)
+	}
+	if g, w := got.TopK("", 5, from, to), want.TopK("", 5, from, to); !reflect.DeepEqual(g, w) {
+		t.Errorf("TopK diverged: %v vs %v", g, w)
+	}
+	if g, w := got.RollupTotal(4, "web:*:*:*:*:impression", from, to), want.RollupTotal(4, "web:*:*:*:*:impression", from, to); g != w {
+		t.Errorf("RollupTotal = %d, want %d", g, w)
+	}
+}
+
+// TestKillAndRecoverMatchesNeverCrashed is the core durability guarantee:
+// a durable counter that snapshots mid-stream and then dies without a
+// graceful close must, after Open, answer every query exactly like a
+// memory-only counter that never went down.
+func TestKillAndRecoverMatchesNeverCrashed(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, durCfg(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Shards: 3, Stripes: 4})
+	t.Cleanup(m.Close)
+
+	feedBoth(400, d, m)
+	d.Sync()
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("mid-stream snapshot: %v", err)
+	}
+	feedBoth(300, d, m) // tail lives only in the WAL
+	d.Sync()
+	m.Sync()
+	d.Crash()
+
+	r, err := Open(dir, durCfg(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAnswers(t, r, m)
+	if r.Stats().SnapshotErrors != 0 || r.Stats().WALErrors != 0 {
+		t.Errorf("recovery reported errors: %+v", r.Stats())
+	}
+
+	// A graceful Close writes a final snapshot and retires the WAL; the
+	// next Open loads one file and replays nothing.
+	r.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Errorf("WAL not retired after Close: %v", segs)
+	}
+	r2, err := Open(dir, durCfg(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	sameAnswers(t, r2, m)
+}
+
+// TestRecoverFromWALOnly covers the no-snapshot path: everything lives in
+// the WAL tail.
+func TestRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, durCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Shards: 2, Stripes: 2})
+	t.Cleanup(m.Close)
+	feedBoth(250, d, m)
+	d.Sync()
+	m.Sync()
+	d.Crash()
+
+	r, err := Open(dir, durCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Crash()
+	sameAnswers(t, r, m)
+}
+
+// TestRecoverAcrossConfigChange replays a log written by a wider counter
+// into a narrower one: totals are distributive, so resharding at restart
+// must not change any answer.
+func TestRecoverAcrossConfigChange(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, durCfg(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Shards: 2, Stripes: 3})
+	t.Cleanup(m.Close)
+	feedBoth(200, d, m)
+	d.Sync()
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	feedBoth(100, d, m)
+	d.Sync()
+	m.Sync()
+	d.Crash()
+
+	r, err := Open(dir, durCfg(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Crash()
+	sameAnswers(t, r, m)
+}
+
+// oneShardScenario ingests n single-event batches (one WAL record each)
+// into a 1-shard durable counter and crashes it, returning the lone live
+// WAL segment for the corruption tests to damage.
+func oneShardScenario(t *testing.T, dir string, n int) string {
+	t.Helper()
+	d, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		d.Ingest(ev("web:home:timeline:stream:tweet:impression", t0.Add(time.Duration(i)*time.Second), 1, "us"))
+	}
+	d.Sync()
+	d.Crash()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one segment, got %v (%v)", segs, err)
+	}
+	return segs[0]
+}
+
+func pathSumAll(c *Counter) int64 {
+	day := t0.Truncate(24 * time.Hour)
+	return c.PathSum("web", day, day.Add(24*time.Hour))
+}
+
+// TestRecoverTornFinalRecord cuts bytes off the WAL tail — the torn final
+// write of a crash — and requires recovery to keep the intact prefix.
+func TestRecoverTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	seg := oneShardScenario(t, dir, 10)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pathSumAll(r); got != 9 {
+		t.Errorf("recovered %d events, want 9 (torn final record dropped)", got)
+	}
+	if got := r.Stats().Observed; got != 9 {
+		t.Errorf("Observed = %d, want 9", got)
+	}
+	if r.Stats().WALErrors == 0 {
+		t.Error("torn tail not surfaced in WALErrors")
+	}
+	// Recovery is stable: crash and reopen again without new ingestion
+	// and nothing double counts.
+	r.Crash()
+	r2, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Crash()
+	if got := pathSumAll(r2); got != 9 {
+		t.Errorf("second recovery = %d events, want 9", got)
+	}
+}
+
+// TestRecoverFlippedCRCByte flips one byte mid-log: replay must stop at
+// the damaged record, keep the prefix, and stay stable across reopens.
+func TestRecoverFlippedCRCByte(t *testing.T) {
+	dir := t.TempDir()
+	seg := oneShardScenario(t, dir, 10)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)*2/5] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pathSumAll(r)
+	if got >= 10 || got != r.Stats().Observed {
+		t.Errorf("recovered %d events (observed %d), want a consistent prefix < 10", got, r.Stats().Observed)
+	}
+	if r.Stats().WALErrors == 0 {
+		t.Error("corruption not surfaced in WALErrors")
+	}
+	r.Crash()
+	r2, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Crash()
+	if again := pathSumAll(r2); again != got {
+		t.Errorf("second recovery = %d, first = %d — recovery not stable", again, got)
+	}
+}
+
+// snapThenTail builds the snapshot-plus-WAL-tail layout: 5 events covered
+// by a snapshot, 4 more only in the log, then a crash.
+func snapThenTail(t *testing.T, dir string) string {
+	t.Helper()
+	d, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Ingest(ev("web:home:timeline:stream:tweet:impression", t0, 1, "us"))
+	}
+	d.Sync()
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d.Ingest(ev("web:home:timeline:stream:tweet:impression", t0.Add(time.Minute), 1, "us"))
+	}
+	d.Sync()
+	d.Crash()
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("want exactly one snapshot, got %v (%v)", snaps, err)
+	}
+	return snaps[0]
+}
+
+// TestRecoverDamagedSnapshot: a missing, empty, or bit-flipped snapshot
+// must not error or double count — recovery falls back to whatever WAL
+// tail survives (here the 4 post-snapshot events; the 5 covered ones went
+// down with the snapshot).
+func TestRecoverDamagedSnapshot(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, snap string)
+	}{
+		{"missing", func(t *testing.T, snap string) {
+			if err := os.Remove(snap); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, snap string) {
+			if err := os.Truncate(snap, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-byte", func(t *testing.T, snap string) {
+			data, err := os.ReadFile(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0xFF
+			if err := os.WriteFile(snap, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(t *testing.T, snap string) {
+			fi, err := os.Stat(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(snap, fi.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			snap := snapThenTail(t, dir)
+			tc.damage(t, snap)
+			r, err := Open(dir, durCfg(1, 1))
+			if err != nil {
+				t.Fatalf("recovery errored instead of degrading: %v", err)
+			}
+			defer r.Crash()
+			if got := pathSumAll(r); got != 4 {
+				t.Errorf("recovered %d events, want the 4 surviving WAL-tail events", got)
+			}
+		})
+	}
+
+	// Control: with the snapshot intact the same layout recovers all 9.
+	t.Run("intact", func(t *testing.T) {
+		dir := t.TempDir()
+		snapThenTail(t, dir)
+		r, err := Open(dir, durCfg(1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Crash()
+		if got := pathSumAll(r); got != 9 {
+			t.Errorf("recovered %d events, want 9", got)
+		}
+	})
+}
+
+// TestRecoverFallsBackToPreviousSnapshot: pruning keeps the previous
+// snapshot around precisely so that a newest snapshot damaged on disk
+// degrades to "older snapshot plus surviving WAL tail", not to an empty
+// counter.
+func TestRecoverFallsBackToPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(n int, at time.Time) {
+		for i := 0; i < n; i++ {
+			d.Ingest(ev("web:home:timeline:stream:tweet:impression", at, 1, "us"))
+		}
+		d.Sync()
+	}
+	ingest(3, t0) // phase A, covered by snapshot 1
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(2, t0.Add(time.Minute)) // phase B, covered only by snapshot 2
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(4, t0.Add(2*time.Minute)) // phase C, WAL tail only
+	d.Crash()
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("want the newest and previous snapshots on disk, got %v (%v)", snaps, err)
+	}
+	newest := snaps[len(snaps)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, durCfg(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Crash()
+	// Snapshot 1 restores phase A; phase B's segments were pruned when
+	// snapshot 2 was cut, so B is lost with it; phase C's tail segments
+	// sit above snapshot 2's boundary and replay cleanly. 3 + 4, never
+	// 9 (that would double count) and never 4 alone (that would mean no
+	// fallback).
+	if got := pathSumAll(r); got != 7 {
+		t.Errorf("recovered %d events, want 7 (snapshot-1 state + WAL tail)", got)
+	}
+}
+
+// TestReconcileWithRecoveredCounter is the acceptance check: a day
+// streamed into a durable counter, snapshotted mid-stream, killed, and
+// recovered must still reconcile exactly against the warehouse batch job.
+func TestReconcileWithRecoveredCounter(t *testing.T) {
+	cfg := workload.DefaultConfig(day)
+	cfg.Users = 60
+	cfg.LoggedOutSessions = 40
+	evs, truth := workload.New(cfg).Generate()
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	w.RollRecords = 2000
+	for i := range evs {
+		if err := w.Append(&evs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	d, err := Open(dir, durCfg(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := d.NewBatcher()
+	for i := range evs {
+		b.Add(&evs[i])
+		if i == len(evs)/2 {
+			b.Flush()
+			d.Sync()
+			if err := d.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	b.Flush()
+	d.Sync()
+	d.Crash()
+
+	r, err := Open(dir, durCfg(4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Crash()
+	if got := r.Stats().Observed; got != truth.Events {
+		t.Errorf("recovered Observed = %d, want %d", got, truth.Events)
+	}
+	rep, err := ReconcileWith(fs, day, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("recovered counter diverged from batch: %s\nmissing: %v\nextra: %v\nmismatched: %v",
+			rep, rep.Missing, rep.Extra, rep.Mismatched)
+	}
+	if !strings.Contains(rep.String(), "OK") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+// TestDurableConcurrentIngestAndSnapshot hammers the durable path the way
+// the race CI job wants: parallel producers, concurrent snapshots and
+// queries, then a kill and a recovery that must account for every event.
+func TestDurableConcurrentIngestAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durCfg(4, 8)
+	cfg.FsyncEvery = 8
+	d, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 4
+	const perProducer = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			b := d.NewBatcher()
+			for i := 0; i < perProducer; i++ {
+				b.Add(ev("web:home:timeline:stream:tweet:impression",
+					t0.Add(time.Duration(i%60)*time.Minute), int64(p), "us"))
+			}
+			b.Flush()
+		}(p)
+	}
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := d.Snapshot(); err != nil && err != errClosed {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		day := t0.Truncate(24 * time.Hour)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.PathSum("web", day, day.Add(24*time.Hour))
+				d.TopK("", 3, day, day.Add(24*time.Hour))
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	d.Sync()
+	want := int64(producers * perProducer)
+	if got := d.Stats().Observed; got != want {
+		t.Fatalf("live Observed = %d, want %d", got, want)
+	}
+	d.Crash()
+	r, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Stats().Observed; got != want {
+		t.Errorf("recovered Observed = %d, want %d", got, want)
+	}
+	if got := pathSumAll(r); got != want {
+		t.Errorf("recovered PathSum = %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotOnMemoryCounterErrors pins the API contract: snapshots only
+// exist on counters created by Open.
+func TestSnapshotOnMemoryCounterErrors(t *testing.T) {
+	c := New(Config{Shards: 1})
+	defer c.Close()
+	if err := c.Snapshot(); err == nil {
+		t.Fatal("Snapshot on a memory-only counter succeeded")
+	}
+}

@@ -60,6 +60,27 @@ type Config struct {
 	QueueDepth int
 	// MaxBatch caps observations per enqueued batch. Default 512.
 	MaxBatch int
+
+	// WALDir, when non-empty, makes the counter durable: every drained
+	// batch is appended to a per-shard write-ahead log under this
+	// directory before it is applied, and a snapshotter periodically
+	// serializes the stripe rings and truncates the logs. Open sets it
+	// from its dir argument; New ignores it (memory-only counters come
+	// from New, durable ones from Open, which is what knows how to
+	// recover existing state first).
+	WALDir string
+	// SnapshotEvery is the interval between automatic snapshots of a
+	// durable counter. Each snapshot bounds both recovery time and disk
+	// use (the WAL tail it retires is deleted). Default 30s.
+	SnapshotEvery time.Duration
+	// FsyncEvery is the number of appended WAL batches between fsyncs on
+	// each shard's log, the durability/throughput trade-off knob: 1
+	// fsyncs every batch (strongest, slowest), larger values amortize
+	// the sync over more batches and risk losing at most that many
+	// batches on an OS (not process) crash — every batch reaches the
+	// page cache before it is applied, so a killed process loses
+	// nothing that was drained. Default 64.
+	FsyncEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 512
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 30 * time.Second
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 64
+	}
 	return c
 }
 
@@ -101,6 +128,19 @@ type Stats struct {
 	// QueueFull counts enqueues that found a shard queue full and had to
 	// block — the backpressure signal.
 	QueueFull int64
+	// WALBatches and WALBytes count batches and framed bytes appended to
+	// the write-ahead logs (zero on memory-only counters).
+	WALBatches int64
+	WALBytes   int64
+	// WALErrors counts WAL appends or fsyncs that failed; the counter
+	// keeps serving from memory but the failed tail is not durable.
+	WALErrors int64
+	// Fsyncs counts explicit WAL fsyncs (see Config.FsyncEvery).
+	Fsyncs int64
+	// Snapshots counts snapshots written; SnapshotErrors counts attempts
+	// that failed and left the previous snapshot and WAL tail in place.
+	Snapshots      int64
+	SnapshotErrors int64
 }
 
 // obs is one decoded, pre-digested observation: everything a shard needs
@@ -136,13 +176,25 @@ type shardMsg struct {
 	// sync, when non-nil, is closed once every message enqueued before it
 	// has been applied.
 	sync chan struct{}
+	// snap, when non-nil, asks the drain goroutine to rotate its WAL to a
+	// fresh segment and reply with its serialized stripe state — the
+	// per-shard half of a consistent snapshot (see snapshot.go).
+	snap chan shardState
 }
 
 // shard owns one queue, one drain goroutine, and Stripes stripes.
 type shard struct {
+	idx     int
 	ch      chan shardMsg
 	stripes []stripe
-	scratch [][]obs // per-stripe grouping buffer, drain-goroutine-local
+	scratch [][]obs    // per-stripe grouping buffer, drain-goroutine-local
+	wal     *walWriter // nil on memory-only counters; drain-goroutine-owned after start
+	// applied counts events this shard has applied since start. It is
+	// written only by the owning drain goroutine (or single-threaded
+	// recovery), and snapshots read it from that same goroutine, which is
+	// what lets a mid-run snapshot record an observed total exactly
+	// consistent with the captured stripe state.
+	applied int64
 }
 
 // Counter is the realtime counting service. Create with New, feed it via
@@ -157,6 +209,18 @@ type Counter struct {
 	closed  bool
 	wg      sync.WaitGroup
 
+	// Durability state (zero on memory-only counters). snapMu serializes
+	// snapshot attempts; snapSeq numbers snapshot files; snapQuit stops
+	// the periodic snapshotter.
+	durable  bool
+	snapMu   sync.Mutex
+	snapSeq  int64
+	snapQuit chan struct{}
+	snapDone chan struct{}
+	// observedBase is the observed total carried over from the recovered
+	// snapshot; the live observed counter starts from it.
+	observedBase int64
+
 	// maxMinute is the newest Unix minute any shard has applied — the
 	// high-water mark the retention horizon hangs from.
 	maxMinute atomic.Int64
@@ -168,17 +232,33 @@ type Counter struct {
 	droppedOld   atomic.Int64
 	evicted      atomic.Int64
 	queueFull    atomic.Int64
+	walBatches   atomic.Int64
+	walBytes     atomic.Int64
+	walErrors    atomic.Int64
+	fsyncs       atomic.Int64
+	snapshots    atomic.Int64
+	snapErrors   atomic.Int64
 }
 
-// New starts a counter with cfg's shards and drain goroutines running.
+// New starts a memory-only counter with cfg's shards and drain goroutines
+// running. The durability fields of cfg are ignored; durable counters come
+// from Open, which recovers any existing state before starting.
 func New(cfg Config) *Counter {
-	cfg = cfg.withDefaults()
+	c := allocCounter(cfg.withDefaults())
+	c.start()
+	return c
+}
+
+// newCounter allocates shards and stripes without starting goroutines, so
+// Open can load recovered state single-threaded first.
+func allocCounter(cfg Config) *Counter {
 	c := &Counter{
 		cfg:     cfg,
 		buckets: int(cfg.Retention / time.Minute),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
+			idx:     i,
 			ch:      make(chan shardMsg, cfg.QueueDepth),
 			stripes: make([]stripe, cfg.Stripes),
 			scratch: make([][]obs, cfg.Stripes),
@@ -187,15 +267,38 @@ func New(cfg Config) *Counter {
 			s.stripes[j].ring = make([]bucket, c.buckets)
 		}
 		c.shards = append(c.shards, s)
-		c.wg.Add(1)
-		go c.drain(s)
 	}
 	return c
 }
 
-// Close stops the drain goroutines after the queues empty. The counters
-// remain readable; further ingestion is a no-op.
-func (c *Counter) Close() {
+// start launches the drain goroutines (and, on durable counters, the
+// periodic snapshotter).
+func (c *Counter) start() {
+	for _, s := range c.shards {
+		c.wg.Add(1)
+		go c.drain(s)
+	}
+	if c.durable {
+		c.snapQuit = make(chan struct{})
+		c.snapDone = make(chan struct{})
+		go c.snapshotLoop()
+	}
+}
+
+// Close stops the drain goroutines after the queues empty, then writes a
+// final snapshot on durable counters (so the next Open loads one file and
+// replays nothing). The counters remain readable; further ingestion is a
+// no-op.
+func (c *Counter) Close() { c.shutdown(true) }
+
+// Crash stops the counter the way a kill would: the drain goroutines exit
+// and the WAL files close with whatever the fsync cadence made durable,
+// but no final snapshot is written and nothing is truncated — the next
+// Open must recover from the last snapshot plus the WAL tail. It exists
+// for crash-recovery tests and fault-injection demos.
+func (c *Counter) Crash() { c.shutdown(false) }
+
+func (c *Counter) shutdown(final bool) {
 	c.closeMu.Lock()
 	if c.closed {
 		c.closeMu.Unlock()
@@ -207,6 +310,20 @@ func (c *Counter) Close() {
 	}
 	c.closeMu.Unlock()
 	c.wg.Wait()
+	if !c.durable {
+		return
+	}
+	close(c.snapQuit)
+	<-c.snapDone
+	if final {
+		// Queues are drained, goroutines stopped: serialize the stripes
+		// directly and retire the whole WAL.
+		c.snapMu.Lock()
+		if err := c.snapshotFinal(); err != nil {
+			c.snapErrors.Add(1)
+		}
+		c.snapMu.Unlock()
+	}
 }
 
 // Sync blocks until every observation enqueued before the call has been
@@ -232,13 +349,19 @@ func (c *Counter) Sync() {
 // Stats returns a snapshot of the counter's activity counters.
 func (c *Counter) Stats() Stats {
 	return Stats{
-		Observed:     c.observed.Load(),
-		TapEntries:   c.tapEntries.Load(),
-		DecodeErrors: c.decodeErrors.Load(),
-		Invalid:      c.invalid.Load(),
-		DroppedOld:   c.droppedOld.Load(),
-		Evicted:      c.evicted.Load(),
-		QueueFull:    c.queueFull.Load(),
+		Observed:       c.observed.Load(),
+		TapEntries:     c.tapEntries.Load(),
+		DecodeErrors:   c.decodeErrors.Load(),
+		Invalid:        c.invalid.Load(),
+		DroppedOld:     c.droppedOld.Load(),
+		Evicted:        c.evicted.Load(),
+		QueueFull:      c.queueFull.Load(),
+		WALBatches:     c.walBatches.Load(),
+		WALBytes:       c.walBytes.Load(),
+		WALErrors:      c.walErrors.Load(),
+		Fsyncs:         c.fsyncs.Load(),
+		Snapshots:      c.snapshots.Load(),
+		SnapshotErrors: c.snapErrors.Load(),
 	}
 }
 
@@ -262,11 +385,20 @@ func (c *Counter) observe(e *events.ClientEvent) (obs, int, bool) {
 		c.invalid.Add(1)
 		return obs{}, 0, false
 	}
-	full := e.Name.String()
+	o, shard := c.digest(e.Name, e.Timestamp/60_000, geo.CountryOf(e.IP), e.LoggedIn())
+	return o, shard, true
+}
+
+// digest turns a validated name plus the pre-extracted event facts into an
+// obs and its shard index. It is the common tail of the live ingest path
+// (observe) and WAL replay (recover.go), which re-digests logged names so
+// the log stays small and recovery routes by the current configuration.
+func (c *Counter) digest(name events.EventName, minute int64, country string, loggedIn bool) (obs, int) {
+	full := name.String()
 	o := obs{
-		minute:   e.Timestamp / 60_000,
-		country:  geo.CountryOf(e.IP),
-		loggedIn: e.LoggedIn(),
+		minute:   minute,
+		country:  country,
+		loggedIn: loggedIn,
 	}
 	// The six hierarchy prefixes are substrings of the full name; slicing
 	// shares the one allocation.
@@ -280,11 +412,11 @@ func (c *Counter) observe(e *events.ClientEvent) (obs, int, bool) {
 	o.prefixes[events.NumComponents-1] = full
 	o.rollups[0] = full
 	for lvl := 1; lvl < events.NumRollupLevels; lvl++ {
-		o.rollups[lvl] = e.Name.Rollup(events.RollupLevel(lvl)).String()
+		o.rollups[lvl] = name.Rollup(events.RollupLevel(lvl)).String()
 	}
 	h := hash32(full)
 	o.stripe = (h >> 16) % uint32(c.cfg.Stripes)
-	return o, int(h % uint32(c.cfg.Shards)), true
+	return o, int(h % uint32(c.cfg.Shards))
 }
 
 // send enqueues one batch on a shard, blocking when the queue is full.
@@ -305,16 +437,29 @@ func (c *Counter) send(shardIdx int, batch []obs) {
 }
 
 // drain is the per-shard goroutine: it pulls batches off the queue,
-// groups them by stripe, and applies each group under one lock
-// acquisition.
+// appends each to the shard's WAL (durable counters), groups it by
+// stripe, and applies each group under one lock acquisition. The
+// write-ahead ordering — log before apply — is what makes recovery exact:
+// a batch is never visible to queries unless it is also in the OS's hands.
 func (c *Counter) drain(s *shard) {
 	defer c.wg.Done()
 	for msg := range s.ch {
 		if msg.batch != nil {
+			if s.wal != nil {
+				c.walAppend(s, msg.batch)
+			}
 			c.apply(s, msg.batch)
+		}
+		if msg.snap != nil {
+			msg.snap <- c.captureShard(s)
 		}
 		if msg.sync != nil {
 			close(msg.sync)
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil {
+			c.walErrors.Add(1)
 		}
 	}
 }
@@ -332,7 +477,7 @@ func (c *Counter) apply(s *shard, batch []obs) {
 		stripe := &s.stripes[st]
 		stripe.mu.Lock()
 		for i := range group {
-			c.applyOne(stripe, &group[i])
+			c.applyOne(s, stripe, &group[i])
 		}
 		stripe.mu.Unlock()
 		s.scratch[st] = group[:0]
@@ -341,7 +486,7 @@ func (c *Counter) apply(s *shard, batch []obs) {
 
 // applyOne increments one observation's 6 prefix counters and 5 rollup
 // rows in its minute bucket. Callers hold the stripe lock.
-func (c *Counter) applyOne(st *stripe, o *obs) {
+func (c *Counter) applyOne(s *shard, st *stripe, o *obs) {
 	for {
 		cur := c.maxMinute.Load()
 		if o.minute <= cur || c.maxMinute.CompareAndSwap(cur, o.minute) {
@@ -380,5 +525,6 @@ func (c *Counter) applyOne(st *stripe, o *obs) {
 			LoggedIn: o.loggedIn,
 		}]++
 	}
+	s.applied++
 	c.observed.Add(1)
 }

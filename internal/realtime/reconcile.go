@@ -93,6 +93,25 @@ func Reconcile(fs *hdfs.FS, day time.Time, cfg Config) (*Report, error) {
 	return r, nil
 }
 
+// ReconcileWith diffs the batch rollup job against the rollup rows an
+// existing counter holds for the day — the check a recovered counter must
+// pass: after a kill and an Open, its day must still agree exactly with
+// the warehouse. Events reports the counter's observed total, not a
+// replay count.
+func ReconcileWith(fs *hdfs.FS, day time.Time, c *Counter) (*Report, error) {
+	day = day.UTC().Truncate(24 * time.Hour)
+	j := dataflow.NewJob("reconcile-batch", fs)
+	batch, err := analytics.Rollups(j, day)
+	if err != nil {
+		return nil, err
+	}
+	c.Sync()
+	stream := c.RollupSnapshot(day, day.Add(24*time.Hour))
+	r := &Report{Day: day, Events: c.Stats().Observed}
+	r.diff(batch, stream)
+	return r, nil
+}
+
 // diff fills the report with the disagreement between the batch and
 // streaming rollup tables.
 func (r *Report) diff(batch, stream map[analytics.RollupKey]int64) {

@@ -1,0 +1,260 @@
+package realtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"unilog/internal/events"
+	"unilog/internal/recordio"
+)
+
+// Open starts a durable counter rooted at dir, recovering whatever a
+// previous incarnation left there: it loads the newest valid snapshot,
+// replays each shard's WAL tail on top, and only then starts the drain
+// goroutines and the periodic snapshotter. dir overrides cfg.WALDir.
+//
+// Recovery is deliberately tolerant — a crash can leave a torn final WAL
+// record, a half-written snapshot temp file, or segments a finished
+// snapshot did not get to delete — and must always come up with a
+// consistent counter rather than an error or a double count:
+//
+//   - a snapshot that fails to parse end-to-end is ignored in favor of the
+//     next older one (or an empty state);
+//   - WAL segments below the snapshot's recorded boundary are skipped,
+//     whether or not the snapshotter managed to delete them;
+//   - a torn or corrupt record ends its segment: replay keeps the
+//     segment's intact prefix, truncates the file down to it (so the
+//     damage cannot shadow later, healthy segments on the next
+//     recovery), and moves on to the next segment;
+//   - appending always begins in a fresh segment, never after a tear.
+//
+// Counts recovered this way are exact for everything the WAL fsync
+// cadence made durable: after a clean Close, or a Crash with the tail
+// flushed, a reopened counter answers every query identically to one
+// that never went down.
+func Open(dir string, cfg Config) (*Counter, error) {
+	cfg.WALDir = dir
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := allocCounter(cfg)
+	c.durable = true
+
+	snaps, segs, maxSnapSeq, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c.snapSeq = maxSnapSeq
+
+	var header snapHeader
+	for _, s := range snaps { // newest first
+		h, buckets, err := loadSnapshot(filepath.Join(dir, s.name))
+		if err != nil {
+			continue // superseded at the next snapshot; recovery moves on
+		}
+		header = h
+		c.observedBase = h.observed
+		c.observed.Store(h.observed)
+		c.maxMinute.Store(h.maxMinute)
+		for i := range buckets {
+			c.loadBucket(&buckets[i])
+		}
+		break
+	}
+
+	// Replay each logged shard's surviving segments, oldest first,
+	// re-digesting every record so routing follows the current
+	// configuration even if the log was written under a different one.
+	for shard, files := range segs {
+		sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+		from := int64(0)
+		if shard < len(header.next) {
+			from = header.next[shard]
+		}
+		for _, f := range files {
+			if f.seq < from {
+				continue // covered by the snapshot
+			}
+			if err := c.replaySegment(filepath.Join(dir, f.name)); err != nil {
+				// The segment could not even be repaired (e.g. the
+				// truncate failed): stop this shard's chain rather than
+				// risk replaying past an unhealed tear twice.
+				break
+			}
+		}
+	}
+
+	// Append into fresh segments strictly after anything on disk or
+	// recorded in the snapshot header.
+	for i, s := range c.shards {
+		seq := int64(0)
+		if i < len(header.next) {
+			seq = header.next[i]
+		}
+		for _, f := range segs[i] {
+			if f.seq+1 > seq {
+				seq = f.seq + 1
+			}
+		}
+		w, err := openWAL(dir, i, seq)
+		if err != nil {
+			return nil, fmt.Errorf("realtime: open wal shard %d: %w", i, err)
+		}
+		s.wal = w
+	}
+
+	c.start()
+	return c, nil
+}
+
+// dirEntry is one parsed snapshot or segment file name.
+type dirEntry struct {
+	name string
+	seq  int64
+}
+
+// scanDir classifies dir's contents: snapshots newest-first, WAL segments
+// grouped by shard index, and the highest snapshot sequence seen (valid
+// or not, so new snapshots always supersede leftovers).
+func scanDir(dir string) (snaps []dirEntry, segs map[int][]dirEntry, maxSnapSeq int64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	segs = map[int][]dirEntry{}
+	for _, e := range entries {
+		name := e.Name()
+		if seq, ok := parseSnapName(name); ok {
+			snaps = append(snaps, dirEntry{name, seq})
+			if seq > maxSnapSeq {
+				maxSnapSeq = seq
+			}
+		} else if shard, seq, ok := parseWALName(name); ok {
+			segs[shard] = append(segs[shard], dirEntry{name, seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].seq > snaps[j].seq })
+	return snaps, segs, maxSnapSeq, nil
+}
+
+// loadSnapshot parses a whole snapshot file into memory, validating every
+// frame before any of it is applied — a snapshot is all-or-nothing.
+func loadSnapshot(path string) (snapHeader, []snapBucket, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return snapHeader{}, nil, err
+	}
+	defer f.Close()
+	r := recordio.NewCRCReader(f)
+	rec, err := r.Next()
+	if err != nil {
+		return snapHeader{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), errOr(err))
+	}
+	header, err := decodeSnapHeader(rec)
+	if err != nil {
+		return snapHeader{}, nil, err
+	}
+	var buckets []snapBucket
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return header, buckets, nil
+		}
+		if err != nil {
+			return snapHeader{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), err)
+		}
+		b, err := decodeBucket(rec)
+		if err != nil {
+			return snapHeader{}, nil, err
+		}
+		buckets = append(buckets, b)
+	}
+}
+
+// errOr maps a clean-EOF (empty file) to a recognizable corruption error.
+func errOr(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("%w: empty snapshot", recordio.ErrCorrupt)
+	}
+	return err
+}
+
+// loadBucket merges one snapshot bucket into the stripes. Shard and
+// stripe indices are taken modulo the current configuration, so a
+// snapshot from a differently-sized counter still loads — totals are
+// distributive across placement, and collisions merge.
+func (c *Counter) loadBucket(sb *snapBucket) {
+	if sb.minute <= c.maxMinute.Load()-int64(c.buckets) {
+		return // behind the retention horizon
+	}
+	s := c.shards[sb.shard%len(c.shards)]
+	st := &s.stripes[sb.stripe%c.cfg.Stripes]
+	b := &st.ring[int(sb.minute)%c.buckets]
+	switch {
+	case b.prefix == nil || b.minute < sb.minute:
+		b.minute = sb.minute
+		b.prefix = sb.prefix
+		b.rollup = sb.rollup
+	case b.minute == sb.minute:
+		for k, v := range sb.prefix {
+			b.prefix[k] += v
+		}
+		for k, v := range sb.rollup {
+			b.rollup[k] += v
+		}
+	default:
+		// The slot already holds a newer minute; this bucket is behind
+		// the horizon by ring geometry.
+	}
+}
+
+// replaySegment re-applies every intact batch record in one WAL segment.
+// On a torn or corrupt record it applies the intact prefix, truncates the
+// file down to that prefix (counting the damage in WALErrors), and
+// reports success so the shard's chain continues; it errors only when the
+// segment cannot be read or repaired.
+func (c *Counter) replaySegment(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	r := recordio.NewCRCReader(f)
+	var intact int64 // bytes of whole, checksummed records applied
+	var lenBuf [binary.MaxVarintLen64]byte
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			f.Close()
+			return nil
+		}
+		if err != nil {
+			f.Close()
+			c.walErrors.Add(1)
+			return os.Truncate(path, intact)
+		}
+		err = decodeBatch(rec, func(name string, minute int64, country string, loggedIn bool) error {
+			n, err := events.ParseName(name)
+			if err != nil {
+				c.invalid.Add(1)
+				return nil
+			}
+			o, shardIdx := c.digest(n, minute, country, loggedIn)
+			s := c.shards[shardIdx]
+			c.applyOne(s, &s.stripes[o.stripe], &o)
+			return nil
+		})
+		if err != nil {
+			// Structurally damaged batch behind a valid checksum: treat
+			// like any other corruption at this record's boundary.
+			f.Close()
+			c.walErrors.Add(1)
+			return os.Truncate(path, intact)
+		}
+		intact += int64(binary.PutUvarint(lenBuf[:], uint64(len(rec)))) + 4 + int64(len(rec))
+	}
+}

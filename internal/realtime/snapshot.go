@@ -1,0 +1,493 @@
+package realtime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/events"
+	"unilog/internal/recordio"
+)
+
+// A snapshot is the other half of durability: the WAL alone would grow
+// without bound and make recovery replay a whole day, so the snapshotter
+// periodically serializes every shard's stripe rings into one CRC-framed
+// file and retires the WAL segments the file covers.
+//
+// The snapshot/WAL boundary must be exact — counters are additive, so a
+// record replayed on top of a snapshot that already contains it double
+// counts. The protocol gets exactness per shard from the drain goroutine
+// itself: a snap message asks each drain to (1) rotate its WAL to a fresh
+// segment and (2) serialize its stripes, in that order, between batches.
+// The serialized state is then precisely the effect of every record in
+// segments below the rotated sequence number, and recovery replays only
+// segments at or above it. Shards are captured independently (shard A may
+// apply more batches while shard B serializes) — that is fine, because
+// shards never share keys and recovery is per-shard.
+//
+// Snapshot files are named snap-<seq>.snap; higher seq wins. A file is a
+// CRC record stream: one header record (version, per-shard next WAL
+// sequence numbers, the observed-event total, the retention high-water
+// minute) followed by one record per non-empty minute bucket. Writes go
+// to a temp file that is fsynced and atomically renamed, so a crashed
+// snapshotter leaves either the old snapshot or the new one, never a
+// half-written current file.
+
+// errClosed reports a durability operation on a stopped counter.
+var errClosed = errors.New("realtime: counter is closed")
+
+// snapRecordVersion guards the snapshot encoding; bump on format change.
+const snapRecordVersion = 1
+
+// Record tags inside a snapshot file.
+const (
+	snapTagHeader = 'H'
+	snapTagBucket = 'B'
+)
+
+// snapName formats a snapshot file name.
+func snapName(seq int64) string { return fmt.Sprintf("snap-%010d.snap", seq) }
+
+// parseSnapName inverts snapName.
+func parseSnapName(name string) (seq int64, ok bool) {
+	rest, ok := strings.CutPrefix(name, "snap-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".snap")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// shardState is one shard's contribution to a snapshot: its encoded
+// buckets, its applied-event count, and the WAL sequence number its state
+// is exact up to (exclusive).
+type shardState struct {
+	recs    [][]byte
+	applied int64
+	nextSeq int64
+	err     error
+}
+
+// captureShard runs on the shard's drain goroutine: rotate the WAL so the
+// boundary is durable, then encode every live bucket. Stripe locks are
+// held per stripe only against concurrent readers.
+func (c *Counter) captureShard(s *shard) shardState {
+	st := shardState{applied: s.applied}
+	if s.wal != nil {
+		seq, err := s.wal.rotate()
+		if err != nil {
+			return shardState{err: err}
+		}
+		st.nextSeq = seq
+	}
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		sp.mu.Lock()
+		for j := range sp.ring {
+			b := &sp.ring[j]
+			if b.prefix == nil {
+				continue
+			}
+			st.recs = append(st.recs, encodeBucket(nil, s.idx, i, b))
+		}
+		sp.mu.Unlock()
+	}
+	return st
+}
+
+// Snapshot forces a snapshot now: every shard rotates its WAL and hands
+// its state to the caller, which writes the file and deletes the covered
+// segments. Automatic snapshots call this on the Config.SnapshotEvery
+// cadence. It returns errClosed (and changes nothing) on a stopped
+// counter.
+func (c *Counter) Snapshot() error {
+	err := c.snapshotNow()
+	if err != nil && err != errClosed {
+		c.snapErrors.Add(1)
+	}
+	return err
+}
+
+func (c *Counter) snapshotNow() error {
+	if !c.durable {
+		return errors.New("realtime: memory-only counter has no snapshots (use Open)")
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	c.closeMu.RLock()
+	if c.closed {
+		c.closeMu.RUnlock()
+		return errClosed
+	}
+	replies := make([]chan shardState, len(c.shards))
+	for i, s := range c.shards {
+		replies[i] = make(chan shardState, 1)
+		s.ch <- shardMsg{snap: replies[i]}
+	}
+	c.closeMu.RUnlock()
+	states := make([]shardState, len(c.shards))
+	for i := range replies {
+		states[i] = <-replies[i]
+	}
+	for i := range states {
+		if states[i].err != nil {
+			return states[i].err
+		}
+	}
+	return c.writeSnapshot(states)
+}
+
+// snapshotFinal serializes directly from the stripes after the drains
+// have exited (Close); the WAL writers are closed, so the snapshot covers
+// every segment and the whole log is retired.
+func (c *Counter) snapshotFinal() error {
+	states := make([]shardState, len(c.shards))
+	for i, s := range c.shards {
+		st := c.captureShardStopped(s)
+		st.nextSeq = s.wal.seq + 1
+		states[i] = st
+	}
+	return c.writeSnapshot(states)
+}
+
+// captureShardStopped is captureShard without the WAL rotation, for use
+// once the drain goroutines are gone.
+func (c *Counter) captureShardStopped(s *shard) shardState {
+	st := shardState{applied: s.applied}
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		for j := range sp.ring {
+			b := &sp.ring[j]
+			if b.prefix == nil {
+				continue
+			}
+			st.recs = append(st.recs, encodeBucket(nil, s.idx, i, b))
+		}
+	}
+	return st
+}
+
+// writeSnapshot persists the captured states as snap-<snapSeq+1>.snap and
+// prunes everything it supersedes. Callers hold snapMu.
+func (c *Counter) writeSnapshot(states []shardState) error {
+	// The header's next-sequence list must cover not only the live shards
+	// but any lingering segment files from a previous, larger
+	// configuration: their content was replayed at Open and is therefore
+	// in this snapshot, and recording them here keeps a crash between
+	// rename and prune from double counting them on the next recovery.
+	next := make([]int64, len(states))
+	for i, st := range states {
+		next[i] = st.nextSeq
+	}
+	for shard, seq := range c.lingeringSegments(len(states)) {
+		for len(next) <= shard {
+			next = append(next, 0)
+		}
+		next[shard] = seq + 1
+	}
+	var observed int64
+	for _, st := range states {
+		observed += st.applied
+	}
+	observed += c.observedBase
+
+	seq := c.snapSeq + 1
+	tmp := filepath.Join(c.cfg.WALDir, fmt.Sprintf("snap-%010d.tmp", seq))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	cw := recordio.NewCRCWriter(bw)
+	werr := cw.Append(encodeSnapHeader(nil, next, observed, c.maxMinute.Load()))
+	for _, st := range states {
+		for _, rec := range st.recs {
+			if werr != nil {
+				break
+			}
+			werr = cw.Append(rec)
+		}
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	final := filepath.Join(c.cfg.WALDir, snapName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(c.cfg.WALDir)
+	c.snapSeq = seq
+	c.snapshots.Add(1)
+	c.prune(seq, next)
+	return nil
+}
+
+// lingeringSegments returns, for every shard index >= liveShards that
+// still has WAL files on disk, the highest segment sequence present.
+func (c *Counter) lingeringSegments(liveShards int) map[int]int64 {
+	out := map[int]int64{}
+	entries, err := os.ReadDir(c.cfg.WALDir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		shard, seq, ok := parseWALName(e.Name())
+		if !ok || shard < liveShards {
+			continue
+		}
+		if cur, ok := out[shard]; !ok || seq > cur {
+			out[shard] = seq
+		}
+	}
+	return out
+}
+
+// prune best-effort deletes superseded snapshots and WAL segments below
+// each shard's covered boundary. The immediately previous snapshot is
+// kept: it is what recovery falls back to if the newest file turns out
+// unreadable, and it costs one file. Failures are harmless: recovery
+// ignores superseded snapshots and skips covered segments by sequence.
+func (c *Counter) prune(seq int64, next []int64) {
+	entries, err := os.ReadDir(c.cfg.WALDir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if s, ok := parseSnapName(name); ok && s < seq-1 {
+			os.Remove(filepath.Join(c.cfg.WALDir, name))
+		}
+		if shard, s, ok := parseWALName(name); ok && shard < len(next) && s < next[shard] {
+			os.Remove(filepath.Join(c.cfg.WALDir, name))
+		}
+	}
+}
+
+// snapshotLoop cuts a snapshot every Config.SnapshotEvery until shutdown.
+func (c *Counter) snapshotLoop() {
+	defer close(c.snapDone)
+	t := time.NewTicker(c.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.snapQuit:
+			return
+		case <-t.C:
+			_ = c.Snapshot() // failure counted in SnapshotErrors; WAL tail stays
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a power cut.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// encodeSnapHeader appends the header record: tag, version, the per-shard
+// next WAL sequences, the observed total, and the high-water minute.
+func encodeSnapHeader(buf []byte, next []int64, observed, maxMinute int64) []byte {
+	buf = append(buf, snapTagHeader, snapRecordVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(next)))
+	for _, n := range next {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	buf = binary.AppendUvarint(buf, uint64(observed))
+	buf = binary.AppendUvarint(buf, uint64(maxMinute))
+	return buf
+}
+
+// snapHeader is the decoded header record.
+type snapHeader struct {
+	next      []int64
+	observed  int64
+	maxMinute int64
+}
+
+// decodeSnapHeader parses a header record.
+func decodeSnapHeader(rec []byte) (snapHeader, error) {
+	var h snapHeader
+	corrupt := func(what string) (snapHeader, error) {
+		return h, fmt.Errorf("%w: snapshot header %s", recordio.ErrCorrupt, what)
+	}
+	if len(rec) < 2 || rec[0] != snapTagHeader || rec[1] != snapRecordVersion {
+		return corrupt("tag/version")
+	}
+	rec = rec[2:]
+	nshards, n := binary.Uvarint(rec)
+	if n <= 0 || nshards > 1<<16 {
+		return corrupt("shard count")
+	}
+	rec = rec[n:]
+	h.next = make([]int64, nshards)
+	for i := range h.next {
+		v, n := binary.Uvarint(rec)
+		if n <= 0 {
+			return corrupt("next seq")
+		}
+		h.next[i] = int64(v)
+		rec = rec[n:]
+	}
+	v, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return corrupt("observed")
+	}
+	h.observed = int64(v)
+	rec = rec[n:]
+	v, n = binary.Uvarint(rec)
+	if n <= 0 {
+		return corrupt("max minute")
+	}
+	h.maxMinute = int64(v)
+	return h, nil
+}
+
+// encodeBucket appends one bucket record: tag, shard, stripe, minute,
+// then the prefix and rollup tables.
+func encodeBucket(buf []byte, shard, stripe int, b *bucket) []byte {
+	buf = append(buf, snapTagBucket)
+	buf = binary.AppendUvarint(buf, uint64(shard))
+	buf = binary.AppendUvarint(buf, uint64(stripe))
+	buf = binary.AppendUvarint(buf, uint64(b.minute))
+	buf = binary.AppendUvarint(buf, uint64(len(b.prefix)))
+	for k, v := range b.prefix {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b.rollup)))
+	for k, v := range b.rollup {
+		buf = append(buf, byte(k.Level))
+		buf = binary.AppendUvarint(buf, uint64(len(k.Name)))
+		buf = append(buf, k.Name...)
+		buf = binary.AppendUvarint(buf, uint64(len(k.Country)))
+		buf = append(buf, k.Country...)
+		if k.LoggedIn {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+// snapBucket is a decoded bucket record.
+type snapBucket struct {
+	shard, stripe int
+	minute        int64
+	prefix        map[string]int64
+	rollup        map[analytics.RollupKey]int64
+}
+
+// decodeBucket parses a bucket record.
+func decodeBucket(rec []byte) (snapBucket, error) {
+	var b snapBucket
+	corrupt := func(what string) (snapBucket, error) {
+		return b, fmt.Errorf("%w: snapshot bucket %s", recordio.ErrCorrupt, what)
+	}
+	if len(rec) < 1 || rec[0] != snapTagBucket {
+		return corrupt("tag")
+	}
+	rec = rec[1:]
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(rec)
+		if n <= 0 {
+			return 0, false
+		}
+		rec = rec[n:]
+		return v, true
+	}
+	str := func() (string, bool) {
+		l, ok := uv()
+		if !ok || uint64(len(rec)) < l {
+			return "", false
+		}
+		s := string(rec[:l])
+		rec = rec[l:]
+		return s, true
+	}
+	shard, ok1 := uv()
+	stripe, ok2 := uv()
+	minute, ok3 := uv()
+	if !ok1 || !ok2 || !ok3 {
+		return corrupt("coordinates")
+	}
+	b.shard, b.stripe, b.minute = int(shard), int(stripe), int64(minute)
+	np, ok := uv()
+	if !ok || np > 1<<30 {
+		return corrupt("prefix count")
+	}
+	b.prefix = make(map[string]int64, np)
+	for i := uint64(0); i < np; i++ {
+		k, ok := str()
+		if !ok {
+			return corrupt("prefix key")
+		}
+		v, ok := uv()
+		if !ok {
+			return corrupt("prefix value")
+		}
+		b.prefix[k] = int64(v)
+	}
+	nr, ok := uv()
+	if !ok || nr > 1<<30 {
+		return corrupt("rollup count")
+	}
+	b.rollup = make(map[analytics.RollupKey]int64, nr)
+	for i := uint64(0); i < nr; i++ {
+		if len(rec) < 1 {
+			return corrupt("rollup level")
+		}
+		level := events.RollupLevel(rec[0])
+		rec = rec[1:]
+		name, ok := str()
+		if !ok {
+			return corrupt("rollup name")
+		}
+		country, ok := str()
+		if !ok {
+			return corrupt("rollup country")
+		}
+		if len(rec) < 1 {
+			return corrupt("rollup login bit")
+		}
+		loggedIn := rec[0] == 1
+		rec = rec[1:]
+		v, ok := uv()
+		if !ok {
+			return corrupt("rollup value")
+		}
+		b.rollup[analytics.RollupKey{Level: level, Name: name, Country: country, LoggedIn: loggedIn}] = int64(v)
+	}
+	return b, nil
+}

@@ -1,0 +1,239 @@
+package realtime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"unilog/internal/recordio"
+)
+
+// The write-ahead log makes the counters durable without slowing the hot
+// path below its memory-only throughput class: each shard's drain
+// goroutine appends whole batches (one CRC-framed record per batch, see
+// recordio.CRCWriter) to its own segment file before applying them, so
+// logging parallelizes with sharding and costs one buffered write per
+// batch, not per event. fsync is amortized over Config.FsyncEvery batches.
+//
+// A WAL record is the minimum needed to re-digest its observations on
+// replay: per event, the full hierarchical name, the Unix minute, the
+// country, and the logged-in bit. Prefixes, rollup names, and shard/stripe
+// routing are all derived from the name, so they are recomputed at
+// recovery time against the recovering counter's own configuration —
+// a log written by a 4-shard counter replays correctly into an 8-shard
+// one.
+//
+// Segments are named wal-<shard>-<seq>.log. A snapshot rotates every
+// shard to a fresh segment and then deletes the segments it covers, so
+// the set of files on disk is always: the newest snapshot plus the
+// segments appended since it was cut (plus, transiently, garbage an
+// interrupted snapshot failed to delete, which recovery ignores).
+
+// walRecordVersion guards the batch encoding; bump on format change.
+const walRecordVersion = 1
+
+// walName formats a segment file name.
+func walName(shard int, seq int64) string {
+	return fmt.Sprintf("wal-%03d-%010d.log", shard, seq)
+}
+
+// parseWALName inverts walName.
+func parseWALName(name string) (shard int, seq int64, ok bool) {
+	rest, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".log")
+	if !ok {
+		return 0, 0, false
+	}
+	shardStr, seqStr, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0, 0, false
+	}
+	s, err1 := strconv.Atoi(shardStr)
+	q, err2 := strconv.ParseInt(seqStr, 10, 64)
+	if err1 != nil || err2 != nil || s < 0 || q < 0 {
+		return 0, 0, false
+	}
+	return s, q, true
+}
+
+// walWriter appends CRC-framed batch records to one shard's current
+// segment. It is owned by the shard's drain goroutine once the counter is
+// running; only open/rotate/close bookkeeping happens elsewhere, and only
+// while the drains are parked (startup, shutdown, or a snap message).
+type walWriter struct {
+	dir   string
+	shard int
+	seq   int64 // current segment sequence number
+
+	f  *os.File
+	bw *bufio.Writer
+	cw *recordio.CRCWriter
+
+	sinceSync int    // batches appended since the last fsync
+	scratch   []byte // batch encoding buffer, reused
+}
+
+// openWAL creates (or truncates) the segment walName(shard, seq) and
+// returns a writer positioned at its start. Recovery always starts a
+// fresh segment rather than appending after a possibly-torn tail.
+func openWAL(dir string, shard int, seq int64) (*walWriter, error) {
+	f, err := os.Create(filepath.Join(dir, walName(shard, seq)))
+	if err != nil {
+		return nil, err
+	}
+	w := &walWriter{dir: dir, shard: shard, seq: seq, f: f}
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.cw = recordio.NewCRCWriter(w.bw)
+	return w, nil
+}
+
+// append logs one batch: encode, frame, flush to the OS, and fsync every
+// fsyncEvery batches. It returns the framed size and whether this append
+// fsynced.
+func (w *walWriter) append(batch []obs, fsyncEvery int) (int64, bool, error) {
+	w.scratch = encodeBatch(w.scratch[:0], batch)
+	before := w.cw.Bytes()
+	if err := w.cw.Append(w.scratch); err != nil {
+		return 0, false, err
+	}
+	// Flush the bufio layer every batch: once this returns, a process
+	// kill cannot lose the batch, only an OS crash can (until the next
+	// fsync).
+	if err := w.bw.Flush(); err != nil {
+		return 0, false, err
+	}
+	w.sinceSync++
+	if w.sinceSync < fsyncEvery {
+		return w.cw.Bytes() - before, false, nil
+	}
+	w.sinceSync = 0
+	return w.cw.Bytes() - before, true, w.f.Sync()
+}
+
+// rotate durably finishes the current segment and opens the next one,
+// returning the new segment's sequence number. Everything appended so far
+// lives in segments < the returned seq.
+func (w *walWriter) rotate() (int64, error) {
+	if err := w.close(); err != nil {
+		return 0, err
+	}
+	nw, err := openWAL(w.dir, w.shard, w.seq+1)
+	if err != nil {
+		return 0, err
+	}
+	*w = *nw
+	return w.seq, nil
+}
+
+// close flushes, fsyncs, and closes the current segment file.
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.bw.Flush()
+	if serr := w.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// walAppend is the drain-goroutine side: it logs the batch and folds the
+// outcome into the counter's stats. A failed append degrades that batch to
+// memory-only rather than stalling ingestion; WALErrors records the loss.
+func (c *Counter) walAppend(s *shard, batch []obs) {
+	n, synced, err := s.wal.append(batch, c.cfg.FsyncEvery)
+	if err != nil {
+		c.walErrors.Add(1)
+		return
+	}
+	c.walBatches.Add(1)
+	c.walBytes.Add(n)
+	if synced {
+		c.fsyncs.Add(1)
+	}
+}
+
+// encodeBatch appends the wire form of a batch to buf: a version byte, the
+// observation count, then per observation the full name, minute, country,
+// and logged-in bit, all length- or varint-delimited.
+func encodeBatch(buf []byte, batch []obs) []byte {
+	buf = append(buf, walRecordVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(batch)))
+	for i := range batch {
+		o := &batch[i]
+		full := o.prefixes[len(o.prefixes)-1]
+		buf = binary.AppendUvarint(buf, uint64(len(full)))
+		buf = append(buf, full...)
+		buf = binary.AppendUvarint(buf, uint64(o.minute))
+		buf = binary.AppendUvarint(buf, uint64(len(o.country)))
+		buf = append(buf, o.country...)
+		if o.loggedIn {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// decodeBatch walks one WAL record, invoking fn per logged observation.
+// Any structural damage surfaces as recordio.ErrCorrupt so replay treats
+// it like a failed checksum.
+func decodeBatch(rec []byte, fn func(name string, minute int64, country string, loggedIn bool) error) error {
+	corrupt := func(what string) error {
+		return fmt.Errorf("%w: wal record %s", recordio.ErrCorrupt, what)
+	}
+	if len(rec) == 0 || rec[0] != walRecordVersion {
+		return corrupt("version")
+	}
+	rec = rec[1:]
+	count, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return corrupt("count")
+	}
+	rec = rec[n:]
+	readStr := func() (string, bool) {
+		l, n := binary.Uvarint(rec)
+		if n <= 0 || uint64(len(rec)-n) < l {
+			return "", false
+		}
+		s := string(rec[n : n+int(l)])
+		rec = rec[n+int(l):]
+		return s, true
+	}
+	for i := uint64(0); i < count; i++ {
+		name, ok := readStr()
+		if !ok {
+			return corrupt("name")
+		}
+		minute, n := binary.Uvarint(rec)
+		if n <= 0 {
+			return corrupt("minute")
+		}
+		rec = rec[n:]
+		country, ok := readStr()
+		if !ok {
+			return corrupt("country")
+		}
+		if len(rec) < 1 {
+			return corrupt("login bit")
+		}
+		loggedIn := rec[0] == 1
+		rec = rec[1:]
+		if err := fn(name, int64(minute), country, loggedIn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

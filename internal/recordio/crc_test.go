@@ -1,0 +1,160 @@
+package recordio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func crcStream(t *testing.T, recs ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewCRCWriter(&buf)
+	for _, r := range recs {
+		if err := w.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(recs)) || w.Bytes() != int64(buf.Len()) {
+		t.Fatalf("writer accounting: count %d bytes %d, stream %d", w.Count(), w.Bytes(), buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestCRCRoundTrip(t *testing.T) {
+	want := []string{"alpha", "", "a much longer record with some bytes in it", "z"}
+	data := crcStream(t, want...)
+	r := NewCRCReader(bytes.NewReader(data))
+	var got []string
+	if err := r.ForEach(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCRCTornTail truncates the stream at every possible byte boundary:
+// the reader must hand back the intact prefix and then report ErrTruncated
+// (or a clean EOF exactly at a record boundary), never a bogus record.
+func TestCRCTornTail(t *testing.T) {
+	recs := []string{"first-record", "second-record", "third"}
+	data := crcStream(t, recs...)
+	// Record boundaries, for deciding how many whole records a cut keeps.
+	var bounds []int
+	{
+		var buf bytes.Buffer
+		w := NewCRCWriter(&buf)
+		for _, r := range recs {
+			w.Append([]byte(r))
+			bounds = append(bounds, buf.Len())
+		}
+	}
+	for cut := 0; cut < len(data); cut++ {
+		whole := 0
+		for _, b := range bounds {
+			if cut >= b {
+				whole++
+			}
+		}
+		r := NewCRCReader(bytes.NewReader(data[:cut]))
+		got := 0
+		var err error
+		for {
+			var rec []byte
+			rec, err = r.Next()
+			if err != nil {
+				break
+			}
+			if string(rec) != recs[got] {
+				t.Fatalf("cut %d: record %d = %q", cut, got, rec)
+			}
+			got++
+		}
+		if got != whole {
+			t.Fatalf("cut %d: read %d whole records, want %d", cut, got, whole)
+		}
+		atBoundary := cut == 0
+		for _, b := range bounds {
+			if cut == b {
+				atBoundary = true
+			}
+		}
+		if atBoundary && err != io.EOF {
+			t.Errorf("cut %d (boundary): err = %v, want io.EOF", cut, err)
+		}
+		if !atBoundary && !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut %d (mid-record): err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestCRCFlippedByte(t *testing.T) {
+	data := crcStream(t, "only-record-here")
+	for i := range data {
+		bad := bytes.Clone(data)
+		bad[i] ^= 0x01
+		r := NewCRCReader(bytes.NewReader(bad))
+		_, err := r.Next()
+		if err == nil {
+			t.Fatalf("flip at %d: corrupt record read back cleanly", i)
+		}
+		// A flip in the uvarint length can also present as a truncated
+		// stream (declared length now exceeds the bytes present); either
+		// way the record must not decode.
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+			t.Errorf("flip at %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestCRCInsaneLength(t *testing.T) {
+	var buf bytes.Buffer
+	lenBuf := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(lenBuf, uint64(MaxRecordSize)+1)
+	buf.Write(lenBuf[:n])
+	buf.Write([]byte{0, 0, 0, 0, 'x'})
+	if _, err := NewCRCReader(&buf).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCRCAppendRejectsOversizedRecord pins the write-side bound: a record
+// the reader would reject as corrupt must never be writable, or an
+// appender could produce a stream that can't be read back.
+func TestCRCAppendRejectsOversizedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCRCWriter(&buf)
+	if err := w.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized record appended cleanly")
+	}
+	if buf.Len() != 0 || w.Count() != 0 {
+		t.Fatalf("rejected append left %d bytes, count %d", buf.Len(), w.Count())
+	}
+}
+
+func TestCRCForEachStopsOnFnError(t *testing.T) {
+	data := crcStream(t, "a", "b", "c")
+	boom := errors.New("boom")
+	seen := 0
+	err := NewCRCReader(bytes.NewReader(data)).ForEach(func([]byte) error {
+		seen++
+		if seen == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || seen != 2 {
+		t.Fatalf("err = %v after %d records, want boom after 2", err, seen)
+	}
+}
