@@ -745,6 +745,7 @@ func BenchmarkRealtimeQueryPoint(b *testing.B) {
 	rt := getRealtime(b)
 	end := day.Add(24 * time.Hour)
 	var n int64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n = rt.PathSum("web", day, end)
 	}
@@ -759,6 +760,7 @@ func BenchmarkRealtimeQueryPoint(b *testing.B) {
 func BenchmarkRealtimeQueryTopK(b *testing.B) {
 	rt := getRealtime(b)
 	end := day.Add(24 * time.Hour)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if top := rt.TopK("web", 5, day, end); len(top) == 0 {
 			b.Fatal("no children")
@@ -770,6 +772,7 @@ func BenchmarkRealtimeQueryTopK(b *testing.B) {
 // plus a streaming replay of the day, diffed to exact agreement.
 func BenchmarkRealtimeReconcile(b *testing.B) {
 	c := getCorpus(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep, err := realtime.Reconcile(c.fs, day, realtime.Config{Shards: 4})
 		if err != nil {

@@ -12,10 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +43,28 @@ import (
 
 var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
 
+// realtimeMetrics is the machine-readable summary of the realtime
+// experiments (E14/E15), written as JSON so the perf trajectory of the
+// streaming subsystem is tracked run over run instead of scraped from
+// stdout. Zero-valued fields mean the experiment that measures them was
+// skipped via -only.
+type realtimeMetrics struct {
+	GeneratedAt           string  `json:"generated_at"`
+	Events                int64   `json:"events"`
+	IngestEventsPerSec    float64 `json:"ingest_events_per_sec"`
+	IngestAllocsPerEvent  float64 `json:"ingest_allocs_per_event"`
+	WALIngestEventsPerSec float64 `json:"wal_ingest_events_per_sec"`
+	WALBytesPerEvent      float64 `json:"wal_bytes_per_event"`
+	WALOverheadX          float64 `json:"wal_overhead_x"`
+	RecoveryMillis        float64 `json:"recovery_ms"`
+	RecoveryEventsPerSec  float64 `json:"recovery_events_per_sec"`
+	ReconcileOK           bool    `json:"reconcile_ok"`
+
+	measured bool
+}
+
+var metrics realtimeMetrics
+
 type env struct {
 	fs    *hdfs.FS
 	dict  *session.Dictionary
@@ -56,6 +80,8 @@ func main() {
 	loggedOut := flag.Int("loggedout", 400, "logged-out sessions (funnel traffic)")
 	seed := flag.Int64("seed", 2012, "workload seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	benchJSON := flag.String("benchjson", "BENCH_realtime.json",
+		"write machine-readable realtime metrics (e14/e15) to this file; empty disables")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig(day)
@@ -128,6 +154,18 @@ func main() {
 		fmt.Printf("## %s — %s\n\n", strings.ToUpper(ex.id), ex.name)
 		ex.run(e)
 		fmt.Println()
+	}
+
+	if metrics.measured && *benchJSON != "" {
+		metrics.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		data, err := json.MarshalIndent(&metrics, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("realtime metrics written to %s\n", *benchJSON)
 	}
 }
 
@@ -583,6 +621,8 @@ func e14(e *env) {
 	reps := (target + len(e.evs) - 1) / len(e.evs)
 	rt := realtime.New(realtime.Config{Shards: 4})
 	defer rt.Close()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -601,11 +641,17 @@ func e14(e *env) {
 	wg.Wait()
 	rt.Sync()
 	ingestT := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	st := rt.Stats()
-	fmt.Printf("  ingest: %d events (day replayed %dx) through %d shards in %v — %.0f events/s\n",
-		st.Observed, reps, rt.Shards(), ingestT.Round(time.Millisecond), float64(st.Observed)/ingestT.Seconds())
+	allocsPerEvent := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(st.Observed)
+	fmt.Printf("  ingest: %d events (day replayed %dx) through %d shards in %v — %.0f events/s, %.3f allocs/event\n",
+		st.Observed, reps, rt.Shards(), ingestT.Round(time.Millisecond), float64(st.Observed)/ingestT.Seconds(), allocsPerEvent)
 	fmt.Printf("  backpressure: %d full-queue waits; dropped-old %d, decode errors %d\n",
 		st.QueueFull, st.DroppedOld, st.DecodeErrors)
+	metrics.measured = true
+	metrics.Events = st.Observed
+	metrics.IngestEventsPerSec = float64(st.Observed) / ingestT.Seconds()
+	metrics.IngestAllocsPerEvent = allocsPerEvent
 
 	// Query latency over the populated windows.
 	end := day.Add(24 * time.Hour)
@@ -631,6 +677,7 @@ func e14(e *env) {
 		fatal(err)
 	}
 	fmt.Printf("  %s (replay+diff in %v)\n", rep, time.Since(start).Round(time.Millisecond))
+	metrics.ReconcileOK = rep.OK()
 }
 
 func e15(e *env) {
@@ -685,8 +732,8 @@ func e15(e *env) {
 	durRate := float64(durN) / durT.Seconds()
 	st := dur.Stats()
 	fmt.Printf("  %-34s %12d events %10v %12.0f events/s\n", "WAL on (batch fsync)", durN, durT.Round(time.Millisecond), durRate)
-	fmt.Printf("  overhead: %.2fx slower with the WAL (%d batches, %.1f MiB logged, %d fsyncs)\n",
-		memRate/durRate, st.WALBatches, float64(st.WALBytes)/(1<<20), st.Fsyncs)
+	fmt.Printf("  overhead: %.2fx slower with the WAL (%d batches, %.1f MiB logged, %d fsyncs, %.1f B/event)\n",
+		memRate/durRate, st.WALBatches, float64(st.WALBytes)/(1<<20), st.Fsyncs, float64(st.WALBytes)/float64(durN))
 
 	dur.Crash()
 	start := time.Now()
@@ -702,6 +749,16 @@ func e15(e *env) {
 	fmt.Printf("  recovered PathSum(web) = %d (live engine served %d)\n",
 		rec.PathSum("web", day, end), mem.PathSum("web", day, end))
 	rec.Close()
+
+	metrics.measured = true
+	if metrics.Events == 0 {
+		metrics.Events = durN
+	}
+	metrics.WALIngestEventsPerSec = durRate
+	metrics.WALBytesPerEvent = float64(st.WALBytes) / float64(durN)
+	metrics.WALOverheadX = memRate / durRate
+	metrics.RecoveryMillis = float64(recT.Milliseconds())
+	metrics.RecoveryEventsPerSec = float64(durN) / recT.Seconds()
 }
 
 type memBuf struct{ data []byte }

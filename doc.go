@@ -23,17 +23,30 @@
 // warehouse rollups — and realtime.Reconcile replays a sealed day through
 // the counters to prove both paths compute identical §3.2 rollup tables.
 //
+// The counter hot path is interned: a concurrent, read-mostly symbol
+// table digests each distinct event name once — its six hierarchy
+// prefixes, five §3.2 rollup names, and shard/stripe routing cached
+// behind dense integer IDs — so steady-state ingestion is an
+// allocation-free read-locked lookup plus integer-keyed increments, and
+// query results resolve IDs back to strings only at the edges.
+//
 // The counters are durable: realtime.Open roots a counter in a directory
 // where every drained batch is appended to a per-shard, CRC-framed
 // write-ahead log (recordio.CRCWriter framing; Config.FsyncEvery trades
 // fsync cadence against throughput) before it is applied, and a periodic
 // snapshotter (Config.SnapshotEvery) serializes the stripe rings and
-// truncates the covered log segments. After a crash, Open loads the
-// newest valid snapshot and replays the WAL tail — tolerating a torn
-// final record, flipped bits, and damaged or missing snapshots — so a
-// restarted shard remembers "today so far" instead of waiting a day for
-// the warehouse rollup, and still reconciles exactly against the batch
-// path.
+// truncates the covered log segments. WAL records are
+// dictionary-compressed (format v2): each segment embeds a first-seen
+// name once and logs a few varint bytes per observation after that,
+// cutting the log from ~36 B to a few bytes per event; v1 full-name
+// records from older logs still replay. Snapshots carry a dictionary of
+// their own plus the full Stats block, so activity counters survive
+// restarts. After a crash, Open rebuilds the symbol table and replays the
+// newest valid snapshot plus the WAL tail — tolerating a torn final
+// record, flipped bits, damaged or missing snapshots, and shard/stripe
+// reconfiguration (replay re-digests every name) — so a restarted shard
+// remembers "today so far" instead of waiting a day for the warehouse
+// rollup, and still reconciles exactly against the batch path.
 //
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and the examples/ directory

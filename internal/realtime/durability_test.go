@@ -1,6 +1,7 @@
 package realtime
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,8 +10,11 @@ import (
 	"testing"
 	"time"
 
+	"unilog/internal/analytics"
 	"unilog/internal/events"
 	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/scribe"
 	"unilog/internal/warehouse"
 	"unilog/internal/workload"
 )
@@ -579,4 +583,135 @@ func TestSnapshotOnMemoryCounterErrors(t *testing.T) {
 	if err := c.Snapshot(); err == nil {
 		t.Fatal("Snapshot on a memory-only counter succeeded")
 	}
+}
+
+// TestStatsPersistAcrossRestart: the full activity-counter block — not
+// just Observed — must survive a snapshot/restore cycle, so dashboards
+// watching Stats see monotonic values across restarts.
+func TestStatsPersistAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durCfg(2, 2)
+	cfg.Retention = 5 * time.Minute
+	d, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One decodable tap entry, one decode error, one invalid name.
+	e := ev("web:home:timeline:stream:tweet:impression", t0, 1, "us")
+	d.TapBatch([]scribe.Entry{
+		{Category: events.Category, Message: e.Marshal()},
+		{Category: events.Category, Message: []byte("not thrift")},
+	})
+	d.Ingest(&events.ClientEvent{Timestamp: t0.UnixMilli(), IP: "10.0.0.1"})
+	// Advance the horizon past retention, then send a straggler: one
+	// eviction, one dropped-old.
+	d.Ingest(ev("web:home:timeline:stream:tweet:impression", t0.Add(10*time.Minute), 1, "us"))
+	d.Sync()
+	d.Ingest(ev("web:home:timeline:stream:tweet:impression", t0, 1, "us"))
+	d.Sync()
+
+	st := d.Stats()
+	if st.TapEntries != 2 || st.DecodeErrors != 1 || st.Invalid != 1 || st.DroppedOld != 1 {
+		t.Fatalf("unexpected pre-restart stats: %+v", st)
+	}
+	d.Close() // final snapshot carries the block
+
+	r, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := r.Stats()
+	want := st
+	want.Snapshots++ // the final snapshot Close cut
+	if got != want {
+		t.Errorf("stats did not carry over:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestV1WALSegmentReplaysIntoV2Engine hand-crafts a segment in the v1
+// record format (full name logged per observation, the pre-dictionary
+// encoding) and requires the current engine to replay it exactly — the
+// format-boundary guarantee that upgrading does not strand existing logs.
+func TestV1WALSegmentReplaysIntoV2Engine(t *testing.T) {
+	dir := t.TempDir()
+	v1Obs := func(buf []byte, name string, minute int64, country string, loggedIn bool) []byte {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = binary.AppendUvarint(buf, uint64(minute))
+		buf = binary.AppendUvarint(buf, uint64(len(country)))
+		buf = append(buf, country...)
+		if loggedIn {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	}
+	click := "web:home:mentions:stream:avatar:profile_click"
+	impr := "iphone:home:timeline:stream:tweet:impression"
+	m0 := t0.Unix() / 60
+
+	f, err := os.Create(filepath.Join(dir, walName(0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := recordio.NewCRCWriter(f)
+	rec := []byte{walRecordV1}
+	rec = binary.AppendUvarint(rec, 3)
+	rec = v1Obs(rec, click, m0, "us", true)
+	rec = v1Obs(rec, click, m0, "jp", false)
+	rec = v1Obs(rec, impr, m0, "us", true)
+	if err := cw.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec = []byte{walRecordV1}
+	rec = binary.AppendUvarint(rec, 2)
+	rec = v1Obs(rec, impr, m0+1, "uk", false)
+	rec = v1Obs(rec, impr, m0+1, "uk", true)
+	if err := cw.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay into a differently-sharded engine: v1 decoding feeds the
+	// same re-digest path as v2, so routing follows the new config.
+	r, err := Open(dir, durCfg(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := t0.Truncate(24 * time.Hour)
+	end := day.Add(24 * time.Hour)
+	checkReplayed := func(c *Counter, label string) {
+		t.Helper()
+		if got := c.Stats().Observed; got != 5 {
+			t.Errorf("%s: Observed = %d, want 5", label, got)
+		}
+		for path, want := range map[string]int64{
+			"web": 2, click: 2, "iphone": 3, impr: 3, "web:home:mentions": 2,
+		} {
+			if got := c.PathSum(path, day, end); got != want {
+				t.Errorf("%s: PathSum(%q) = %d, want %d", label, path, got, want)
+			}
+		}
+		if got := c.Series(impr, t0, t0.Add(2*time.Minute)); !reflect.DeepEqual(got, []int64{1, 2}) {
+			t.Errorf("%s: Series(impr) = %v, want [1 2]", label, got)
+		}
+		snap := c.RollupSnapshot(day, end)
+		k := analytics.RollupKey{Level: 4, Name: "iphone:*:*:*:*:impression", Country: "uk", LoggedIn: true}
+		if snap[k] != 1 {
+			t.Errorf("%s: rollup[%+v] = %d, want 1", label, k, snap[k])
+		}
+	}
+	checkReplayed(r, "v1 replay")
+
+	// Round-trip the recovered state through a v2 snapshot and reopen:
+	// the upgraded on-disk form must answer identically.
+	r.Close()
+	r2, err := Open(dir, durCfg(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	checkReplayed(r2, "after v2 snapshot round-trip")
 }

@@ -38,7 +38,9 @@ func (c *Counter) Ingest(e *events.ClientEvent) {
 
 // Batcher accumulates per-shard batches of observations and ships each
 // when it reaches Config.MaxBatch. One Batcher serves one producer
-// goroutine; create one per goroutine.
+// goroutine; create one per goroutine. Buffers cycle through the
+// counter's batch pool — a drain goroutine returns each batch after
+// applying it — so a producer in steady state allocates nothing.
 type Batcher struct {
 	c   *Counter
 	per [][]obs
@@ -55,11 +57,16 @@ func (b *Batcher) Add(e *events.ClientEvent) {
 	if !ok {
 		return
 	}
-	b.per[shard] = append(b.per[shard], o)
-	if len(b.per[shard]) >= b.c.cfg.MaxBatch {
-		b.c.send(shard, b.per[shard])
-		b.per[shard] = nil
+	buf := b.per[shard]
+	if buf == nil {
+		buf = (*b.c.batchPool.Get().(*[]obs))[:0]
 	}
+	buf = append(buf, o)
+	if len(buf) >= b.c.cfg.MaxBatch {
+		b.c.send(shard, buf)
+		buf = nil
+	}
+	b.per[shard] = buf
 }
 
 // Flush ships every non-empty shard batch. Call when the producer is done

@@ -2,7 +2,6 @@ package realtime
 
 import (
 	"sort"
-	"strings"
 	"time"
 
 	"unilog/internal/analytics"
@@ -12,6 +11,11 @@ import (
 // Queries merge counts across every shard, stripe, and minute bucket whose
 // minute falls in [from, to). They read committed state only — call Sync
 // first for read-your-writes against a live ingest stream.
+//
+// The buckets are keyed by symbol-table IDs, so queries resolve strings at
+// the edges: the requested path resolves to an ID before the scan (a miss
+// means the path was never counted and the answer is zero), and result
+// IDs resolve back to strings only once, after the per-bucket merge.
 
 // minuteRange converts a [from, to) time window to a half-open Unix-minute
 // interval, widening to to's enclosing minute when to is mid-minute.
@@ -47,9 +51,13 @@ func (c *Counter) forEachBucket(from, to time.Time, fn func(*bucket)) {
 // PathSum is the point lookup: the total count of a hierarchy path —
 // any prefix of an event name, or a full name — over [from, to).
 func (c *Counter) PathSum(path string, from, to time.Time) int64 {
+	id, ok := c.tab.pathOf(path)
+	if !ok {
+		return 0
+	}
 	var total int64
 	c.forEachBucket(from, to, func(b *bucket) {
-		total += b.prefix[path]
+		total += b.prefix[id]
 	})
 	return total
 }
@@ -66,8 +74,12 @@ func (c *Counter) Series(path string, from, to time.Time) []int64 {
 		return nil
 	}
 	out := make([]int64, tm-fm)
+	id, ok := c.tab.pathOf(path)
+	if !ok {
+		return out
+	}
 	c.forEachBucket(from, to, func(b *bucket) {
-		out[b.minute-fm] += b.prefix[path]
+		out[b.minute-fm] += b.prefix[id]
 	})
 	return out
 }
@@ -85,30 +97,24 @@ func (c *Counter) TopK(parent string, k int, from, to time.Time) []PathCount {
 	if k <= 0 {
 		return nil
 	}
-	childDepth := 0 // number of ':' in a child key
-	prefix := ""
+	parentID := noParent
+	childDepth := uint8(0)
 	if parent != "" {
-		childDepth = strings.Count(parent, ":") + 1
-		prefix = parent + ":"
-	}
-	acc := make(map[string]int64)
-	c.forEachBucket(from, to, func(b *bucket) {
-		for key, n := range b.prefix {
-			if strings.Count(key, ":") != childDepth {
-				continue
-			}
-			if prefix != "" && !strings.HasPrefix(key, prefix) {
-				continue
-			}
-			acc[key] += n
+		id, ok := c.tab.pathOf(parent)
+		if !ok {
+			return nil
 		}
-	})
-	if len(acc) == 0 {
-		return nil
+		parentID = id
+		d, _ := c.tab.pathMeta(id)
+		childDepth = d + 1
 	}
-	ranked := make([]PathCount, 0, len(acc))
-	for p, n := range acc {
-		ranked = append(ranked, PathCount{Path: p, Count: n})
+	acc := make(map[uint32]int64)
+	c.forEachBucket(from, to, func(b *bucket) {
+		c.tab.accumulateChildren(acc, b.prefix, parentID, childDepth)
+	})
+	ranked := c.tab.resolveCounts(acc)
+	if len(ranked) == 0 {
+		return nil
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].Count != ranked[j].Count {
@@ -123,24 +129,38 @@ func (c *Counter) TopK(parent string, k int, from, to time.Time) []PathCount {
 }
 
 // RollupSnapshot merges the §3.2 rollup rows accumulated over [from, to)
-// into one table, keyed identically to analytics.Rollups.
+// into one table, keyed identically to analytics.Rollups. The merge runs
+// in ID space; each distinct cell resolves to its string key exactly once.
 func (c *Counter) RollupSnapshot(from, to time.Time) map[analytics.RollupKey]int64 {
-	out := make(map[analytics.RollupKey]int64)
+	acc := make(map[rollupCell]int64)
 	c.forEachBucket(from, to, func(b *bucket) {
-		for k, n := range b.rollup {
-			out[k] += n
+		for cell, n := range b.rollup {
+			acc[cell] += n
 		}
 	})
+	out := make(map[analytics.RollupKey]int64, len(acc))
+	for cell, n := range acc {
+		out[analytics.RollupKey{
+			Level:    events.RollupLevel(cell.level),
+			Name:     c.tab.pathString(cell.name),
+			Country:  c.tab.countryName(cell.country),
+			LoggedIn: cell.loggedIn,
+		}] += n
+	}
 	return out
 }
 
 // RollupTotal sums one rolled-up name across countries and login status
 // over [from, to) — the live equivalent of analytics.RollupTotal.
 func (c *Counter) RollupTotal(level events.RollupLevel, name string, from, to time.Time) int64 {
+	id, ok := c.tab.pathOf(name)
+	if !ok {
+		return 0
+	}
 	var total int64
 	c.forEachBucket(from, to, func(b *bucket) {
-		for k, n := range b.rollup {
-			if k.Level == level && k.Name == name {
+		for cell, n := range b.rollup {
+			if cell.level == uint8(level) && cell.name == id {
 				total += n
 			}
 		}

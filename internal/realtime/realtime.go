@@ -13,6 +13,11 @@
 //
 // Architecture:
 //
+//   - a concurrent, read-mostly symbol table (symtab.go) interns every
+//     distinct event name once, caching the full string digest — prefix
+//     IDs, rollup-name IDs, shard, stripe — behind dense integer IDs, so
+//     the per-event hot path is a read-locked lookup and the counters
+//     below increment integer-keyed cells;
 //   - a Tap on scribe.Aggregator.Append fans accepted client_events into N
 //     counter shards (hash of the event name) over bounded channels;
 //     producers block when a shard queue is full (backpressure), and each
@@ -37,7 +42,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"unilog/internal/analytics"
 	"unilog/internal/events"
 	"unilog/internal/geo"
 )
@@ -144,24 +148,36 @@ type Stats struct {
 }
 
 // obs is one decoded, pre-digested observation: everything a shard needs
-// to apply the event without touching the Thrift message again. Producers
-// do the string work in parallel; the shard goroutine only increments.
+// to apply the event without touching the Thrift message again. The
+// symbol table did the string work the first time this name appeared, so
+// an obs is ~24 bytes — a minute, an immutable *nameSym (which carries
+// the prefix/rollup/stripe digest), and an interned country — where the
+// pre-interning representation hauled eleven strings (~200 B) through
+// the shard channel per event.
 type obs struct {
-	minute int64 // event timestamp in Unix minutes
-	stripe uint32
-	// prefixes[d] is the first d+1 components of the event name.
-	prefixes [events.NumComponents]string
-	// rollups[l] is the level-l rolled name of §3.2.
-	rollups  [events.NumRollupLevels]string
-	country  string
+	minute   int64 // event timestamp in Unix minutes
+	sym      *nameSym
+	country  uint32 // interned country ID
 	loggedIn bool
 }
 
-// bucket is one minute of counters within one stripe.
+// rollupCell is the ID-keyed form of analytics.RollupKey: the counter key
+// for one §3.2 rollup row inside a bucket. String resolution happens at
+// query time (RollupSnapshot), not per increment.
+type rollupCell struct {
+	name     uint32 // path ID of the rolled name
+	country  uint32 // country ID
+	level    uint8  // events.RollupLevel
+	loggedIn bool
+}
+
+// bucket is one minute of counters within one stripe. Both maps are keyed
+// by symbol-table IDs, so applying an event is eleven integer-keyed
+// increments instead of eleven string hashes.
 type bucket struct {
-	minute int64 // Unix minute this slot currently holds; 0 = empty
-	prefix map[string]int64
-	rollup map[analytics.RollupKey]int64
+	minute int64            // Unix minute this slot currently holds; 0 = empty
+	prefix map[uint32]int64 // path ID -> count
+	rollup map[rollupCell]int64
 }
 
 // stripe is one lock-striped slice of a shard's key space: a ring of
@@ -189,12 +205,16 @@ type shard struct {
 	stripes []stripe
 	scratch [][]obs    // per-stripe grouping buffer, drain-goroutine-local
 	wal     *walWriter // nil on memory-only counters; drain-goroutine-owned after start
-	// applied counts events this shard has applied since start. It is
-	// written only by the owning drain goroutine (or single-threaded
-	// recovery), and snapshots read it from that same goroutine, which is
-	// what lets a mid-run snapshot record an observed total exactly
-	// consistent with the captured stripe state.
+	// applied counts events this shard has applied since start; dropped
+	// and evicted mirror the replay-derivable slices of DroppedOld and
+	// Evicted. All three are written only by the owning drain goroutine
+	// (or single-threaded recovery), and snapshots read them from that
+	// same goroutine, which is what lets a mid-run snapshot record
+	// totals exactly consistent with the captured stripe state — WAL-tail
+	// replay then re-derives precisely the post-rotation remainder.
 	applied int64
+	dropped int64
+	evicted int64
 }
 
 // Counter is the realtime counting service. Create with New, feed it via
@@ -204,6 +224,13 @@ type Counter struct {
 	cfg     Config
 	shards  []*shard
 	buckets int // ring length, minutes
+	tab     *symtab
+
+	// batchPool recycles obs slices between the drain goroutines (which
+	// finish with a batch after applying it) and Batchers (which need an
+	// empty buffer after handing one off), making steady-state ingestion
+	// allocation-free.
+	batchPool sync.Pool
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -218,8 +245,15 @@ type Counter struct {
 	snapQuit chan struct{}
 	snapDone chan struct{}
 	// observedBase is the observed total carried over from the recovered
-	// snapshot; the live observed counter starts from it.
+	// snapshot; the live observed counter starts from it. droppedBase
+	// and evictedBase carry the matching slices of DroppedOld/Evicted,
+	// so snapshots can record those counters exactly at the WAL rotation
+	// boundary instead of sampling the live atomics mid-drain (which
+	// would double count post-rotation drops on replay). All three are
+	// written only before start() and read-only afterwards.
 	observedBase int64
+	droppedBase  int64
+	evictedBase  int64
 
 	// maxMinute is the newest Unix minute any shard has applied — the
 	// high-water mark the retention horizon hangs from.
@@ -255,6 +289,11 @@ func allocCounter(cfg Config) *Counter {
 	c := &Counter{
 		cfg:     cfg,
 		buckets: int(cfg.Retention / time.Minute),
+		tab:     newSymtab(cfg.Shards, cfg.Stripes),
+	}
+	c.batchPool.New = func() any {
+		b := make([]obs, 0, cfg.MaxBatch)
+		return &b
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
@@ -379,44 +418,29 @@ func hash32(s string) uint32 {
 }
 
 // observe digests one event into an obs and its shard index. It reports
-// false for events that should not be counted (invalid name).
+// false for events that should not be counted (invalid name). A name seen
+// before costs one read-locked lookup; validation and the string digest
+// ran when the symbol table first interned it.
 func (c *Counter) observe(e *events.ClientEvent) (obs, int, bool) {
-	if e.Name.Validate() != nil {
+	sym, country, err := c.tab.resolve(e.Name, geo.CountryOf(e.IP))
+	if err != nil {
 		c.invalid.Add(1)
 		return obs{}, 0, false
 	}
-	o, shard := c.digest(e.Name, e.Timestamp/60_000, geo.CountryOf(e.IP), e.LoggedIn())
-	return o, shard, true
+	return obs{minute: e.Timestamp / 60_000, sym: sym, country: country, loggedIn: e.LoggedIn()},
+		int(sym.shard), true
 }
 
-// digest turns a validated name plus the pre-extracted event facts into an
-// obs and its shard index. It is the common tail of the live ingest path
-// (observe) and WAL replay (recover.go), which re-digests logged names so
-// the log stays small and recovery routes by the current configuration.
-func (c *Counter) digest(name events.EventName, minute int64, country string, loggedIn bool) (obs, int) {
-	full := name.String()
-	o := obs{
-		minute:   minute,
-		country:  country,
-		loggedIn: loggedIn,
+// digestFull is observe for WAL replay (recover.go), where the event
+// arrives as a logged name string. Re-digesting through this counter's own
+// symbol table is what lets a log written under one shard/stripe
+// configuration replay correctly into another.
+func (c *Counter) digestFull(name string, minute int64, country string, loggedIn bool) (obs, int, error) {
+	sym, cid, err := c.tab.resolveFull(name, country)
+	if err != nil {
+		return obs{}, 0, err
 	}
-	// The six hierarchy prefixes are substrings of the full name; slicing
-	// shares the one allocation.
-	d := 0
-	for i := 0; i < len(full); i++ {
-		if full[i] == ':' {
-			o.prefixes[d] = full[:i]
-			d++
-		}
-	}
-	o.prefixes[events.NumComponents-1] = full
-	o.rollups[0] = full
-	for lvl := 1; lvl < events.NumRollupLevels; lvl++ {
-		o.rollups[lvl] = name.Rollup(events.RollupLevel(lvl)).String()
-	}
-	h := hash32(full)
-	o.stripe = (h >> 16) % uint32(c.cfg.Stripes)
-	return o, int(h % uint32(c.cfg.Shards))
+	return obs{minute: minute, sym: sym, country: cid, loggedIn: loggedIn}, int(sym.shard), nil
 }
 
 // send enqueues one batch on a shard, blocking when the queue is full.
@@ -449,6 +473,12 @@ func (c *Counter) drain(s *shard) {
 				c.walAppend(s, msg.batch)
 			}
 			c.apply(s, msg.batch)
+			// The batch was handed off exclusively; recycle full-size
+			// buffers so the next Batcher send is allocation-free.
+			if cap(msg.batch) >= c.cfg.MaxBatch {
+				buf := msg.batch[:0]
+				c.batchPool.Put(&buf)
+			}
 		}
 		if msg.snap != nil {
 			msg.snap <- c.captureShard(s)
@@ -466,9 +496,10 @@ func (c *Counter) drain(s *shard) {
 
 func (c *Counter) apply(s *shard, batch []obs) {
 	for i := range batch {
-		st := batch[i].stripe
+		st := batch[i].sym.stripe
 		s.scratch[st] = append(s.scratch[st], batch[i])
 	}
+	var applied int64
 	for st := range s.scratch {
 		group := s.scratch[st]
 		if len(group) == 0 {
@@ -477,16 +508,22 @@ func (c *Counter) apply(s *shard, batch []obs) {
 		stripe := &s.stripes[st]
 		stripe.mu.Lock()
 		for i := range group {
-			c.applyOne(s, stripe, &group[i])
+			if c.applyOne(s, stripe, &group[i]) {
+				applied++
+			}
 		}
 		stripe.mu.Unlock()
 		s.scratch[st] = group[:0]
 	}
+	c.observed.Add(applied)
 }
 
 // applyOne increments one observation's 6 prefix counters and 5 rollup
-// rows in its minute bucket. Callers hold the stripe lock.
-func (c *Counter) applyOne(s *shard, st *stripe, o *obs) {
+// rows in its minute bucket, reporting whether the event was applied (vs
+// dropped behind the retention horizon). Callers hold the stripe lock and
+// account the observed total (apply batches one atomic add per group;
+// recovery adds per record).
+func (c *Counter) applyOne(s *shard, st *stripe, o *obs) bool {
 	for {
 		cur := c.maxMinute.Load()
 		if o.minute <= cur || c.maxMinute.CompareAndSwap(cur, o.minute) {
@@ -496,35 +533,34 @@ func (c *Counter) applyOne(s *shard, st *stripe, o *obs) {
 	if o.minute <= c.maxMinute.Load()-int64(c.buckets) {
 		// Older than the retention horizon: drop rather than serve a
 		// partially-evicted minute.
+		s.dropped++
 		c.droppedOld.Add(1)
-		return
+		return false
 	}
 	b := &st.ring[int(o.minute)%c.buckets]
 	if b.minute != o.minute {
 		if b.minute > o.minute {
 			// The slot already holds a newer minute (the horizon advanced
 			// between the checks above): treat as past retention.
+			s.dropped++
 			c.droppedOld.Add(1)
-			return
+			return false
 		}
 		if b.prefix != nil {
+			s.evicted++
 			c.evicted.Add(1)
 		}
 		b.minute = o.minute
-		b.prefix = make(map[string]int64, 2*events.NumComponents)
-		b.rollup = make(map[analytics.RollupKey]int64, events.NumRollupLevels)
+		b.prefix = make(map[uint32]int64, 2*events.NumComponents)
+		b.rollup = make(map[rollupCell]int64, events.NumRollupLevels)
 	}
-	for _, p := range o.prefixes {
-		b.prefix[p]++
+	sym := o.sym
+	for _, id := range sym.prefixID {
+		b.prefix[id]++
 	}
-	for lvl, name := range o.rollups {
-		b.rollup[analytics.RollupKey{
-			Level:    events.RollupLevel(lvl),
-			Name:     name,
-			Country:  o.country,
-			LoggedIn: o.loggedIn,
-		}]++
+	for lvl, id := range sym.rollupID {
+		b.rollup[rollupCell{name: id, country: o.country, level: uint8(lvl), loggedIn: o.loggedIn}]++
 	}
 	s.applied++
-	c.observed.Add(1)
+	return true
 }

@@ -271,3 +271,41 @@ func TestCloseIsIdempotentAndStopsIngest(t *testing.T) {
 		t.Errorf("PathSum after Close = %d, want 1", got)
 	}
 }
+
+// TestBatcherSteadyStateAllocationFree pins the hot-path contract the
+// symbol table and batch pool buy: once the names and countries in play
+// are interned and a recycled batch buffer is in hand, Add performs no
+// allocations at all — digest is a read-locked lookup, the obs appends
+// into pooled capacity.
+func TestBatcherSteadyStateAllocationFree(t *testing.T) {
+	c := newCounter(t, Config{Shards: 1, Stripes: 1, MaxBatch: 1 << 16})
+	b := c.NewBatcher()
+	es := []*events.ClientEvent{
+		ev("web:home:mentions:stream:avatar:profile_click", t0, 1, "us"),
+		ev("web:home:timeline:stream:tweet:impression", t0.Add(time.Minute), 0, "jp"),
+		ev("iphone:home:timeline:stream:tweet:impression", t0, 2, "uk"),
+		ev("android:profile:header:card:follow:click", t0.Add(2*time.Minute), 3, "br"),
+	}
+	// Warm up: intern every name and country, then hand the batch to the
+	// drain and take a recycled buffer back out of the pool.
+	for i := 0; i < 64; i++ {
+		b.Add(es[i%len(es)])
+	}
+	b.Flush()
+	c.Sync()
+	b.Add(es[0]) // pulls the buffer before the measured loop
+
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		b.Add(es[i%len(es)])
+		i++
+	})
+	if avg > 0.01 {
+		t.Fatalf("steady-state Add = %.4f allocs/op, want 0", avg)
+	}
+	b.Flush()
+	c.Sync()
+	if got := c.Stats().Observed; got != 64+1+2001 {
+		t.Fatalf("Observed = %d, want %d", got, 64+1+2001)
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"path/filepath"
 	"sort"
 
-	"unilog/internal/events"
 	"unilog/internal/recordio"
 )
 
@@ -32,10 +31,19 @@ import (
 //     recovery), and moves on to the next segment;
 //   - appending always begins in a fresh segment, never after a tear.
 //
+// Replay re-digests every logged name through the counter's own symbol
+// table — built fresh here, snapshot dictionary first, then first-seen
+// WAL names — so routing and IDs always follow the current configuration:
+// a log or snapshot written under different shard/stripe settings (or a
+// different ID assignment) recovers exactly. Both WAL record formats
+// load: v2 (per-segment dictionary) and the v1 full-name records that
+// predate it.
+//
 // Counts recovered this way are exact for everything the WAL fsync
 // cadence made durable: after a clean Close, or a Crash with the tail
 // flushed, a reopened counter answers every query identically to one
-// that never went down.
+// that never went down — including the activity counters in Stats, which
+// a v2 snapshot carries across the restart.
 func Open(dir string, cfg Config) (*Counter, error) {
 	cfg.WALDir = dir
 	cfg = cfg.withDefaults()
@@ -61,6 +69,7 @@ func Open(dir string, cfg Config) (*Counter, error) {
 		c.observedBase = h.observed
 		c.observed.Store(h.observed)
 		c.maxMinute.Store(h.maxMinute)
+		c.restoreStats(h.stats)
 		for i := range buckets {
 			c.loadBucket(&buckets[i])
 		}
@@ -112,6 +121,27 @@ func Open(dir string, cfg Config) (*Counter, error) {
 	return c, nil
 }
 
+// restoreStats seeds the activity counters from a recovered snapshot
+// header, so dashboards watching Stats see monotonic values across a
+// restart. Observed is restored separately via observedBase, which the
+// snapshot protocol keeps exact.
+func (c *Counter) restoreStats(s Stats) {
+	c.droppedBase = s.DroppedOld
+	c.evictedBase = s.Evicted
+	c.tapEntries.Store(s.TapEntries)
+	c.decodeErrors.Store(s.DecodeErrors)
+	c.invalid.Store(s.Invalid)
+	c.droppedOld.Store(s.DroppedOld)
+	c.evicted.Store(s.Evicted)
+	c.queueFull.Store(s.QueueFull)
+	c.walBatches.Store(s.WALBatches)
+	c.walBytes.Store(s.WALBytes)
+	c.walErrors.Store(s.WALErrors)
+	c.fsyncs.Store(s.Fsyncs)
+	c.snapshots.Store(s.Snapshots)
+	c.snapErrors.Store(s.SnapshotErrors)
+}
+
 // dirEntry is one parsed snapshot or segment file name.
 type dirEntry struct {
 	name string
@@ -143,7 +173,9 @@ func scanDir(dir string) (snaps []dirEntry, segs map[int][]dirEntry, maxSnapSeq 
 }
 
 // loadSnapshot parses a whole snapshot file into memory, validating every
-// frame before any of it is applied — a snapshot is all-or-nothing.
+// frame before any of it is applied — a snapshot is all-or-nothing. v2
+// files carry a dictionary record between the header and the buckets; v1
+// files go straight to string-keyed buckets.
 func loadSnapshot(path string) (snapHeader, []snapBucket, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -159,6 +191,16 @@ func loadSnapshot(path string) (snapHeader, []snapBucket, error) {
 	if err != nil {
 		return snapHeader{}, nil, err
 	}
+	var dict snapDict
+	if header.version >= snapRecordVersion {
+		rec, err := r.Next()
+		if err != nil {
+			return snapHeader{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), errOr(err))
+		}
+		if dict, err = decodeSnapDict(rec); err != nil {
+			return snapHeader{}, nil, err
+		}
+	}
 	var buckets []snapBucket
 	for {
 		rec, err := r.Next()
@@ -168,7 +210,7 @@ func loadSnapshot(path string) (snapHeader, []snapBucket, error) {
 		if err != nil {
 			return snapHeader{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), err)
 		}
-		b, err := decodeBucket(rec)
+		b, err := decodeBucket(rec, header.version, &dict)
 		if err != nil {
 			return snapHeader{}, nil, err
 		}
@@ -184,10 +226,12 @@ func errOr(err error) error {
 	return err
 }
 
-// loadBucket merges one snapshot bucket into the stripes. Shard and
-// stripe indices are taken modulo the current configuration, so a
-// snapshot from a differently-sized counter still loads — totals are
-// distributive across placement, and collisions merge.
+// loadBucket merges one snapshot bucket into the stripes, re-interning
+// every key into this counter's symbol table (snapshot IDs were already
+// resolved to strings at decode). Shard and stripe indices are taken
+// modulo the current configuration, so a snapshot from a
+// differently-sized counter still loads — totals are distributive across
+// placement, and collisions merge.
 func (c *Counter) loadBucket(sb *snapBucket) {
 	if sb.minute <= c.maxMinute.Load()-int64(c.buckets) {
 		return // behind the retention horizon
@@ -198,32 +242,41 @@ func (c *Counter) loadBucket(sb *snapBucket) {
 	switch {
 	case b.prefix == nil || b.minute < sb.minute:
 		b.minute = sb.minute
-		b.prefix = sb.prefix
-		b.rollup = sb.rollup
+		b.prefix = make(map[uint32]int64, len(sb.prefix))
+		b.rollup = make(map[rollupCell]int64, len(sb.rollup))
 	case b.minute == sb.minute:
-		for k, v := range sb.prefix {
-			b.prefix[k] += v
-		}
-		for k, v := range sb.rollup {
-			b.rollup[k] += v
-		}
+		// Merge below.
 	default:
 		// The slot already holds a newer minute; this bucket is behind
 		// the horizon by ring geometry.
+		return
+	}
+	for k, v := range sb.prefix {
+		b.prefix[c.tab.internPath(k)] += v
+	}
+	for k, v := range sb.rollup {
+		b.rollup[rollupCell{
+			name:     c.tab.internPath(k.Name),
+			country:  c.tab.country(k.Country),
+			level:    uint8(k.Level),
+			loggedIn: k.LoggedIn,
+		}] += v
 	}
 }
 
-// replaySegment re-applies every intact batch record in one WAL segment.
-// On a torn or corrupt record it applies the intact prefix, truncates the
-// file down to that prefix (counting the damage in WALErrors), and
-// reports success so the shard's chain continues; it errors only when the
-// segment cannot be read or repaired.
+// replaySegment re-applies every intact batch record in one WAL segment,
+// feeding a per-segment decoder (v2 records grow its dictionaries in
+// order; v1 records need none). On a torn or corrupt record it applies
+// the intact prefix, truncates the file down to that prefix (counting the
+// damage in WALErrors), and reports success so the shard's chain
+// continues; it errors only when the segment cannot be read or repaired.
 func (c *Counter) replaySegment(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	r := recordio.NewCRCReader(f)
+	dec := &walDecoder{}
 	var intact int64 // bytes of whole, checksummed records applied
 	var lenBuf [binary.MaxVarintLen64]byte
 	for {
@@ -237,15 +290,16 @@ func (c *Counter) replaySegment(path string) error {
 			c.walErrors.Add(1)
 			return os.Truncate(path, intact)
 		}
-		err = decodeBatch(rec, func(name string, minute int64, country string, loggedIn bool) error {
-			n, err := events.ParseName(name)
+		err = dec.decodeBatch(rec, func(name string, minute int64, country string, loggedIn bool) error {
+			o, shardIdx, err := c.digestFull(name, minute, country, loggedIn)
 			if err != nil {
 				c.invalid.Add(1)
 				return nil
 			}
-			o, shardIdx := c.digest(n, minute, country, loggedIn)
 			s := c.shards[shardIdx]
-			c.applyOne(s, &s.stripes[o.stripe], &o)
+			if c.applyOne(s, &s.stripes[o.sym.stripe], &o) {
+				c.observed.Add(1)
+			}
 			return nil
 		})
 		if err != nil {

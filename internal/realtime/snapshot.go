@@ -32,23 +32,31 @@ import (
 // apply more batches while shard B serializes) — that is fine, because
 // shards never share keys and recovery is per-shard.
 //
-// Snapshot files are named snap-<seq>.snap; higher seq wins. A file is a
-// CRC record stream: one header record (version, per-shard next WAL
+// Snapshot files are named snap-<seq>.snap; higher seq wins. A v2 file is
+// a CRC record stream: one header record (version, per-shard next WAL
 // sequence numbers, the observed-event total, the retention high-water
-// minute) followed by one record per non-empty minute bucket. Writes go
-// to a temp file that is fsynced and atomically renamed, so a crashed
-// snapshotter leaves either the old snapshot or the new one, never a
-// half-written current file.
+// minute, and the full Stats block so activity counters survive
+// restarts), one dictionary record (the symbol table's path and country
+// strings, indexed by ID), then one record per non-empty minute bucket
+// with ID-keyed cells. v1 files (string-keyed buckets, no dictionary, no
+// stats) still load. Writes go to a temp file that is fsynced and
+// atomically renamed, so a crashed snapshotter leaves either the old
+// snapshot or the new one, never a half-written current file.
 
 // errClosed reports a durability operation on a stopped counter.
 var errClosed = errors.New("realtime: counter is closed")
 
-// snapRecordVersion guards the snapshot encoding; bump on format change.
-const snapRecordVersion = 1
+// Snapshot format versions: v2 added the dictionary record, ID-keyed
+// bucket cells, and the persisted stats block. v1 files still load.
+const (
+	snapRecordV1      = 1
+	snapRecordVersion = 2
+)
 
 // Record tags inside a snapshot file.
 const (
 	snapTagHeader = 'H'
+	snapTagDict   = 'D'
 	snapTagBucket = 'B'
 )
 
@@ -78,15 +86,20 @@ func parseSnapName(name string) (seq int64, ok bool) {
 type shardState struct {
 	recs    [][]byte
 	applied int64
+	dropped int64
+	evicted int64
 	nextSeq int64
 	err     error
 }
 
 // captureShard runs on the shard's drain goroutine: rotate the WAL so the
 // boundary is durable, then encode every live bucket. Stripe locks are
-// held per stripe only against concurrent readers.
+// held per stripe only against concurrent readers. Bucket records carry
+// only IDs; the dictionary that resolves them is fetched afterwards, in
+// writeSnapshot, which is safe because IDs are append-only — the table
+// can only have grown since the capture.
 func (c *Counter) captureShard(s *shard) shardState {
-	st := shardState{applied: s.applied}
+	st := shardState{applied: s.applied, dropped: s.dropped, evicted: s.evicted}
 	if s.wal != nil {
 		seq, err := s.wal.rotate()
 		if err != nil {
@@ -167,7 +180,7 @@ func (c *Counter) snapshotFinal() error {
 // captureShardStopped is captureShard without the WAL rotation, for use
 // once the drain goroutines are gone.
 func (c *Counter) captureShardStopped(s *shard) shardState {
-	st := shardState{applied: s.applied}
+	st := shardState{applied: s.applied, dropped: s.dropped, evicted: s.evicted}
 	for i := range s.stripes {
 		sp := &s.stripes[i]
 		for j := range sp.ring {
@@ -199,11 +212,24 @@ func (c *Counter) writeSnapshot(states []shardState) error {
 		}
 		next[shard] = seq + 1
 	}
-	var observed int64
+	var observed, dropped, evicted int64
 	for _, st := range states {
 		observed += st.applied
+		dropped += st.dropped
+		evicted += st.evicted
 	}
 	observed += c.observedBase
+	// The activity counters are captured here so a restart carries them
+	// forward. The replay-derivable ones — DroppedOld, Evicted — use the
+	// per-shard values read on each drain goroutine at its WAL rotation,
+	// exactly like the observed total: sampling the live atomics instead
+	// would bake post-rotation drops into the snapshot and count them
+	// again when the WAL tail replays. Snapshots counts the file being
+	// cut.
+	stats := c.Stats()
+	stats.Snapshots++
+	stats.DroppedOld = c.droppedBase + dropped
+	stats.Evicted = c.evictedBase + evicted
 
 	seq := c.snapSeq + 1
 	tmp := filepath.Join(c.cfg.WALDir, fmt.Sprintf("snap-%010d.tmp", seq))
@@ -213,7 +239,11 @@ func (c *Counter) writeSnapshot(states []shardState) error {
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	cw := recordio.NewCRCWriter(bw)
-	werr := cw.Append(encodeSnapHeader(nil, next, observed, c.maxMinute.Load()))
+	werr := cw.Append(encodeSnapHeader(nil, next, observed, c.maxMinute.Load(), stats))
+	if werr == nil {
+		paths, countries := c.tab.dict()
+		werr = cw.Append(encodeSnapDict(nil, paths, countries))
+	}
 	for _, st := range states {
 		for _, rec := range st.recs {
 			if werr != nil {
@@ -314,8 +344,9 @@ func syncDir(dir string) {
 }
 
 // encodeSnapHeader appends the header record: tag, version, the per-shard
-// next WAL sequences, the observed total, and the high-water minute.
-func encodeSnapHeader(buf []byte, next []int64, observed, maxMinute int64) []byte {
+// next WAL sequences, the observed total, the high-water minute, and the
+// activity-counter block.
+func encodeSnapHeader(buf []byte, next []int64, observed, maxMinute int64, stats Stats) []byte {
 	buf = append(buf, snapTagHeader, snapRecordVersion)
 	buf = binary.AppendUvarint(buf, uint64(len(next)))
 	for _, n := range next {
@@ -323,7 +354,21 @@ func encodeSnapHeader(buf []byte, next []int64, observed, maxMinute int64) []byt
 	}
 	buf = binary.AppendUvarint(buf, uint64(observed))
 	buf = binary.AppendUvarint(buf, uint64(maxMinute))
+	for _, v := range statsFields(&stats) {
+		buf = binary.AppendUvarint(buf, uint64(*v))
+	}
 	return buf
+}
+
+// statsFields lists the persisted activity counters in wire order.
+// Observed is deliberately absent: it travels separately, computed from
+// the per-shard applied counts the snapshot protocol makes exact.
+func statsFields(s *Stats) []*int64 {
+	return []*int64{
+		&s.TapEntries, &s.DecodeErrors, &s.Invalid, &s.DroppedOld,
+		&s.Evicted, &s.QueueFull, &s.WALBatches, &s.WALBytes,
+		&s.WALErrors, &s.Fsyncs, &s.Snapshots, &s.SnapshotErrors,
+	}
 }
 
 // snapHeader is the decoded header record.
@@ -331,67 +376,146 @@ type snapHeader struct {
 	next      []int64
 	observed  int64
 	maxMinute int64
+	version   byte
+	stats     Stats // zero when loading a v1 snapshot
 }
 
-// decodeSnapHeader parses a header record.
+// decodeSnapHeader parses a header record, v1 or v2.
 func decodeSnapHeader(rec []byte) (snapHeader, error) {
 	var h snapHeader
 	corrupt := func(what string) (snapHeader, error) {
 		return h, fmt.Errorf("%w: snapshot header %s", recordio.ErrCorrupt, what)
 	}
-	if len(rec) < 2 || rec[0] != snapTagHeader || rec[1] != snapRecordVersion {
+	if len(rec) < 2 || rec[0] != snapTagHeader ||
+		(rec[1] != snapRecordV1 && rec[1] != snapRecordVersion) {
 		return corrupt("tag/version")
 	}
+	h.version = rec[1]
 	rec = rec[2:]
-	nshards, n := binary.Uvarint(rec)
-	if n <= 0 || nshards > 1<<16 {
-		return corrupt("shard count")
-	}
-	rec = rec[n:]
-	h.next = make([]int64, nshards)
-	for i := range h.next {
+	uv := func() (uint64, bool) {
 		v, n := binary.Uvarint(rec)
 		if n <= 0 {
+			return 0, false
+		}
+		rec = rec[n:]
+		return v, true
+	}
+	nshards, ok := uv()
+	if !ok || nshards > 1<<16 {
+		return corrupt("shard count")
+	}
+	h.next = make([]int64, nshards)
+	for i := range h.next {
+		v, ok := uv()
+		if !ok {
 			return corrupt("next seq")
 		}
 		h.next[i] = int64(v)
-		rec = rec[n:]
 	}
-	v, n := binary.Uvarint(rec)
-	if n <= 0 {
+	v, ok := uv()
+	if !ok {
 		return corrupt("observed")
 	}
 	h.observed = int64(v)
-	rec = rec[n:]
-	v, n = binary.Uvarint(rec)
-	if n <= 0 {
+	v, ok = uv()
+	if !ok {
 		return corrupt("max minute")
 	}
 	h.maxMinute = int64(v)
+	if h.version >= snapRecordVersion {
+		for _, f := range statsFields(&h.stats) {
+			v, ok := uv()
+			if !ok {
+				return corrupt("stats")
+			}
+			*f = int64(v)
+		}
+	}
 	return h, nil
 }
 
-// encodeBucket appends one bucket record: tag, shard, stripe, minute,
-// then the prefix and rollup tables.
+// snapDict is the decoded dictionary record: the snapshot's ID -> string
+// tables for counter paths and countries.
+type snapDict struct {
+	paths     []string
+	countries []string
+}
+
+// encodeSnapDict appends the dictionary record.
+func encodeSnapDict(buf []byte, paths, countries []string) []byte {
+	buf = append(buf, snapTagDict)
+	buf = binary.AppendUvarint(buf, uint64(len(paths)))
+	for _, s := range paths {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(countries)))
+	for _, s := range countries {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// decodeSnapDict parses a dictionary record.
+func decodeSnapDict(rec []byte) (snapDict, error) {
+	var d snapDict
+	corrupt := func(what string) (snapDict, error) {
+		return d, fmt.Errorf("%w: snapshot dictionary %s", recordio.ErrCorrupt, what)
+	}
+	if len(rec) < 1 || rec[0] != snapTagDict {
+		return corrupt("tag")
+	}
+	rec = rec[1:]
+	readStrs := func() ([]string, bool) {
+		count, n := binary.Uvarint(rec)
+		// Every entry costs at least one byte, so a count beyond the
+		// remaining record is corruption — reject it before the
+		// preallocation below can balloon on a CRC-colliding file.
+		if n <= 0 || count > uint64(len(rec)-n) {
+			return nil, false
+		}
+		rec = rec[n:]
+		out := make([]string, 0, count)
+		for i := uint64(0); i < count; i++ {
+			l, n := binary.Uvarint(rec)
+			if n <= 0 || uint64(len(rec)-n) < l {
+				return nil, false
+			}
+			out = append(out, string(rec[n:n+int(l)]))
+			rec = rec[n+int(l):]
+		}
+		return out, true
+	}
+	var ok bool
+	if d.paths, ok = readStrs(); !ok {
+		return corrupt("paths")
+	}
+	if d.countries, ok = readStrs(); !ok {
+		return corrupt("countries")
+	}
+	return d, nil
+}
+
+// encodeBucket appends one v2 bucket record: tag, shard, stripe, minute,
+// then the ID-keyed prefix and rollup tables. Strings live in the
+// dictionary record, written once per file.
 func encodeBucket(buf []byte, shard, stripe int, b *bucket) []byte {
 	buf = append(buf, snapTagBucket)
 	buf = binary.AppendUvarint(buf, uint64(shard))
 	buf = binary.AppendUvarint(buf, uint64(stripe))
 	buf = binary.AppendUvarint(buf, uint64(b.minute))
 	buf = binary.AppendUvarint(buf, uint64(len(b.prefix)))
-	for k, v := range b.prefix {
-		buf = binary.AppendUvarint(buf, uint64(len(k)))
-		buf = append(buf, k...)
+	for id, v := range b.prefix {
+		buf = binary.AppendUvarint(buf, uint64(id))
 		buf = binary.AppendUvarint(buf, uint64(v))
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(b.rollup)))
-	for k, v := range b.rollup {
-		buf = append(buf, byte(k.Level))
-		buf = binary.AppendUvarint(buf, uint64(len(k.Name)))
-		buf = append(buf, k.Name...)
-		buf = binary.AppendUvarint(buf, uint64(len(k.Country)))
-		buf = append(buf, k.Country...)
-		if k.LoggedIn {
+	for cell, v := range b.rollup {
+		buf = append(buf, cell.level)
+		buf = binary.AppendUvarint(buf, uint64(cell.name))
+		buf = binary.AppendUvarint(buf, uint64(cell.country))
+		if cell.loggedIn {
 			buf = append(buf, 1)
 		} else {
 			buf = append(buf, 0)
@@ -401,7 +525,10 @@ func encodeBucket(buf []byte, shard, stripe int, b *bucket) []byte {
 	return buf
 }
 
-// snapBucket is a decoded bucket record.
+// snapBucket is a decoded bucket record, resolved back to strings — the
+// common currency of the v1 and v2 load paths. loadBucket re-interns the
+// keys into the recovering counter's own symbol table, which is how a
+// snapshot survives shard/stripe/ID-assignment differences.
 type snapBucket struct {
 	shard, stripe int
 	minute        int64
@@ -409,8 +536,9 @@ type snapBucket struct {
 	rollup        map[analytics.RollupKey]int64
 }
 
-// decodeBucket parses a bucket record.
-func decodeBucket(rec []byte) (snapBucket, error) {
+// decodeBucket parses a bucket record of either version; v2 records
+// resolve their IDs through the file's dictionary.
+func decodeBucket(rec []byte, version byte, dict *snapDict) (snapBucket, error) {
 	var b snapBucket
 	corrupt := func(what string) (snapBucket, error) {
 		return b, fmt.Errorf("%w: snapshot bucket %s", recordio.ErrCorrupt, what)
@@ -436,6 +564,26 @@ func decodeBucket(rec []byte) (snapBucket, error) {
 		rec = rec[l:]
 		return s, true
 	}
+	path := func() (string, bool) {
+		if version == snapRecordV1 {
+			return str()
+		}
+		id, ok := uv()
+		if !ok || id >= uint64(len(dict.paths)) {
+			return "", false
+		}
+		return dict.paths[id], true
+	}
+	countryStr := func() (string, bool) {
+		if version == snapRecordV1 {
+			return str()
+		}
+		id, ok := uv()
+		if !ok || id >= uint64(len(dict.countries)) {
+			return "", false
+		}
+		return dict.countries[id], true
+	}
 	shard, ok1 := uv()
 	stripe, ok2 := uv()
 	minute, ok3 := uv()
@@ -444,12 +592,12 @@ func decodeBucket(rec []byte) (snapBucket, error) {
 	}
 	b.shard, b.stripe, b.minute = int(shard), int(stripe), int64(minute)
 	np, ok := uv()
-	if !ok || np > 1<<30 {
+	if !ok || np > uint64(len(rec)) { // every entry costs >= 1 byte
 		return corrupt("prefix count")
 	}
 	b.prefix = make(map[string]int64, np)
 	for i := uint64(0); i < np; i++ {
-		k, ok := str()
+		k, ok := path()
 		if !ok {
 			return corrupt("prefix key")
 		}
@@ -457,10 +605,10 @@ func decodeBucket(rec []byte) (snapBucket, error) {
 		if !ok {
 			return corrupt("prefix value")
 		}
-		b.prefix[k] = int64(v)
+		b.prefix[k] += int64(v)
 	}
 	nr, ok := uv()
-	if !ok || nr > 1<<30 {
+	if !ok || nr > uint64(len(rec)) { // every entry costs >= 1 byte
 		return corrupt("rollup count")
 	}
 	b.rollup = make(map[analytics.RollupKey]int64, nr)
@@ -470,11 +618,11 @@ func decodeBucket(rec []byte) (snapBucket, error) {
 		}
 		level := events.RollupLevel(rec[0])
 		rec = rec[1:]
-		name, ok := str()
+		name, ok := path()
 		if !ok {
 			return corrupt("rollup name")
 		}
-		country, ok := str()
+		country, ok := countryStr()
 		if !ok {
 			return corrupt("rollup country")
 		}
@@ -487,7 +635,7 @@ func decodeBucket(rec []byte) (snapBucket, error) {
 		if !ok {
 			return corrupt("rollup value")
 		}
-		b.rollup[analytics.RollupKey{Level: level, Name: name, Country: country, LoggedIn: loggedIn}] = int64(v)
+		b.rollup[analytics.RollupKey{Level: level, Name: name, Country: country, LoggedIn: loggedIn}] += int64(v)
 	}
 	return b, nil
 }

@@ -1,0 +1,292 @@
+package realtime
+
+import (
+	"strings"
+	"sync"
+
+	"unilog/internal/events"
+)
+
+// The symbol table is the hot-path optimization the §3 namespace makes
+// possible: millions of events per minute draw their names from a small,
+// slowly-growing set, so everything derivable from a name — its six
+// hierarchy prefixes, its five §3.2 rollup names, its shard and stripe
+// routing — is computed once, the first time the name is seen, and cached
+// behind a dense integer ID. After that, digesting an event is one
+// read-locked map lookup and the counters increment integer-keyed cells
+// instead of hashing strings.
+//
+// Two ID spaces cover the namespace:
+//
+//   - a *name* ID per distinct full event name (dense intern order; this
+//     is also the WAL v2 dictionary key), each owning a nameSym with the
+//     cached digest;
+//   - a *path* ID per distinct counter key — every prefix of every name
+//     plus every rolled-up name — carrying the string, its depth, and its
+//     parent path, which is what lets TopK filter children without
+//     touching a string.
+//
+// Countries get the same treatment in a third, tiny space.
+//
+// The table is read-mostly: lookups take the read lock; the write lock is
+// taken only the first time a name (or country) appears, and entries are
+// immutable once published, so a *nameSym handed out under RLock stays
+// valid forever. IDs are append-only and never reused, which is what the
+// snapshot dictionary and the WAL v2 per-segment dictionaries rely on.
+
+// noParent marks a depth-0 path (a client, e.g. "web") in pathInfo.parent.
+const noParent = ^uint32(0)
+
+// nameSym is the cached digest of one full event name: everything the old
+// per-event digest() recomputed, now paid once per distinct name.
+type nameSym struct {
+	id     uint32 // dense name ID, the WAL v2 dictionary key
+	full   string
+	shard  uint32
+	stripe uint32
+	// prefixID[d] is the path ID of the first d+1 components.
+	prefixID [events.NumComponents]uint32
+	// rollupID[l] is the path ID of the level-l rolled name of §3.2.
+	rollupID [events.NumRollupLevels]uint32
+}
+
+// pathInfo describes one interned counter key.
+type pathInfo struct {
+	str    string
+	parent uint32 // path ID of the parent path, noParent at depth 0
+	depth  uint8  // number of ':' in str
+}
+
+// symtab is a concurrent, read-mostly intern table bound to one Counter
+// (shard and stripe routing depend on the counter's configuration).
+type symtab struct {
+	shards, stripes uint32
+
+	mu     sync.RWMutex
+	byName map[events.EventName]*nameSym
+	byFull map[string]*nameSym
+	syms   []*nameSym // name ID -> sym
+
+	pathID map[string]uint32
+	paths  []pathInfo // path ID -> info
+
+	countryID map[string]uint32
+	countries []string // country ID -> code
+}
+
+func newSymtab(shards, stripes int) *symtab {
+	return &symtab{
+		shards:    uint32(shards),
+		stripes:   uint32(stripes),
+		byName:    make(map[events.EventName]*nameSym),
+		byFull:    make(map[string]*nameSym),
+		pathID:    make(map[string]uint32),
+		countryID: make(map[string]uint32),
+	}
+}
+
+// resolve is the live-ingest fast path: one RLock covers both the name and
+// the country. A hit skips validation entirely — a name only enters the
+// table after validating once. The write-locked slow path runs once per
+// distinct (name, country).
+func (t *symtab) resolve(n events.EventName, country string) (*nameSym, uint32, error) {
+	t.mu.RLock()
+	sym, ok := t.byName[n]
+	cid, cok := t.countryID[country]
+	t.mu.RUnlock()
+	if ok && cok {
+		return sym, cid, nil
+	}
+	if !ok {
+		if err := n.Validate(); err != nil {
+			return nil, 0, err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !ok {
+		sym = t.internLocked(n)
+	}
+	if !cok {
+		cid = t.countryLocked(country)
+	}
+	return sym, cid, nil
+}
+
+// resolveFull is resolve keyed by the colon-joined name — the WAL-replay
+// path, where names arrive as logged strings. A hit costs one string map
+// lookup; only a first-seen name pays the parse and validation.
+func (t *symtab) resolveFull(full, country string) (*nameSym, uint32, error) {
+	t.mu.RLock()
+	sym, ok := t.byFull[full]
+	cid, cok := t.countryID[country]
+	t.mu.RUnlock()
+	if ok && cok {
+		return sym, cid, nil
+	}
+	if !ok {
+		n, err := events.ParseName(full)
+		if err != nil {
+			return nil, 0, err
+		}
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		sym = t.internLocked(n)
+		return sym, t.countryLocked(country), nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return sym, t.countryLocked(country), nil
+}
+
+// internLocked builds and publishes the digest of a validated name.
+// Callers hold the write lock.
+func (t *symtab) internLocked(n events.EventName) *nameSym {
+	if sym, ok := t.byName[n]; ok {
+		return sym
+	}
+	full := n.String()
+	sym := &nameSym{id: uint32(len(t.syms)), full: full}
+	h := hash32(full)
+	sym.stripe = (h >> 16) % t.stripes
+	sym.shard = h % t.shards
+	d := 0
+	for i := 0; i < len(full); i++ {
+		if full[i] == ':' {
+			sym.prefixID[d] = t.internPathLocked(full[:i])
+			d++
+		}
+	}
+	sym.prefixID[events.NumComponents-1] = t.internPathLocked(full)
+	sym.rollupID[0] = sym.prefixID[events.NumComponents-1]
+	for lvl := 1; lvl < events.NumRollupLevels; lvl++ {
+		sym.rollupID[lvl] = t.internPathLocked(n.Rollup(events.RollupLevel(lvl)).String())
+	}
+	t.syms = append(t.syms, sym)
+	t.byName[n] = sym
+	t.byFull[full] = sym
+	return sym
+}
+
+// internPathLocked interns one counter key, parents first, so every path's
+// parent already has an ID. Callers hold the write lock.
+func (t *symtab) internPathLocked(s string) uint32 {
+	if id, ok := t.pathID[s]; ok {
+		return id
+	}
+	info := pathInfo{str: s, parent: noParent}
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		info.parent = t.internPathLocked(s[:i])
+		info.depth = t.paths[info.parent].depth + 1
+	}
+	id := uint32(len(t.paths))
+	t.pathID[s] = id
+	t.paths = append(t.paths, info)
+	return id
+}
+
+func (t *symtab) countryLocked(s string) uint32 {
+	if id, ok := t.countryID[s]; ok {
+		return id
+	}
+	id := uint32(len(t.countries))
+	t.countryID[s] = id
+	t.countries = append(t.countries, s)
+	return id
+}
+
+// internPath interns a bare counter key outside the ingest path — snapshot
+// load, where aggregated per-path counts arrive without their full names.
+func (t *symtab) internPath(s string) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.internPathLocked(s)
+}
+
+// country interns a country code outside the ingest path.
+func (t *symtab) country(s string) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.countryLocked(s)
+}
+
+// pathOf resolves a query string to its path ID; a miss means the path has
+// never been counted.
+func (t *symtab) pathOf(s string) (uint32, bool) {
+	t.mu.RLock()
+	id, ok := t.pathID[s]
+	t.mu.RUnlock()
+	return id, ok
+}
+
+// pathString resolves a path ID back to its string at query time.
+func (t *symtab) pathString(id uint32) string {
+	t.mu.RLock()
+	s := t.paths[id].str
+	t.mu.RUnlock()
+	return s
+}
+
+// pathMeta reports a path's depth and parent ID.
+func (t *symtab) pathMeta(id uint32) (depth uint8, parent uint32) {
+	t.mu.RLock()
+	p := t.paths[id]
+	t.mu.RUnlock()
+	return p.depth, p.parent
+}
+
+// countryName resolves a country ID back to its code at query time.
+func (t *symtab) countryName(id uint32) string {
+	t.mu.RLock()
+	s := t.countries[id]
+	t.mu.RUnlock()
+	return s
+}
+
+// accumulateChildren folds one ID-keyed counter table into acc, keeping
+// only the direct children of parent (noParent selects the depth-0
+// roots) — the filter runs during accumulation, so TopK's working set is
+// the matching children, not every path in the window. One RLock per
+// call; safe under a stripe lock because no code path acquires the
+// symtab lock first and a stripe lock second.
+func (t *symtab) accumulateChildren(acc, counts map[uint32]int64, parent uint32, depth uint8) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for id, n := range counts {
+		p := &t.paths[id]
+		if p.depth != depth {
+			continue
+		}
+		if parent != noParent && p.parent != parent {
+			continue
+		}
+		acc[id] += n
+	}
+}
+
+// resolveCounts turns an ID-keyed accumulator into named counts — the
+// string resolution at the edge of a query, one lock for the whole pass.
+func (t *symtab) resolveCounts(acc map[uint32]int64) []PathCount {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]PathCount, 0, len(acc))
+	for id, n := range acc {
+		out = append(out, PathCount{Path: t.paths[id].str, Count: n})
+	}
+	return out
+}
+
+// dict snapshots both string tables — the snapshot file's dictionary. The
+// copies index exactly by ID, and because IDs are append-only they cover
+// every ID any concurrently-captured bucket can reference.
+func (t *symtab) dict() (paths, countries []string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	paths = make([]string, len(t.paths))
+	for i := range t.paths {
+		paths[i] = t.paths[i].str
+	}
+	countries = make([]string, len(t.countries))
+	copy(countries, t.countries)
+	return paths, countries
+}

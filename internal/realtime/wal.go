@@ -3,6 +3,7 @@ package realtime
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,13 +20,23 @@ import (
 // logging parallelizes with sharding and costs one buffered write per
 // batch, not per event. fsync is amortized over Config.FsyncEvery batches.
 //
-// A WAL record is the minimum needed to re-digest its observations on
-// replay: per event, the full hierarchical name, the Unix minute, the
-// country, and the logged-in bit. Prefixes, rollup names, and shard/stripe
-// routing are all derived from the name, so they are recomputed at
-// recovery time against the recovering counter's own configuration —
-// a log written by a 4-shard counter replays correctly into an 8-shard
-// one.
+// Record format v2 is dictionary-compressed: each segment carries its own
+// name and country dictionaries, built incrementally — the first record
+// that references a name embeds its string once, and every later
+// observation in the segment refers to it by a small varint ID. Minutes
+// are delta-encoded against the record's first observation. Steady state
+// is therefore a few bytes per observation instead of the ~36 B the v1
+// format spent re-logging the full hierarchical name every time.
+// Dictionaries are strictly per-segment, so segments stay independently
+// replayable and rotation/pruning needs no cross-file bookkeeping.
+//
+// The log remains the minimum needed to re-digest its observations on
+// replay: names, minutes, countries, login bits. Prefixes, rollup names,
+// and shard/stripe routing are all derived from the name, so they are
+// recomputed at recovery time against the recovering counter's own
+// configuration — a log written by a 4-shard counter replays correctly
+// into an 8-shard one. decodeBatch still accepts v1 records, so logs
+// written before the dictionary format replay unchanged.
 //
 // Segments are named wal-<shard>-<seq>.log. A snapshot rotates every
 // shard to a fresh segment and then deletes the segments it covers, so
@@ -33,8 +44,13 @@ import (
 // segments appended since it was cut (plus, transiently, garbage an
 // interrupted snapshot failed to delete, which recovery ignores).
 
-// walRecordVersion guards the batch encoding; bump on format change.
-const walRecordVersion = 1
+// WAL record format versions. New records are written as v2; v1 records
+// (full name logged per observation) are still decoded for replay of
+// pre-dictionary logs.
+const (
+	walRecordV1      = 1
+	walRecordVersion = 2
+)
 
 // walName formats a segment file name.
 func walName(shard int, seq int64) string {
@@ -78,6 +94,13 @@ type walWriter struct {
 
 	sinceSync int    // batches appended since the last fsync
 	scratch   []byte // batch encoding buffer, reused
+
+	// Per-segment dictionary state: global symbol-table ID -> dense
+	// segment-local ID, assigned in first-reference order (the decoder
+	// mirrors the assignment, so only the strings travel). Reset on
+	// rotate — each segment's dictionary stands alone.
+	nameLocal    map[uint32]uint32
+	countryLocal map[uint32]uint32
 }
 
 // openWAL creates (or truncates) the segment walName(shard, seq) and
@@ -88,38 +111,69 @@ func openWAL(dir string, shard int, seq int64) (*walWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &walWriter{dir: dir, shard: shard, seq: seq, f: f}
+	w := &walWriter{
+		dir: dir, shard: shard, seq: seq, f: f,
+		nameLocal:    make(map[uint32]uint32),
+		countryLocal: make(map[uint32]uint32),
+	}
 	w.bw = bufio.NewWriterSize(f, 1<<16)
 	w.cw = recordio.NewCRCWriter(w.bw)
 	return w, nil
 }
 
+// errFsync marks an append whose record reached the segment but whose
+// fsync failed: the batch will replay after a process kill, only an OS
+// crash can lose it. Callers distinguish it from a write failure, which
+// means the batch never made the log at all.
+var errFsync = errors.New("realtime: wal fsync failed")
+
 // append logs one batch: encode, frame, flush to the OS, and fsync every
 // fsyncEvery batches. It returns the framed size and whether this append
-// fsynced.
-func (w *walWriter) append(batch []obs, fsyncEvery int) (int64, bool, error) {
-	w.scratch = encodeBatch(w.scratch[:0], batch)
+// fsynced. tab resolves the country strings a first-seen dictionary entry
+// needs. On a write or flush error the dictionary additions are rolled
+// back, so a batch that never reached the log cannot leave later records
+// referencing entries the decoder will never see; a failed fsync keeps
+// them (the record is in the file) and reports errFsync, with the sync
+// retried on the very next append rather than a full fsyncEvery later.
+func (w *walWriter) append(batch []obs, fsyncEvery int, tab *symtab) (int64, bool, error) {
+	var addedNames, addedCountries []uint32
+	w.scratch, addedNames, addedCountries = w.encodeBatch(w.scratch[:0], batch, tab)
+	rollback := func() {
+		for _, id := range addedNames {
+			delete(w.nameLocal, id)
+		}
+		for _, id := range addedCountries {
+			delete(w.countryLocal, id)
+		}
+	}
 	before := w.cw.Bytes()
 	if err := w.cw.Append(w.scratch); err != nil {
+		rollback()
 		return 0, false, err
 	}
 	// Flush the bufio layer every batch: once this returns, a process
 	// kill cannot lose the batch, only an OS crash can (until the next
 	// fsync).
 	if err := w.bw.Flush(); err != nil {
+		rollback()
 		return 0, false, err
 	}
 	w.sinceSync++
 	if w.sinceSync < fsyncEvery {
 		return w.cw.Bytes() - before, false, nil
 	}
+	if err := w.f.Sync(); err != nil {
+		// sinceSync stays at the threshold: the next append retries.
+		return w.cw.Bytes() - before, false, fmt.Errorf("%w: %v", errFsync, err)
+	}
 	w.sinceSync = 0
-	return w.cw.Bytes() - before, true, w.f.Sync()
+	return w.cw.Bytes() - before, true, nil
 }
 
 // rotate durably finishes the current segment and opens the next one,
 // returning the new segment's sequence number. Everything appended so far
-// lives in segments < the returned seq.
+// lives in segments < the returned seq; the fresh segment starts with an
+// empty dictionary.
 func (w *walWriter) rotate() (int64, error) {
 	if err := w.close(); err != nil {
 		return 0, err
@@ -149,55 +203,185 @@ func (w *walWriter) close() error {
 }
 
 // walAppend is the drain-goroutine side: it logs the batch and folds the
-// outcome into the counter's stats. A failed append degrades that batch to
+// outcome into the counter's stats. A failed write degrades that batch to
 // memory-only rather than stalling ingestion; WALErrors records the loss.
+// A failed fsync still counts the batch and its bytes (the record is in
+// the log and will replay after a kill) alongside a WALError for the
+// weakened durability.
 func (c *Counter) walAppend(s *shard, batch []obs) {
-	n, synced, err := s.wal.append(batch, c.cfg.FsyncEvery)
-	if err != nil {
+	n, synced, err := s.wal.append(batch, c.cfg.FsyncEvery, c.tab)
+	if err != nil && !errors.Is(err, errFsync) {
 		c.walErrors.Add(1)
 		return
 	}
 	c.walBatches.Add(1)
 	c.walBytes.Add(n)
+	if err != nil {
+		c.walErrors.Add(1)
+		return
+	}
 	if synced {
 		c.fsyncs.Add(1)
 	}
 }
 
-// encodeBatch appends the wire form of a batch to buf: a version byte, the
-// observation count, then per observation the full name, minute, country,
-// and logged-in bit, all length- or varint-delimited.
-func encodeBatch(buf []byte, batch []obs) []byte {
-	buf = append(buf, walRecordVersion)
-	buf = binary.AppendUvarint(buf, uint64(len(batch)))
+// encodeBatch appends the v2 wire form of a batch to buf:
+//
+//	version byte (2)
+//	uvarint count of first-seen names, then each name (len-prefixed);
+//	  segment-local name IDs are implicit, assigned in listed order
+//	uvarint count of first-seen countries, then each code (len-prefixed)
+//	uvarint observation count
+//	uvarint base minute (the first observation's)
+//	per observation:
+//	  uvarint segment-local name ID
+//	  signed varint minute delta from the base
+//	  uvarint (segment-local country ID << 1) | logged-in bit
+//
+// It also returns the global IDs it added to the segment dictionaries so
+// a failed append can roll them back.
+func (w *walWriter) encodeBatch(buf []byte, batch []obs, tab *symtab) (out []byte, addedNames, addedCountries []uint32) {
+	var newNames, newCountries []string
 	for i := range batch {
 		o := &batch[i]
-		full := o.prefixes[len(o.prefixes)-1]
-		buf = binary.AppendUvarint(buf, uint64(len(full)))
-		buf = append(buf, full...)
-		buf = binary.AppendUvarint(buf, uint64(o.minute))
-		buf = binary.AppendUvarint(buf, uint64(len(o.country)))
-		buf = append(buf, o.country...)
-		if o.loggedIn {
-			buf = append(buf, 1)
-		} else {
-			buf = append(buf, 0)
+		if _, ok := w.nameLocal[o.sym.id]; !ok {
+			w.nameLocal[o.sym.id] = uint32(len(w.nameLocal))
+			addedNames = append(addedNames, o.sym.id)
+			newNames = append(newNames, o.sym.full)
+		}
+		if _, ok := w.countryLocal[o.country]; !ok {
+			w.countryLocal[o.country] = uint32(len(w.countryLocal))
+			addedCountries = append(addedCountries, o.country)
+			newCountries = append(newCountries, tab.countryName(o.country))
 		}
 	}
-	return buf
+	buf = append(buf, walRecordVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(newNames)))
+	for _, s := range newNames {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(newCountries)))
+	for _, s := range newCountries {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(batch)))
+	base := int64(0)
+	if len(batch) > 0 {
+		base = batch[0].minute
+	}
+	buf = binary.AppendUvarint(buf, uint64(base))
+	for i := range batch {
+		o := &batch[i]
+		buf = binary.AppendUvarint(buf, uint64(w.nameLocal[o.sym.id]))
+		buf = binary.AppendVarint(buf, o.minute-base)
+		cl := uint64(w.countryLocal[o.country]) << 1
+		if o.loggedIn {
+			cl |= 1
+		}
+		buf = binary.AppendUvarint(buf, cl)
+	}
+	return buf, addedNames, addedCountries
+}
+
+// walDecoder accumulates one segment's dictionaries while replaying its
+// records in order. Create one per segment; v1 records need no state and
+// decode through the same entry point.
+type walDecoder struct {
+	names     []string
+	countries []string
 }
 
 // decodeBatch walks one WAL record, invoking fn per logged observation.
 // Any structural damage surfaces as recordio.ErrCorrupt so replay treats
 // it like a failed checksum.
-func decodeBatch(rec []byte, fn func(name string, minute int64, country string, loggedIn bool) error) error {
+func (d *walDecoder) decodeBatch(rec []byte, fn func(name string, minute int64, country string, loggedIn bool) error) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("%w: wal record empty", recordio.ErrCorrupt)
+	}
+	switch rec[0] {
+	case walRecordV1:
+		return decodeBatchV1(rec[1:], fn)
+	case walRecordVersion:
+		return d.decodeBatchV2(rec[1:], fn)
+	default:
+		return fmt.Errorf("%w: wal record version %d", recordio.ErrCorrupt, rec[0])
+	}
+}
+
+// decodeBatchV2 parses one dictionary-compressed record, extending the
+// segment dictionaries with its first-seen entries.
+func (d *walDecoder) decodeBatchV2(rec []byte, fn func(name string, minute int64, country string, loggedIn bool) error) error {
 	corrupt := func(what string) error {
 		return fmt.Errorf("%w: wal record %s", recordio.ErrCorrupt, what)
 	}
-	if len(rec) == 0 || rec[0] != walRecordVersion {
-		return corrupt("version")
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(rec)
+		if n <= 0 {
+			return 0, false
+		}
+		rec = rec[n:]
+		return v, true
 	}
-	rec = rec[1:]
+	readStrs := func(into *[]string, what string) error {
+		count, ok := uv()
+		// Every entry costs at least one byte; a larger count is corrupt.
+		if !ok || count > uint64(len(rec)) {
+			return corrupt(what + " count")
+		}
+		for i := uint64(0); i < count; i++ {
+			l, ok := uv()
+			if !ok || uint64(len(rec)) < l {
+				return corrupt(what)
+			}
+			*into = append(*into, string(rec[:l]))
+			rec = rec[l:]
+		}
+		return nil
+	}
+	if err := readStrs(&d.names, "dictionary name"); err != nil {
+		return err
+	}
+	if err := readStrs(&d.countries, "dictionary country"); err != nil {
+		return err
+	}
+	count, ok := uv()
+	if !ok {
+		return corrupt("count")
+	}
+	base, ok := uv()
+	if !ok {
+		return corrupt("base minute")
+	}
+	for i := uint64(0); i < count; i++ {
+		nameID, ok := uv()
+		if !ok || nameID >= uint64(len(d.names)) {
+			return corrupt("name id")
+		}
+		delta, n := binary.Varint(rec)
+		if n <= 0 {
+			return corrupt("minute delta")
+		}
+		rec = rec[n:]
+		cl, ok := uv()
+		if !ok || cl>>1 >= uint64(len(d.countries)) {
+			return corrupt("country id")
+		}
+		if err := fn(d.names[nameID], int64(base)+delta, d.countries[cl>>1], cl&1 == 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeBatchV1 parses the pre-dictionary record body (full name, minute,
+// country, login bit per observation) — the compatibility path that keeps
+// logs written before the v2 format replayable.
+func decodeBatchV1(rec []byte, fn func(name string, minute int64, country string, loggedIn bool) error) error {
+	corrupt := func(what string) error {
+		return fmt.Errorf("%w: wal record %s", recordio.ErrCorrupt, what)
+	}
 	count, n := binary.Uvarint(rec)
 	if n <= 0 {
 		return corrupt("count")
