@@ -271,9 +271,10 @@ func BenchmarkSessionReconstructionUnified(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if g.NumGroups() == 0 {
-			b.Fatal("no groups")
+		if n, err := g.NumGroups(); err != nil || n == 0 {
+			b.Fatalf("no groups: %v", err)
 		}
+		g.Close()
 		st = j.Stats()
 	}
 	b.ReportMetric(float64(st.ShuffleBytes), "shuffle-bytes")
@@ -289,8 +290,8 @@ func BenchmarkSessionReconstructionMaterialized(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if d.Len() == 0 {
-			b.Fatal("no sessions")
+		if n, err := d.Count(); err != nil || n == 0 {
+			b.Fatalf("no sessions: %v", err)
 		}
 		st = j.Stats()
 	}
@@ -305,11 +306,19 @@ func BenchmarkMapTaskReduction(b *testing.B) {
 	var rawTasks, seqTasks int
 	for i := 0; i < b.N; i++ {
 		rawJob := dataflow.NewJob("raw", c.fs)
-		if _, err := rawJob.LoadClientEventsDay(day); err != nil {
+		rawDS, err := rawJob.LoadClientEventsDay(day)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rawDS.Count(); err != nil {
 			b.Fatal(err)
 		}
 		seqJob := dataflow.NewJob("seq", c.fs)
-		if _, err := seqJob.LoadSessionSequencesDay(day); err != nil {
+		seqDS, err := seqJob.LoadSessionSequencesDay(day)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := seqDS.Count(); err != nil {
 			b.Fatal(err)
 		}
 		rawTasks, seqTasks = rawJob.Stats().MapTasks, seqJob.Stats().MapTasks
@@ -479,9 +488,9 @@ func BenchmarkTwinComparison(b *testing.B) {
 			b.Fatal(err)
 		}
 		nameIdx := d.Schema().MustIndex("name")
-		n := d.Filter(func(tp dataflow.Tuple) bool { return m(tp[nameIdx].(string)) }).Count()
-		if n == 0 {
-			b.Fatal("no matches")
+		n, err := d.Filter(func(tp dataflow.Tuple) bool { return m(tp[nameIdx].(string)) }).Count()
+		if err != nil || n == 0 {
+			b.Fatalf("no matches: %v", err)
 		}
 	}
 }

@@ -1,0 +1,107 @@
+// Command benchcompare guards the benchmark trajectory: it compares the
+// throughput fields of freshly generated benchmark JSON files
+// (BENCH_realtime.json, BENCH_dataflow.json) against the baselines
+// committed under ci/baseline/ and exits non-zero when any regresses more
+// than the allowed fraction — so a perf regression fails CI loudly instead
+// of drifting.
+//
+// Every numeric field whose name ends in "_per_sec" is compared (higher is
+// better); other fields are informational. Fields present in the current
+// run but absent from the baseline are reported and skipped, so adding a
+// metric does not require a lockstep baseline update.
+//
+// Usage:
+//
+//	benchcompare [-baseline-dir ci/baseline] [-max-regress 0.30] FILE...
+//
+// Baselines regenerate with the same command CI runs:
+//
+//	go run ./cmd/benchrunner -users 60 -loggedout 40 -only e14,e15,e16
+//	cp BENCH_realtime.json BENCH_dataflow.json ci/baseline/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	baselineDir := flag.String("baseline-dir", "ci/baseline", "directory holding committed baseline JSON files")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum allowed fractional throughput regression")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark files given")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		cur, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+			os.Exit(2)
+		}
+		basePath := filepath.Join(*baselineDir, filepath.Base(path))
+		base, err := load(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("## %s vs %s (max regression %.0f%%)\n", path, basePath, *maxRegress*100)
+		fmt.Printf("%-32s %14s %14s %9s\n", "metric", "baseline", "current", "delta")
+		for _, key := range throughputKeys(cur) {
+			curV := cur[key].(float64)
+			baseV, ok := base[key].(float64)
+			if !ok || baseV <= 0 {
+				fmt.Printf("%-32s %14s %14.0f %9s\n", key, "(none)", curV, "skip")
+				continue
+			}
+			delta := curV/baseV - 1
+			verdict := "ok"
+			if curV < baseV*(1-*maxRegress) {
+				verdict = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("%-32s %14.0f %14.0f %+8.1f%% %s\n", key, baseV, curV, delta*100, verdict)
+		}
+		fmt.Println()
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcompare: throughput regressed more than %.0f%% versus the committed baseline\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcompare: all throughput metrics within bounds")
+}
+
+func load(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]any{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// throughputKeys returns the sorted higher-is-better metric names present
+// in m.
+func throughputKeys(m map[string]any) []string {
+	var keys []string
+	for k, v := range m {
+		if _, ok := v.(float64); !ok {
+			continue
+		}
+		if strings.HasSuffix(k, "_per_sec") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

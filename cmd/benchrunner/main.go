@@ -65,6 +65,33 @@ type realtimeMetrics struct {
 
 var metrics realtimeMetrics
 
+// dataflowMetrics is the machine-readable summary of the out-of-core
+// dataflow experiment (E16), written as BENCH_dataflow.json. The spill
+// figures are the peak-RSS proxy: what the engine staged on disk instead
+// of holding in memory.
+type dataflowMetrics struct {
+	GeneratedAt             string  `json:"generated_at"`
+	Events                  int64   `json:"events"`
+	BaselineEvents          int64   `json:"baseline_events"`
+	ScaleX                  float64 `json:"scale_x"`
+	MemoryBudgetBytes       int64   `json:"memory_budget_bytes"`
+	RollupRows              int     `json:"rollup_rows"`
+	RollupEventsPerSec      float64 `json:"rollup_events_per_sec"`
+	InMemRollupEventsPerSec float64 `json:"inmem_rollup_events_per_sec"`
+	SpilledBytes            int64   `json:"spilled_bytes"`
+	SpilledRecords          int64   `json:"spilled_records"`
+	SpillFlushes            int     `json:"spill_flushes"`
+	SpilledPartitions       int     `json:"spilled_partitions"`
+	MergePasses             int     `json:"merge_passes"`
+	ShuffleBytes            int64   `json:"shuffle_bytes"`
+	SessionGroups           int     `json:"session_groups"`
+	Identical               bool    `json:"identical"`
+
+	measured bool
+}
+
+var dfMetrics dataflowMetrics
+
 type env struct {
 	fs    *hdfs.FS
 	dict  *session.Dictionary
@@ -82,6 +109,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	benchJSON := flag.String("benchjson", "BENCH_realtime.json",
 		"write machine-readable realtime metrics (e14/e15) to this file; empty disables")
+	benchJSONDataflow := flag.String("benchjson-dataflow", "BENCH_dataflow.json",
+		"write machine-readable dataflow metrics (e16) to this file; empty disables")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig(day)
@@ -140,6 +169,7 @@ func main() {
 		{"e13", "ad-hoc segment queries via users-table join (§4.1, §5.2)", e13},
 		{"e14", "realtime streaming counters: ingest, queries, lambda reconciliation (§6)", e14},
 		{"e15", "realtime durability: WAL ingest overhead, crash recovery of ~1M events", e15},
+		{"e16", "out-of-core dataflow: day-scale rollups under a spilling memory budget", e16},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -166,6 +196,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("realtime metrics written to %s\n", *benchJSON)
+	}
+	if dfMetrics.measured && *benchJSONDataflow != "" {
+		dfMetrics.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		data, err := json.MarshalIndent(&dfMetrics, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*benchJSONDataflow, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dataflow metrics written to %s\n", *benchJSONDataflow)
 	}
 }
 
@@ -268,17 +309,24 @@ func e3(e *env) {
 		if err != nil {
 			fatal(err)
 		}
-		unifiedGroups = g.NumGroups()
+		defer g.Close()
+		unifiedGroups, err = g.NumGroups()
+		if err != nil {
+			fatal(err)
+		}
 	})
 
 	matJob := dataflow.NewJob("materialized", e.fs)
-	var matSessions int
+	var matSessions int64
 	matT := timeIt(func() {
 		d, err := matJob.LoadSessionSequencesDay(day)
 		if err != nil {
 			fatal(err)
 		}
-		matSessions = d.Len()
+		matSessions, err = d.Count()
+		if err != nil {
+			fatal(err)
+		}
 	})
 
 	fmt.Printf("  task: reconstruct user sessions for one day\n")
@@ -295,12 +343,22 @@ func e3(e *env) {
 }
 
 func e4(e *env) {
+	// Loads are lazy now: driving the scan (Count) is what spawns the map
+	// tasks and charges the bytes.
 	rawJob := dataflow.NewJob("raw", e.fs)
-	if _, err := rawJob.LoadClientEventsDay(day); err != nil {
+	rawDS, err := rawJob.LoadClientEventsDay(day)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := rawDS.Count(); err != nil {
 		fatal(err)
 	}
 	seqJob := dataflow.NewJob("seq", e.fs)
-	if _, err := seqJob.LoadSessionSequencesDay(day); err != nil {
+	seqDS, err := seqJob.LoadSessionSequencesDay(day)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := seqDS.Count(); err != nil {
 		fatal(err)
 	}
 	rs, ss := rawJob.Stats(), seqJob.Stats()
@@ -544,10 +602,18 @@ func e11(e *env) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("  %-28s %10d %12d %12d %12d\n", tgt.label, d.Len(), j.Stats().FilesRead, f.SkippedFiles(), j.Stats().BytesRead)
+		matches, err := d.Count()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %-28s %10d %12d %12d %12d\n", tgt.label, matches, j.Stats().FilesRead, f.SkippedFiles(), j.Stats().BytesRead)
 	}
 	full := dataflow.NewJob("full", e.fs)
-	if _, err := full.LoadClientEventsDay(day); err != nil {
+	fullDS, err := full.LoadClientEventsDay(day)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := fullDS.Count(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("  %-28s %10s %12d %12d %12d\n", "full scan baseline", "-", full.Stats().FilesRead, 0, full.Stats().BytesRead)
@@ -759,6 +825,149 @@ func e15(e *env) {
 	metrics.WALOverheadX = memRate / durRate
 	metrics.RecoveryMillis = float64(recT.Milliseconds())
 	metrics.RecoveryEventsPerSec = float64(durN) / recT.Seconds()
+}
+
+func e16(e *env) {
+	// The out-of-core question: can the batch vertical roll up a synthetic
+	// day an order of magnitude past the shared corpus while the group-by
+	// is forbidden from holding the shuffle in memory? The run executes
+	// twice — once under a deliberately tiny Job.MemoryBudget (forcing the
+	// hash partitions to spill and merge partition-at-a-time) and once
+	// unbudgeted — and the two rollup tables must be identical.
+	cfg := e.cfg
+	cfg.Users = e.cfg.Users * 12
+	cfg.LoggedOutSessions = e.cfg.LoggedOutSessions * 12
+	cfg.Seed = e.cfg.Seed + 16
+	evs, truth := workload.New(cfg).Generate()
+	bigFS := hdfs.New(0)
+	w := warehouse.NewWriter(bigFS, events.Category)
+	w.RollRecords = 4000
+	for i := range evs {
+		if err := w.Append(&evs[i]); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	scale := float64(truth.Events) / float64(e.truth.Events)
+	fmt.Printf("  synthetic day: %d events (%.1fx the shared E-series corpus)\n", truth.Events, scale)
+	if scale < 10 {
+		fatal(fmt.Errorf("e16: synthetic day only %.1fx the shared corpus, want >= 10x", scale))
+	}
+
+	const budget = 32 << 10 // 32 KiB: far below the shuffle, so spilling is mandatory
+	spillDir, err := os.MkdirTemp("", "benchrunner-spill-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(spillDir)
+
+	bj := dataflow.NewJob("rollups-budget", bigFS)
+	bj.MemoryBudget = budget
+	bj.SpillDir = spillDir
+	var budgeted map[analytics.RollupKey]int64
+	bt := timeIt(func() {
+		var err error
+		budgeted, err = analytics.Rollups(bj, day)
+		if err != nil {
+			fatal(err)
+		}
+	})
+	bst := bj.Stats()
+
+	mj := dataflow.NewJob("rollups-inmem", bigFS)
+	var inmem map[analytics.RollupKey]int64
+	mt := timeIt(func() {
+		var err error
+		inmem, err = analytics.Rollups(mj, day)
+		if err != nil {
+			fatal(err)
+		}
+	})
+
+	identical := len(budgeted) == len(inmem)
+	if identical {
+		for k, v := range inmem {
+			if budgeted[k] != v {
+				identical = false
+				break
+			}
+		}
+	}
+	fmt.Printf("  %-26s %10s %12s %14s %10s\n", "rollup run", "latency", "rows", "spilled-bytes", "events/s")
+	fmt.Printf("  %-26s %10v %12d %14d %10.0f\n", fmt.Sprintf("budget %d KiB", budget>>10),
+		bt.Round(time.Millisecond), len(budgeted), bst.SpilledBytes, float64(truth.Events)/bt.Seconds())
+	fmt.Printf("  %-26s %10v %12d %14d %10.0f\n", "unbudgeted (in-memory)",
+		mt.Round(time.Millisecond), len(inmem), mj.Stats().SpilledBytes, float64(truth.Events)/mt.Seconds())
+	fmt.Printf("  peak-RSS proxy under budget: %d spilled partitions, %d flush waves, %d spilled records, %d merge passes\n",
+		bst.SpilledPartitions, bst.SpillFlushes, bst.SpilledRecords, bst.MergePasses)
+	fmt.Printf("  rollup tables identical: %v\n", identical)
+	if !identical {
+		fatal(fmt.Errorf("e16: spilling and in-memory rollups diverged"))
+	}
+	if bst.SpilledPartitions < 2 {
+		fatal(fmt.Errorf("e16: only %d spilled partitions — the budget did not force external grouping", bst.SpilledPartitions))
+	}
+	if mj.Stats().SpilledBytes != 0 {
+		fatal(fmt.Errorf("e16: unbudgeted run spilled"))
+	}
+
+	// The raw sessionization group-by at the same scale — the operator the
+	// budget really protects, since its shuffle input is every event (the
+	// rollup job's combiner already shrank its shuffle to distinct rows).
+	countGroups := func(budgeted bool) (int, dataflow.Stats) {
+		j := dataflow.NewJob("sessions", bigFS)
+		if budgeted {
+			j.MemoryBudget = budget
+			j.SpillDir = spillDir
+		}
+		d, err := j.LoadClientEventsDay(day)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := d.Project("user_id", "session_id")
+		if err != nil {
+			fatal(err)
+		}
+		g, err := p.GroupBy("user_id", "session_id")
+		if err != nil {
+			fatal(err)
+		}
+		defer g.Close()
+		n, err := g.NumGroups()
+		if err != nil {
+			fatal(err)
+		}
+		return n, j.Stats()
+	}
+	bg, bgs := countGroups(true)
+	mg, _ := countGroups(false)
+	fmt.Printf("  session group-by: %d groups budgeted vs %d in-memory (equal: %v); spilled %.1f MiB over %d partitions\n",
+		bg, mg, bg == mg, float64(bgs.SpilledBytes)/(1<<20), bgs.SpilledPartitions)
+	if bg != mg {
+		fatal(fmt.Errorf("e16: session group-by diverged under budget"))
+	}
+	if bgs.SpilledPartitions < 2 {
+		fatal(fmt.Errorf("e16: session group-by spilled %d partitions, want >= 2", bgs.SpilledPartitions))
+	}
+
+	dfMetrics.measured = true
+	dfMetrics.Events = truth.Events
+	dfMetrics.BaselineEvents = e.truth.Events
+	dfMetrics.ScaleX = scale
+	dfMetrics.MemoryBudgetBytes = budget
+	dfMetrics.RollupRows = len(budgeted)
+	dfMetrics.RollupEventsPerSec = float64(truth.Events) / bt.Seconds()
+	dfMetrics.InMemRollupEventsPerSec = float64(truth.Events) / mt.Seconds()
+	dfMetrics.SpilledBytes = bst.SpilledBytes + bgs.SpilledBytes
+	dfMetrics.SpilledRecords = bst.SpilledRecords + bgs.SpilledRecords
+	dfMetrics.SpillFlushes = bst.SpillFlushes + bgs.SpillFlushes
+	dfMetrics.SpilledPartitions = bst.SpilledPartitions + bgs.SpilledPartitions
+	dfMetrics.MergePasses = bst.MergePasses + bgs.MergePasses
+	dfMetrics.ShuffleBytes = bst.ShuffleBytes + bgs.ShuffleBytes
+	dfMetrics.SessionGroups = bg
+	dfMetrics.Identical = identical
 }
 
 type memBuf struct{ data []byte }

@@ -12,6 +12,20 @@
 // collocations) — over a deterministic synthetic workload with planted
 // ground truth.
 //
+// The dataflow engine executes out-of-core, the way the MapReduce jobs it
+// models do: datasets are lazy pull-based iterator pipelines (scans buffer
+// one split at a time; Filter/Project/ForEach/FlatMap stream), and the
+// pipeline breakers — GroupBy, GroupAll, Join, Distinct — are external
+// operators that hash-partition their input and spill partitions to
+// CRC-framed spill files once dataflow.Job.MemoryBudget is exceeded,
+// merging one partition at a time so peak memory is bounded by the
+// largest partition rather than the day. A zero budget keeps everything
+// in memory (the default); either path produces identical relations,
+// asserted by property tests and by benchrunner E16, which rolls up a
+// synthetic day >= 10x the shared corpus under a 32 KiB budget. The §3.2
+// rollup job runs map-combine-reduce: a map-side combiner pre-aggregates
+// the five rollup rows per event so only distinct partial counts shuffle.
+//
 // Beyond the paper's batch pipeline, internal/realtime adds the §6
 // "real-time processing" direction as a Rainbird-style streaming counter
 // subsystem: a tap on the Scribe aggregators fans accepted client events

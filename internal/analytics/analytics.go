@@ -112,7 +112,7 @@ func CountSequencesDay(j *dataflow.Job, day time.Time, dict *session.Dictionary,
 	}
 	c := NewCounter(dict, m)
 	seqIdx := d.Schema().MustIndex("sequence")
-	for _, t := range d.Tuples() {
+	err = d.Each(func(t dataflow.Tuple) error {
 		seq := t[seqIdx].(string)
 		n := c.Count(seq)
 		rep.Events += n
@@ -120,8 +120,9 @@ func CountSequencesDay(j *dataflow.Job, day time.Time, dict *session.Dictionary,
 			rep.Sessions++
 		}
 		rep.TotalSessions++
-	}
-	return rep, nil
+		return nil
+	})
+	return rep, err
 }
 
 // CountRawDay answers the same query from the raw client event logs: a full
@@ -141,10 +142,11 @@ func CountRawDay(j *dataflow.Job, day time.Time, m Matcher) (CountReport, error)
 	if err != nil {
 		return rep, err
 	}
+	defer g.Close()
 	nameIdx := 2
 	tsIdx := 3
 	gapMs := session.InactivityGap.Milliseconds()
-	g.ForEachGroup(dataflow.Schema{"n"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
+	_, err = g.ForEachGroup(dataflow.Schema{"n"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
 		sort.Slice(group, func(a, b int) bool { return group[a][tsIdx].(int64) < group[b][tsIdx].(int64) })
 		segMatches := int64(0)
 		for i, t := range group {
@@ -166,7 +168,7 @@ func CountRawDay(j *dataflow.Job, day time.Time, m Matcher) (CountReport, error)
 		}
 		return nil
 	})
-	return rep, nil
+	return rep, err
 }
 
 // RateReport is a click-through / follow-through measurement (§4.1, §5.2).

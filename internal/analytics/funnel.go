@@ -138,10 +138,11 @@ func FunnelSequencesDay(j *dataflow.Job, day time.Time, f *Funnel) (Report, erro
 		return rep, err
 	}
 	seqIdx := d.Schema().MustIndex("sequence")
-	for _, t := range d.Tuples() {
+	err = d.Each(func(t dataflow.Tuple) error {
 		rep.Observe(f.Depth(t[seqIdx].(string)))
-	}
-	return rep, nil
+		return nil
+	})
+	return rep, err
 }
 
 // UniqueUsersPerStage is the §5.3 variant "translating these figures into
@@ -158,12 +159,16 @@ func UniqueUsersPerStage(j *dataflow.Job, day time.Time, f *Funnel) ([]int64, er
 	for i := range sets {
 		sets[i] = make(map[int64]struct{})
 	}
-	for _, t := range d.Tuples() {
+	err = d.Each(func(t dataflow.Tuple) error {
 		depth := f.Depth(t[seqIdx].(string))
 		uid := t[uidIdx].(int64)
 		for i := 0; i < depth; i++ {
 			sets[i][uid] = struct{}{}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := make([]int64, len(sets))
 	for i, s := range sets {
@@ -189,8 +194,9 @@ func FunnelRawDay(j *dataflow.Job, day time.Time, stageMatch []Matcher) (Report,
 	if err != nil {
 		return rep, err
 	}
+	defer g.Close()
 	gapMs := session.InactivityGap.Milliseconds()
-	g.ForEachGroup(dataflow.Schema{"x"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
+	_, err = g.ForEachGroup(dataflow.Schema{"x"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
 		sort.Slice(group, func(a, b int) bool { return group[a][3].(int64) < group[b][3].(int64) })
 		stage := 0
 		flush := func() {
@@ -208,5 +214,5 @@ func FunnelRawDay(j *dataflow.Job, day time.Time, stageMatch []Matcher) (Report,
 		flush()
 		return nil
 	})
-	return rep, nil
+	return rep, err
 }

@@ -1,6 +1,7 @@
 package analytics
 
 import (
+	"sort"
 	"time"
 
 	"unilog/internal/dataflow"
@@ -30,6 +31,13 @@ type RollupKey struct {
 //
 // "without any additional intervention from the application developer,
 // rudimentary statistics are computed and made available on a daily basis."
+//
+// The job runs map-combine-reduce: events stream off the scan (one split in
+// memory at a time), a map-side combiner pre-aggregates the five rollup
+// rows per event into partial counts keyed by rollup row, and only those
+// partials — a relation the size of the distinct key space, not five times
+// the event count — shuffle into the final GroupBy, which spills under
+// Job.MemoryBudget like any external operator.
 func Rollups(j *dataflow.Job, day time.Time) (map[RollupKey]int64, error) {
 	d, err := j.LoadClientEventsDay(day)
 	if err != nil {
@@ -39,31 +47,70 @@ func Rollups(j *dataflow.Job, day time.Time) (map[RollupKey]int64, error) {
 	ipIdx := d.Schema().MustIndex("ip")
 	liIdx := d.Schema().MustIndex("logged_in")
 
-	// FlatMap each event to its five rollup rows, then count per key. The
-	// dataflow group-by meters the shuffle this daily job costs.
-	rows := d.FlatMap(dataflow.Schema{"level", "rolled", "country", "logged_in"}, func(t dataflow.Tuple) []dataflow.Tuple {
+	// Map side: stream the day once, folding each event's five rollup rows
+	// into the combiner table.
+	partial := make(map[RollupKey]int64)
+	err = d.Each(func(t dataflow.Tuple) error {
 		name, err := events.ParseName(t[nameIdx].(string))
 		if err != nil {
-			return nil
+			return nil // malformed names are dropped, as the FlatMap did
 		}
 		country := geo.CountryOf(t[ipIdx].(string))
 		loggedIn := t[liIdx].(bool)
-		out := make([]dataflow.Tuple, events.NumRollupLevels)
 		for lvl := 0; lvl < events.NumRollupLevels; lvl++ {
-			out[lvl] = dataflow.Tuple{int64(lvl), name.Rollup(events.RollupLevel(lvl)).String(), country, loggedIn}
+			k := RollupKey{
+				Level:    events.RollupLevel(lvl),
+				Name:     name.Rollup(events.RollupLevel(lvl)).String(),
+				Country:  country,
+				LoggedIn: loggedIn,
+			}
+			partial[k]++
 		}
-		return out
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Shuffle only the combined partials. Sorting the keys keeps the
+	// synthetic relation deterministic run over run.
+	keys := make([]RollupKey, 0, len(partial))
+	for k := range partial {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.Level != kb.Level {
+			return ka.Level < kb.Level
+		}
+		if ka.Name != kb.Name {
+			return ka.Name < kb.Name
+		}
+		if ka.Country != kb.Country {
+			return ka.Country < kb.Country
+		}
+		return !ka.LoggedIn && kb.LoggedIn
+	})
+	tuples := make([]dataflow.Tuple, len(keys))
+	for i, k := range keys {
+		tuples[i] = dataflow.Tuple{int64(k.Level), k.Name, k.Country, k.LoggedIn, partial[k]}
+	}
+	rows := dataflow.NewDataset(j, dataflow.Schema{"level", "rolled", "country", "logged_in", "n"}, tuples)
+
+	// Reduce side: the metered group-by over the combined rows, summing
+	// the partial counts. With a combiner every group has one partial per
+	// map side, so this is cheap — which is the point.
 	g, err := rows.GroupBy("level", "rolled", "country", "logged_in")
 	if err != nil {
 		return nil, err
 	}
-	counts, err := g.Aggregate(dataflow.Count("n"))
+	defer g.Close()
+	counts, err := g.Aggregate(dataflow.Sum("n", "n"))
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[RollupKey]int64, counts.Len())
-	for _, t := range counts.Tuples() {
+	out := make(map[RollupKey]int64, len(keys))
+	err = counts.Each(func(t dataflow.Tuple) error {
 		k := RollupKey{
 			Level:    events.RollupLevel(t[0].(int64)),
 			Name:     t[1].(string),
@@ -71,6 +118,10 @@ func Rollups(j *dataflow.Job, day time.Time) (map[RollupKey]int64, error) {
 			LoggedIn: t[3].(bool),
 		}
 		out[k] = t[4].(int64)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -36,18 +36,20 @@ func RateForSegment(
 	if err != nil {
 		return rep, err
 	}
+	defer joined.Close()
 	schema := joined.Schema()
 	selected := joined.Filter(func(t dataflow.Tuple) bool { return segment(schema, t) })
 
 	ci := NewCounter(dict, impressions)
 	ca := NewCounter(dict, actions)
 	seqIdx := schema.MustIndex("sequence")
-	for _, t := range selected.Tuples() {
+	err = selected.Each(func(t dataflow.Tuple) error {
 		seq := t[seqIdx].(string)
 		rep.Impressions += ci.Count(seq)
 		rep.Actions += ca.Count(seq)
-	}
-	return rep, nil
+		return nil
+	})
+	return rep, err
 }
 
 // ColumnEquals returns a segment predicate matching one column's value —

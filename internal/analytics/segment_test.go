@@ -25,8 +25,8 @@ func TestSegmentedCTR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if usersDS.Len() != int(c.truth.UniqueUsers) {
-		t.Fatalf("users table has %d rows, want %d", usersDS.Len(), c.truth.UniqueUsers)
+	if n, err := usersDS.Count(); err != nil || n != c.truth.UniqueUsers {
+		t.Fatalf("users table has %d rows, %v, want %d", n, err, c.truth.UniqueUsers)
 	}
 
 	impSuffix := workload.FeatureImpressionName("web", workload.FeatureWhoToFollow)[len("web"):]

@@ -34,6 +34,13 @@ type Lambda struct {
 	mu     sync.Mutex
 	tick   int64 // LRU clock: bumped on every cache touch
 	sealed map[time.Time]*sealedEntry
+
+	// lastToday is the most recent "today" any query observed; when it
+	// advances, yesterday's rollup is pre-warmed in the background.
+	lastToday time.Time
+	// prewarms tracks in-flight pre-warm goroutines (tests and shutdown
+	// wait on it).
+	prewarms sync.WaitGroup
 }
 
 // DefaultMaxSealedDays is the sealed-day cache cap when Lambda.MaxSealedDays
@@ -81,6 +88,41 @@ func (l *Lambda) SealedCached() int {
 func (l *Lambda) today(day time.Time) bool {
 	return day.Equal(l.now().UTC().Truncate(24 * time.Hour))
 }
+
+// maybePrewarm notices the midnight handover: on the first query of a new
+// day, yesterday — which just moved from the realtime counters to the
+// warehouse — is loaded into the sealed-day cache asynchronously, so the
+// first dashboard query after the handover does not pay a cold rollup
+// job. Every query path calls this with the current wall "today" and the
+// day it is about to serve; when that query is itself for yesterday, the
+// spawn is skipped — the synchronous path is already running the job, and
+// a duplicate would only double the cost of the exact query the pre-warm
+// exists to speed up.
+func (l *Lambda) maybePrewarm(today, queryDay time.Time) {
+	yesterday := today.AddDate(0, 0, -1)
+	l.mu.Lock()
+	if l.lastToday.Equal(today) {
+		l.mu.Unlock()
+		return
+	}
+	l.lastToday = today
+	_, cached := l.sealed[yesterday]
+	l.mu.Unlock()
+	if cached || queryDay.Equal(yesterday) {
+		return
+	}
+	l.prewarms.Add(1)
+	go func() {
+		defer l.prewarms.Done()
+		// Errors are deliberately dropped: the pre-warm is an optimization,
+		// and a failing day will surface its error on the real query.
+		_, _ = l.sealedRollups(yesterday)
+	}()
+}
+
+// WaitPrewarm blocks until any in-flight pre-warm finishes — a test and
+// shutdown hook; queries never need it.
+func (l *Lambda) WaitPrewarm() { l.prewarms.Wait() }
 
 // sealedRollups computes and caches the batch rollup table of a sealed
 // day. The rollup job runs outside the lock so a cold day does not block
@@ -131,6 +173,7 @@ func (l *Lambda) sealedRollups(day time.Time) (map[analytics.RollupKey]int64, er
 // and login status — from whichever path owns that day.
 func (l *Lambda) EventTotal(day time.Time, level events.RollupLevel, name string) (int64, Source, error) {
 	day = day.UTC().Truncate(24 * time.Hour)
+	l.maybePrewarm(l.now().UTC().Truncate(24*time.Hour), day)
 	if l.today(day) {
 		l.rt.Sync()
 		return l.rt.RollupTotal(level, name, day, day.Add(24*time.Hour)), SourceRealtime, nil
@@ -146,6 +189,7 @@ func (l *Lambda) EventTotal(day time.Time, level events.RollupLevel, name string
 // of the §3 hierarchy — from whichever path owns the day.
 func (l *Lambda) ClientTotals(day time.Time) (map[string]int64, Source, error) {
 	day = day.UTC().Truncate(24 * time.Hour)
+	l.maybePrewarm(l.now().UTC().Truncate(24*time.Hour), day)
 	out := make(map[string]int64)
 	if l.today(day) {
 		l.rt.Sync()

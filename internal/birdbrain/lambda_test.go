@@ -246,3 +246,69 @@ func TestLambdaServesRecoveredEngine(t *testing.T) {
 		t.Fatalf("ClientTotals from recovered engine = %v/%s/%v, want web=11", totals, src, err)
 	}
 }
+
+// TestLambdaMidnightPrewarm pins the handover optimization: the first
+// query of a new day kicks off a background load of yesterday's sealed
+// rollup, so the first warehouse-path query after midnight hits the cache
+// instead of paying a cold rollup job.
+func TestLambdaMidnightPrewarm(t *testing.T) {
+	const imp = "web:home:timeline:stream:tweet:impression"
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	for i := 0; i < 5; i++ {
+		if err := w.Append(lambdaEvent(imp, sealedDay, i%12)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rt := realtime.New(realtime.Config{Shards: 1})
+	defer rt.Close()
+
+	now := liveDay.Add(time.Hour) // sealedDay sealed at the last midnight
+	l := NewLambda(fs, rt, func() time.Time { return now })
+
+	// Query today only; yesterday must get warmed as a side effect.
+	if _, src, err := l.EventTotal(liveDay, 0, imp); err != nil || src != SourceRealtime {
+		t.Fatalf("today query: %s/%v", src, err)
+	}
+	l.WaitPrewarm()
+	if got := l.SealedCached(); got != 1 {
+		t.Fatalf("sealed cache holds %d days after pre-warm, want 1 (yesterday)", got)
+	}
+
+	// The handover query is now a cache hit: events appended to the
+	// warehouse afterwards cannot change its answer, proving no rollup
+	// job runs at query time.
+	w2 := warehouse.NewWriter(fs, events.Category)
+	if err := w2.Append(lambdaEvent(imp, sealedDay, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, src, err := l.EventTotal(sealedDay, 0, imp)
+	if err != nil || src != SourceWarehouse || n != 5 {
+		t.Fatalf("handover query = %d/%s/%v, want pre-warmed 5/warehouse", n, src, err)
+	}
+
+	// Same day again: the pre-warm fires once per day change, not per query.
+	if _, _, err := l.EventTotal(liveDay, 0, imp); err != nil {
+		t.Fatal(err)
+	}
+	l.WaitPrewarm()
+	if got := l.SealedCached(); got != 1 {
+		t.Fatalf("cache grew to %d on repeat queries", got)
+	}
+
+	// Midnight passes: the next query pre-warms the just-sealed liveDay.
+	now = liveDay.AddDate(0, 0, 1).Add(time.Minute)
+	if _, _, err := l.EventTotal(now, 0, imp); err != nil {
+		t.Fatal(err)
+	}
+	l.WaitPrewarm()
+	if got := l.SealedCached(); got != 2 {
+		t.Fatalf("cache holds %d after second midnight, want 2", got)
+	}
+}

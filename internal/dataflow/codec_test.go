@@ -1,0 +1,95 @@
+package dataflow
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"unilog/internal/recordio"
+)
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	in := Tuple{
+		nil,
+		int64(-42),
+		int32(7),
+		int(123456),
+		3.14159,
+		true,
+		false,
+		"hello",
+		[]byte{1, 2, 3},
+		map[string]string{"b": "2", "a": "1"},
+		"",
+	}
+	buf, err := appendTuple(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in:  %#v\n out: %#v", in, out)
+	}
+	// Concrete types must survive — reducers type-assert on them.
+	if _, ok := out[1].(int64); !ok {
+		t.Fatalf("int64 came back %T", out[1])
+	}
+	if _, ok := out[2].(int32); !ok {
+		t.Fatalf("int32 came back %T", out[2])
+	}
+	if _, ok := out[3].(int); !ok {
+		t.Fatalf("int came back %T", out[3])
+	}
+}
+
+func TestTupleCodecDeterministicMaps(t *testing.T) {
+	m := map[string]string{"x": "1", "y": "2", "z": "3", "a": "0"}
+	a, err := appendTuple(nil, Tuple{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		b, err := appendTuple(nil, Tuple{map[string]string{"y": "2", "a": "0", "z": "3", "x": "1"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatal("map encoding not deterministic")
+		}
+	}
+}
+
+func TestTupleCodecRejectsUnknownTypes(t *testing.T) {
+	type custom struct{ n int }
+	if _, err := appendTuple(nil, Tuple{custom{1}}); err == nil {
+		t.Fatal("encoded an unknown type")
+	}
+}
+
+func TestTupleCodecCorruption(t *testing.T) {
+	buf, err := appendTuple(nil, Tuple{"hello", int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated mid-value.
+	if _, err := decodeTuple(buf[:len(buf)-2]); !errors.Is(err, recordio.ErrCorrupt) {
+		t.Fatalf("truncated decode err = %v", err)
+	}
+	// Unknown tag.
+	bad := append([]byte(nil), buf...)
+	bad[1] = 0xee
+	if _, err := decodeTuple(bad); !errors.Is(err, recordio.ErrCorrupt) {
+		t.Fatalf("bad tag decode err = %v", err)
+	}
+	// Trailing garbage after a well-formed tuple.
+	if _, err := decodeTuple(append(buf, 0)); !errors.Is(err, recordio.ErrCorrupt) {
+		t.Fatalf("trailing bytes decode err = %v", err)
+	}
+	// Empty record: even a zero-arity tuple carries its arity byte.
+	if _, err := decodeTuple(nil); !errors.Is(err, recordio.ErrCorrupt) {
+		t.Fatalf("empty record decode err = %v", err)
+	}
+}

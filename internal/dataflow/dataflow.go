@@ -16,13 +16,31 @@
 //     complaint that raw-log jobs "routinely spawned tens of thousands of
 //     mappers and clogged our Hadoop jobtracker".
 //
-// Operators are eager and in-memory; correctness is exact, the cost model is
-// the simulation.
+// Execution is out-of-core, the way the MapReduce jobs it models are:
+//
+//   - A Dataset is a lazy pipeline node, not a materialized relation.
+//     Filter, Project, ForEach, FlatMap, and Limit compose pull-based
+//     Iterators (Volcano-style) and hold no tuples of their own; a scan
+//     buffers one split at a time — exactly a map task's working set.
+//   - GroupBy, GroupAll, Join, and Distinct are the pipeline breakers, and
+//     they are external operators: input tuples are hash-partitioned on
+//     the key, buffered per partition, and spilled to CRC-framed spill
+//     files (see spill.go) once the buffered bytes exceed Job.MemoryBudget.
+//     The reduce side then merges one partition at a time, so peak memory
+//     is bounded by the largest partition, not the dataset. A zero or
+//     negative budget disables spilling — the original fully-in-memory
+//     path, still the default.
+//   - Terminal operations (Each, Tuples, Count, and the reduce-side calls
+//     on Grouped) drive the pipeline. Every execution is metered: re-running
+//     a pipeline really is another job, and the stats say so.
+//
+// Correctness is exact; the cost model is the simulation.
 package dataflow
 
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"unilog/internal/hdfs"
 )
@@ -77,6 +95,14 @@ type Stats struct {
 	ShuffleRecords int64
 	ShuffleBytes   int64
 	OutputRecords  int64
+
+	// Out-of-core accounting: what the external operators pushed to disk
+	// when Job.MemoryBudget was exceeded — the peak-memory proxy.
+	SpilledBytes      int64 // framed bytes written to spill files
+	SpilledRecords    int64 // tuples written to spill files
+	SpilledPartitions int   // partitions that overflowed to disk (one spill file each)
+	SpillFlushes      int   // buffer-to-disk flush waves across all partitions
+	MergePasses       int   // partition-at-a-time reduce passes executed
 }
 
 // ClusterSeconds estimates cluster occupancy from task startup overheads —
@@ -86,10 +112,22 @@ func (s Stats) ClusterSeconds() float64 {
 }
 
 // Job is one logical analytics job; all datasets derived from it share its
-// statistics.
+// statistics and its memory budget.
 type Job struct {
 	Name string
 	FS   *hdfs.FS
+
+	// MemoryBudget bounds the tuple bytes an external operator (GroupBy,
+	// GroupAll, Join, Distinct) may buffer before hash partitions start
+	// spilling to disk. <= 0 (the default) disables spilling: everything
+	// stays in memory, as the engine behaved before it went out-of-core.
+	MemoryBudget int64
+	// SpillDir is where spill files are created; empty means os.TempDir().
+	SpillDir string
+	// SpillPartitions is the hash-partition fan-out of the external
+	// operators; <= 0 means DefaultSpillPartitions. Peak reduce-side
+	// memory is roughly the input size divided by this.
+	SpillPartitions int
 
 	stats Stats
 }
@@ -100,30 +138,142 @@ func NewJob(name string, fs *hdfs.FS) *Job { return &Job{Name: name, FS: fs} }
 // Stats returns the job's accumulated cost counters.
 func (j *Job) Stats() Stats { return j.stats }
 
-// Dataset is a materialized relation bound to a job.
+// Iterator is a pull-based cursor over a tuple stream. Next returns io.EOF
+// after the final tuple; Close releases any resources (open spill files,
+// in-flight scans) and must be called even on early abandonment. The
+// terminal helpers on Dataset do both for you.
+type Iterator interface {
+	Next() (Tuple, error)
+	Close() error
+}
+
+// sliceIter iterates a materialized tuple slice.
+type sliceIter struct {
+	tuples []Tuple
+	i      int
+}
+
+func (s *sliceIter) Next() (Tuple, error) {
+	if s.i >= len(s.tuples) {
+		return nil, io.EOF
+	}
+	t := s.tuples[s.i]
+	s.i++
+	return t, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// iterFunc adapts a pair of closures into an Iterator.
+type iterFunc struct {
+	next  func() (Tuple, error)
+	close func() error
+}
+
+func (f *iterFunc) Next() (Tuple, error) { return f.next() }
+
+func (f *iterFunc) Close() error {
+	if f.close == nil {
+		return nil
+	}
+	return f.close()
+}
+
+// Dataset is a lazy relation bound to a job: a schema plus a recipe for
+// producing the tuples. Opening it executes the upstream pipeline.
 type Dataset struct {
 	job    *Job
 	schema Schema
-	tuples []Tuple
+	open   func() (Iterator, error)
+	// cleanup releases operator state backing this dataset (the spill
+	// partitions behind a Join); nil for sources and streaming operators.
+	cleanup func() error
 }
 
 // NewDataset wraps already-materialized tuples (used by generators and
 // tests).
 func NewDataset(j *Job, schema Schema, tuples []Tuple) *Dataset {
-	return &Dataset{job: j, schema: schema, tuples: tuples}
+	return &Dataset{job: j, schema: schema, open: func() (Iterator, error) {
+		return &sliceIter{tuples: tuples}, nil
+	}}
 }
 
 // Schema returns the dataset's schema.
 func (d *Dataset) Schema() Schema { return d.schema }
 
-// Tuples returns the underlying rows; callers must not modify them.
-func (d *Dataset) Tuples() []Tuple { return d.tuples }
-
-// Len returns the number of tuples.
-func (d *Dataset) Len() int { return len(d.tuples) }
-
 // Job returns the owning job.
 func (d *Dataset) Job() *Job { return d.job }
+
+// Open starts one execution of the pipeline and returns its cursor. Most
+// callers want Each, Tuples, or Count instead.
+func (d *Dataset) Open() (Iterator, error) { return d.open() }
+
+// Close releases operator state backing this dataset — the spill files
+// behind a Join output. Streaming wrappers (Filter, Project, ForEach,
+// FlatMap, Limit, Distinct, Union) propagate their source's cleanup, so
+// closing a derived view is equivalent to closing the operator output it
+// wraps. It is a no-op when nothing upstream holds spill state. After
+// Close the dataset (and any view sharing its state) must not be iterated
+// again; doing so fails with an error rather than reading empty data.
+func (d *Dataset) Close() error {
+	if d.cleanup != nil {
+		return d.cleanup()
+	}
+	return nil
+}
+
+// Each executes the pipeline once, invoking fn on every tuple in stream
+// order. Delivered tuples are owned by the consumer: every source and
+// operator in this package allocates a fresh Tuple per emitted row (the
+// external operators rely on that to retain tuples in their partition
+// buffers), and any future InputFormat must do the same.
+func (d *Dataset) Each(fn func(Tuple) error) error {
+	it, err := d.open()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		t, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}
+
+// Tuples executes the pipeline once and materializes every row — the
+// escape hatch back into memory. Out-of-core pipelines should prefer Each.
+func (d *Dataset) Tuples() ([]Tuple, error) {
+	var out []Tuple
+	err := d.Each(func(t Tuple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count executes the pipeline once and returns the number of tuples (a
+// terminal operation).
+func (d *Dataset) Count() (int64, error) {
+	var n int64
+	err := d.Each(func(Tuple) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
 
 // Split is one unit of map-side work: a whole file (gzip streams are not
 // splittable, mirroring Hadoop's handling of compressed inputs).
@@ -145,52 +295,95 @@ type InputFormat interface {
 	ReadSplit(fs *hdfs.FS, split Split, emit func(Tuple) error) error
 }
 
-// Load runs the map phase of a scan: one task per split, with I/O accounted
+// Load plans the map phase of a scan: splits are enumerated eagerly (so a
+// missing directory fails here), but the files are read lazily, one task
+// at a time, as the dataset is iterated. Each execution charges its I/O
 // against the job.
 func (j *Job) Load(dir string, f InputFormat) (*Dataset, error) {
 	splits, err := f.Splits(j.FS, dir)
 	if err != nil {
 		return nil, err
 	}
-	before := j.FS.Snapshot()
-	var tuples []Tuple
-	for _, s := range splits {
-		j.stats.MapTasks++
-		j.stats.FilesRead++
-		err := f.ReadSplit(j.FS, s, func(t Tuple) error {
-			j.stats.RecordsRead++
-			tuples = append(tuples, t)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	after := j.FS.Snapshot()
-	j.stats.BytesRead += after.BytesRead - before.BytesRead
-	j.stats.BlocksRead += after.BlocksRead - before.BlocksRead
-	return &Dataset{job: j, schema: f.Schema(), tuples: tuples}, nil
+	return j.datasetForSplits(f, splits), nil
 }
 
 // LoadDirs is Load over several directories (e.g. the 24 hours of a day),
-// concatenating the results.
+// concatenating the results; missing directories are skipped.
 func (j *Job) LoadDirs(dirs []string, f InputFormat) (*Dataset, error) {
-	out := &Dataset{job: j, schema: f.Schema()}
+	var all []Split
 	for _, dir := range dirs {
 		if !j.FS.Exists(dir) {
 			continue
 		}
-		d, err := j.Load(dir, f)
+		splits, err := f.Splits(j.FS, dir)
 		if err != nil {
 			return nil, err
 		}
-		out.tuples = append(out.tuples, d.tuples...)
+		all = append(all, splits...)
 	}
-	return out, nil
+	return j.datasetForSplits(f, all), nil
 }
 
-// tupleBytes estimates the serialized size of a tuple for shuffle
-// accounting.
+func (j *Job) datasetForSplits(f InputFormat, splits []Split) *Dataset {
+	return &Dataset{job: j, schema: f.Schema(), open: func() (Iterator, error) {
+		return &splitIter{job: j, format: f, splits: splits}, nil
+	}}
+}
+
+// splitIter streams a scan split by split: one map task's tuples are
+// buffered at a time, which is the same working set the task itself has.
+// A failed split is sticky: every subsequent Next repeats the error, so a
+// caller can never read past a decode failure into a silently incomplete
+// relation.
+type splitIter struct {
+	job    *Job
+	format InputFormat
+	splits []Split
+	cur    []Tuple
+	i      int
+	err    error
+}
+
+func (s *splitIter) Next() (Tuple, error) {
+	for {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.i < len(s.cur) {
+			t := s.cur[s.i]
+			s.i++
+			s.job.stats.RecordsRead++
+			return t, nil
+		}
+		if len(s.splits) == 0 {
+			return nil, io.EOF
+		}
+		sp := s.splits[0]
+		s.splits = s.splits[1:]
+		s.job.stats.MapTasks++
+		s.job.stats.FilesRead++
+		before := s.job.FS.Snapshot()
+		s.cur = s.cur[:0]
+		err := s.format.ReadSplit(s.job.FS, sp, func(t Tuple) error {
+			s.cur = append(s.cur, t)
+			return nil
+		})
+		after := s.job.FS.Snapshot()
+		s.job.stats.BytesRead += after.BytesRead - before.BytesRead
+		s.job.stats.BlocksRead += after.BlocksRead - before.BlocksRead
+		if err != nil {
+			s.cur, s.i = nil, 0
+			s.err = err
+			return nil, err
+		}
+		s.i = 0
+	}
+}
+
+func (s *splitIter) Close() error { return nil }
+
+// tupleBytes estimates the serialized size of a tuple for shuffle and
+// spill-budget accounting.
 func tupleBytes(t Tuple) int64 {
 	var n int64
 	for _, v := range t {
@@ -216,14 +409,13 @@ func tupleBytes(t Tuple) int64 {
 	return n
 }
 
-// chargeShuffle records reduce-side data movement for n tuples.
-func (j *Job) chargeShuffle(tuples []Tuple, groups int) {
-	for _, t := range tuples {
-		j.stats.ShuffleBytes += tupleBytes(t)
-	}
-	j.stats.ShuffleRecords += int64(len(tuples))
-	// One reduce wave; reducers scale with group count as a Pig job's
-	// parallelism hint would.
+// reducersFor sizes a reduce wave: reducers scale with group count as a
+// Pig job's parallelism hint would. External operators charge one base
+// reducer when their shuffle runs (construction) and top the wave up to
+// this once a merge pass learns the exact group count — so even an
+// abandoned or never-driven reduce side still costs its minimum wave, as
+// it did when the engine was eager.
+func reducersFor(groups int) int {
 	r := groups / 10000
 	if r < 1 {
 		r = 1
@@ -231,5 +423,5 @@ func (j *Job) chargeShuffle(tuples []Tuple, groups int) {
 	if r > 64 {
 		r = 64
 	}
-	j.stats.ReduceTasks += r
+	return r
 }

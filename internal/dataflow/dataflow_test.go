@@ -3,6 +3,7 @@ package dataflow
 import (
 	"errors"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -63,8 +64,12 @@ func TestLoadClientEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.Len() != n {
-		t.Fatalf("loaded %d tuples, want %d", d.Len(), n)
+	got, err := d.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(n) {
+		t.Fatalf("loaded %d tuples, want %d", got, n)
 	}
 	st := j.Stats()
 	if st.MapTasks == 0 || st.BytesRead == 0 || st.RecordsRead != int64(n) {
@@ -82,8 +87,12 @@ func TestFilterProjectCount(t *testing.T) {
 	}
 	nameIdx := d.Schema().MustIndex("name")
 	clicks := d.Filter(func(tp Tuple) bool { return tp[nameIdx] == "web:home:::tweet:click" })
-	if clicks.Count() != 16 { // 2 clicks x 8 users
-		t.Fatalf("clicks = %d", clicks.Count())
+	n, err := clicks.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 { // 2 clicks x 8 users
+		t.Fatalf("clicks = %d", n)
 	}
 	p, err := clicks.Project("user_id", "name")
 	if err != nil {
@@ -108,14 +117,19 @@ func TestSessionReconstructionGroupBy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.NumGroups() != 8 {
-		t.Fatalf("groups = %d, want 8", g.NumGroups())
+	defer g.Close()
+	if n, err := g.NumGroups(); err != nil || n != 8 {
+		t.Fatalf("groups = %d, %v, want 8", n, err)
 	}
 	sizes, err := g.Aggregate(Count("events"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tp := range sizes.Tuples() {
+	rows, err := sizes.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range rows {
 		if tp[2].(int64) != 10 {
 			t.Fatalf("session size = %v", tp)
 		}
@@ -140,11 +154,15 @@ func TestAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Len() != 2 {
-		t.Fatalf("rows = %d", res.Len())
+	tuples, err := res.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("rows = %d", len(tuples))
 	}
 	rows := map[string]Tuple{}
-	for _, tp := range res.Tuples() {
+	for _, tp := range tuples {
 		rows[tp[0].(string)] = tp
 	}
 	a := rows["a"]
@@ -161,12 +179,21 @@ func TestGroupAllSum(t *testing.T) {
 	// The paper's counting idiom: group all, then SUM.
 	j := NewJob("sum", hdfs.New(0))
 	d := NewDataset(j, Schema{"c"}, []Tuple{{int64(2)}, {int64(3)}, {int64(5)}})
-	res, err := d.GroupAll().Aggregate(Sum("c", "total"))
+	g, err := d.GroupAll()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Len() != 1 || res.Tuples()[0][0].(int64) != 10 {
-		t.Fatalf("res = %v", res.Tuples())
+	defer g.Close()
+	res, err := g.Aggregate(Sum("c", "total"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].(int64) != 10 {
+		t.Fatalf("res = %v", rows)
 	}
 }
 
@@ -182,8 +209,13 @@ func TestJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if joined.Len() != 3 {
-		t.Fatalf("joined rows = %d", joined.Len())
+	defer joined.Close()
+	rows, err := joined.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("joined rows = %d", len(rows))
 	}
 	wantSchema := Schema{"user_id", "event", "user_id_r", "country"}
 	for i, c := range wantSchema {
@@ -192,7 +224,7 @@ func TestJoin(t *testing.T) {
 		}
 	}
 	ci := joined.Schema().MustIndex("country")
-	for _, tp := range joined.Tuples() {
+	for _, tp := range rows {
 		u := tp[0].(int64)
 		want := map[int64]string{1: "us", 2: "uk"}[u]
 		if tp[ci] != want {
@@ -208,21 +240,32 @@ func TestOrderByLimitDistinct(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sorted.Tuples()[0][0].(int64) != 1 || sorted.Tuples()[3][0].(int64) != 3 {
-		t.Fatalf("sorted = %v", sorted.Tuples())
-	}
-	desc, err := d.OrderBy("v", false)
+	asc, err := sorted.Tuples()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if desc.Tuples()[0][0].(int64) != 3 {
-		t.Fatalf("desc = %v", desc.Tuples())
+	if asc[0][0].(int64) != 1 || asc[3][0].(int64) != 3 {
+		t.Fatalf("sorted = %v", asc)
 	}
-	if d.Distinct().Len() != 3 {
-		t.Fatalf("distinct = %d", d.Distinct().Len())
+	descDS, err := d.OrderBy("v", false)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if d.Limit(2).Len() != 2 || d.Limit(100).Len() != 4 {
-		t.Fatal("limit wrong")
+	desc, err := descDS.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc[0][0].(int64) != 3 {
+		t.Fatalf("desc = %v", desc)
+	}
+	if n, err := d.Distinct().Count(); err != nil || n != 3 {
+		t.Fatalf("distinct = %d, %v", n, err)
+	}
+	if n, err := d.Limit(2).Count(); err != nil || n != 2 {
+		t.Fatalf("limit = %d, %v", n, err)
+	}
+	if n, err := d.Limit(100).Count(); err != nil || n != 4 {
+		t.Fatalf("limit = %d, %v", n, err)
 	}
 }
 
@@ -237,8 +280,8 @@ func TestFlatMap(t *testing.T) {
 		}
 		return res
 	})
-	if out.Len() != 5 {
-		t.Fatalf("flatmap = %d rows", out.Len())
+	if n, err := out.Count(); err != nil || n != 5 {
+		t.Fatalf("flatmap = %d rows, %v", n, err)
 	}
 }
 
@@ -252,7 +295,11 @@ func TestMapTaskReduction(t *testing.T) {
 	}
 
 	rawJob := NewJob("raw", fs)
-	if _, err := rawJob.LoadClientEventsDay(day); err != nil {
+	raw8, err := rawJob.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw8.Count(); err != nil {
 		t.Fatal(err)
 	}
 	seqJob := NewJob("seq", fs)
@@ -260,8 +307,8 @@ func TestMapTaskReduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seqs.Len() != 8 {
-		t.Fatalf("sessions = %d", seqs.Len())
+	if n, err := seqs.Count(); err != nil || n != 8 {
+		t.Fatalf("sessions = %d, %v", n, err)
 	}
 	raw, seq := rawJob.Stats(), seqJob.Stats()
 	if seq.MapTasks >= raw.MapTasks {
@@ -284,11 +331,15 @@ func TestRawRecordFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.Len() != 80 {
-		t.Fatalf("records = %d", d.Len())
+	recs, err := d.Tuples()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := d.Tuples()[0][0].([]byte); !ok {
-		t.Fatalf("record type = %T", d.Tuples()[0][0])
+	if len(recs) != 80 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if _, ok := recs[0][0].([]byte); !ok {
+		t.Fatalf("record type = %T", recs[0][0])
 	}
 }
 
@@ -299,7 +350,51 @@ func TestLoadMissingDir(t *testing.T) {
 	}
 	// LoadDirs skips missing dirs silently.
 	d, err := j.LoadDirs([]string{"/nope"}, ClientEventFormat{})
-	if err != nil || d.Len() != 0 {
-		t.Fatalf("LoadDirs = %v, %v", d, err)
+	if err != nil {
+		t.Fatalf("LoadDirs err = %v", err)
+	}
+	if n, err := d.Count(); err != nil || n != 0 {
+		t.Fatalf("LoadDirs count = %d, %v", n, err)
+	}
+}
+
+// TestScanErrorIsSticky: a split that fails to decode poisons the
+// iterator — pulling again repeats the error instead of resuming past the
+// damaged split into a silently incomplete relation.
+func TestScanErrorIsSticky(t *testing.T) {
+	fs := hdfs.New(0)
+	populate(t, fs)
+	// Plant a garbage (non-gzip) part file inside the day.
+	dir := warehouse.HourDir(events.Category, day.Add(3*time.Hour))
+	if err := fs.WriteFile(dir+"/part-garbage.gz", []byte("not gzip at all")); err != nil {
+		t.Fatal(err)
+	}
+	j := NewJob("sticky", fs)
+	d, err := j.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := d.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var firstErr error
+	for {
+		_, err := it.Next()
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if errors.Is(firstErr, io.EOF) {
+		t.Fatal("scan of damaged day reached a clean EOF")
+	}
+	if _, err := it.Next(); err == nil || err.Error() != firstErr.Error() {
+		t.Fatalf("error not sticky: first %v, then %v", firstErr, err)
+	}
+	// The terminal helpers surface the same failure.
+	if _, err := d.Count(); err == nil {
+		t.Fatal("Count over damaged day succeeded")
 	}
 }

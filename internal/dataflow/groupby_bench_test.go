@@ -1,0 +1,75 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+
+	"unilog/internal/hdfs"
+)
+
+// BenchmarkGroupByKey pits the engine's scratch-buffer key builder against
+// the fmt.Sprintf-per-column rendering it replaced. The key is built once
+// per tuple on every shuffle, so this is the group-by hot path.
+func BenchmarkGroupByKey(b *testing.B) {
+	tuples := make([]Tuple, 512)
+	for i := range tuples {
+		tuples[i] = Tuple{int64(i % 97), fmt.Sprintf("session-%d", i%31), i%2 == 0, float64(i) / 3}
+	}
+	idx := []int{0, 1, 2, 3}
+
+	b.Run("sprintf", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			t := tuples[i%len(tuples)]
+			// The old keyOf: one Sprintf (and one string concat) per column.
+			k := ""
+			for _, j := range idx {
+				k += fmt.Sprintf("%v\x00", t[j])
+			}
+			sink += len(k)
+		}
+		_ = sink
+	})
+
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		var scratch []byte
+		var sink int
+		for i := 0; i < b.N; i++ {
+			scratch = appendKey(scratch[:0], tuples[i%len(tuples)], idx)
+			sink += len(scratch)
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkGroupByShuffle measures a whole shuffle (partition + aggregate)
+// at a size where key building dominates, in memory and spilling.
+func BenchmarkGroupByShuffle(b *testing.B) {
+	build := func(j *Job) *Dataset {
+		tuples := make([]Tuple, 20000)
+		for i := range tuples {
+			tuples[i] = Tuple{int64(i % 997), fmt.Sprintf("s-%d", i%31), int64(i)}
+		}
+		return NewDataset(j, Schema{"u", "s", "v"}, tuples)
+	}
+	run := func(b *testing.B, budget int64) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := NewJob("bench", hdfs.New(0))
+			j.MemoryBudget = budget
+			j.SpillDir = b.TempDir()
+			g, err := build(j).GroupBy("u", "s")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.Aggregate(Count("n"), Sum("v", "sum")); err != nil {
+				b.Fatal(err)
+			}
+			g.Close()
+		}
+	}
+	b.Run("in-memory", func(b *testing.B) { run(b, 0) })
+	b.Run("spilling-64KiB", func(b *testing.B) { run(b, 64<<10) })
+}

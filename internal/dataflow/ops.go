@@ -1,23 +1,38 @@
 package dataflow
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 )
 
-// Filter keeps tuples accepted by pred. It is map-side (no shuffle).
+// Filter keeps tuples accepted by pred. It is map-side (no shuffle) and
+// streams.
 func (d *Dataset) Filter(pred func(Tuple) bool) *Dataset {
-	out := make([]Tuple, 0, len(d.tuples))
-	for _, t := range d.tuples {
-		if pred(t) {
-			out = append(out, t)
+	return &Dataset{job: d.job, schema: d.schema, cleanup: d.cleanup, open: func() (Iterator, error) {
+		it, err := d.open()
+		if err != nil {
+			return nil, err
 		}
-	}
-	return &Dataset{job: d.job, schema: d.schema, tuples: out}
+		return &iterFunc{next: func() (Tuple, error) {
+			for {
+				t, err := it.Next()
+				if err != nil {
+					return nil, err
+				}
+				if pred(t) {
+					return t, nil
+				}
+			}
+		}, close: it.Close}, nil
+	}}
 }
 
 // Project keeps only the named columns, in the given order — the "early
-// projection" idiom of §4.1 that keeps shuffle volume down.
+// projection" idiom of §4.1 that keeps shuffle volume down. Column
+// resolution is eager; execution streams.
 func (d *Dataset) Project(cols ...string) (*Dataset, error) {
 	idx := make([]int, len(cols))
 	for i, c := range cols {
@@ -27,62 +42,235 @@ func (d *Dataset) Project(cols ...string) (*Dataset, error) {
 		}
 		idx[i] = j
 	}
-	out := make([]Tuple, len(d.tuples))
-	for i, t := range d.tuples {
-		nt := make(Tuple, len(idx))
-		for k, j := range idx {
-			nt[k] = t[j]
+	schema := append(Schema(nil), cols...)
+	return &Dataset{job: d.job, schema: schema, cleanup: d.cleanup, open: func() (Iterator, error) {
+		it, err := d.open()
+		if err != nil {
+			return nil, err
 		}
-		out[i] = nt
-	}
-	return &Dataset{job: d.job, schema: append(Schema(nil), cols...), tuples: out}, nil
+		return &iterFunc{next: func() (Tuple, error) {
+			t, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			nt := make(Tuple, len(idx))
+			for k, j := range idx {
+				nt[k] = t[j]
+			}
+			return nt, nil
+		}, close: it.Close}, nil
+	}}, nil
 }
 
-// ForEach transforms every tuple (Pig's FOREACH ... GENERATE).
+// ForEach transforms every tuple (Pig's FOREACH ... GENERATE); returning
+// nil drops the tuple. It streams.
 func (d *Dataset) ForEach(schema Schema, fn func(Tuple) Tuple) *Dataset {
-	out := make([]Tuple, 0, len(d.tuples))
-	for _, t := range d.tuples {
-		if nt := fn(t); nt != nil {
-			out = append(out, nt)
+	return &Dataset{job: d.job, schema: schema, cleanup: d.cleanup, open: func() (Iterator, error) {
+		it, err := d.open()
+		if err != nil {
+			return nil, err
 		}
-	}
-	return &Dataset{job: d.job, schema: schema, tuples: out}
+		return &iterFunc{next: func() (Tuple, error) {
+			for {
+				t, err := it.Next()
+				if err != nil {
+					return nil, err
+				}
+				if nt := fn(t); nt != nil {
+					return nt, nil
+				}
+			}
+		}, close: it.Close}, nil
+	}}
 }
 
-// FlatMap transforms every tuple into zero or more tuples.
+// FlatMap transforms every tuple into zero or more tuples. It streams; only
+// one input tuple's expansion is buffered at a time.
 func (d *Dataset) FlatMap(schema Schema, fn func(Tuple) []Tuple) *Dataset {
-	var out []Tuple
-	for _, t := range d.tuples {
-		out = append(out, fn(t)...)
-	}
-	return &Dataset{job: d.job, schema: schema, tuples: out}
+	return &Dataset{job: d.job, schema: schema, cleanup: d.cleanup, open: func() (Iterator, error) {
+		it, err := d.open()
+		if err != nil {
+			return nil, err
+		}
+		var pending []Tuple
+		return &iterFunc{next: func() (Tuple, error) {
+			for {
+				if len(pending) > 0 {
+					t := pending[0]
+					pending = pending[1:]
+					return t, nil
+				}
+				t, err := it.Next()
+				if err != nil {
+					return nil, err
+				}
+				pending = fn(t)
+			}
+		}, close: it.Close}, nil
+	}}
 }
 
-// groupKey is a comparable rendering of the grouping columns.
-type groupKey string
+// Limit keeps the first n tuples, stopping the upstream scan early.
+func (d *Dataset) Limit(n int) *Dataset {
+	return &Dataset{job: d.job, schema: d.schema, cleanup: d.cleanup, open: func() (Iterator, error) {
+		it, err := d.open()
+		if err != nil {
+			return nil, err
+		}
+		remaining := n
+		return &iterFunc{next: func() (Tuple, error) {
+			if remaining <= 0 {
+				return nil, io.EOF
+			}
+			t, err := it.Next()
+			if err != nil {
+				return nil, err
+			}
+			remaining--
+			return t, nil
+		}, close: it.Close}, nil
+	}}
+}
 
-func keyOf(t Tuple, idx []int) groupKey {
-	k := ""
+// Union concatenates this dataset with others of the same schema,
+// streaming each input in turn.
+func (d *Dataset) Union(others ...*Dataset) *Dataset {
+	all := append([]*Dataset{d}, others...)
+	cleanup := func() error {
+		var err error
+		for _, ds := range all {
+			if cerr := ds.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return &Dataset{job: d.job, schema: d.schema, cleanup: cleanup, open: func() (Iterator, error) {
+		var cur Iterator
+		var sticky error
+		i := 0
+		return &iterFunc{next: func() (Tuple, error) {
+			if sticky != nil {
+				return nil, sticky
+			}
+			for {
+				if cur == nil {
+					if i >= len(all) {
+						return nil, io.EOF
+					}
+					var err error
+					cur, err = all[i].open()
+					i++
+					if err != nil {
+						// Sticky: re-polling must not skip this input and
+						// serve a silently incomplete union.
+						sticky = err
+						return nil, err
+					}
+				}
+				t, err := cur.Next()
+				if err == io.EOF {
+					cur.Close()
+					cur = nil
+					continue
+				}
+				if err != nil {
+					sticky = err
+				}
+				return t, err
+			}
+		}, close: func() error {
+			if cur != nil {
+				err := cur.Close()
+				cur = nil
+				return err
+			}
+			return nil
+		}}, nil
+	}}
+}
+
+// appendKey renders the indexed columns of t into dst as a comparable
+// key. It replaces a fmt.Sprintf per column with type-switched appends
+// into a caller-reused scratch buffer — the hot path of every shuffle.
+// The rendering matches %v for strings, ints, bools, and floats, so key
+// equality and sort order are unchanged for those kinds; []byte
+// deliberately appends raw bytes instead of %v's "[104 105]" form
+// (cheaper, still deterministic — byte-slice key columns group by
+// content, and, like the numeric kinds, collide with a string rendering
+// the same bytes).
+//
+// Components are terminated with 0x00 0x01, and any 0x00 inside a
+// rendered value is escaped as 0x00 0xFF (the memcomparable idiom), so a
+// NUL embedded in one column can never shift a component boundary and
+// merge two distinct multi-column keys. The escape keeps lexicographic
+// order: a component's end (0x00 0x01) sorts below any continuation.
+func appendKey(dst []byte, t Tuple, idx []int) []byte {
 	for _, i := range idx {
-		k += fmt.Sprintf("%v\x00", t[i])
+		n := len(dst)
+		dst = appendKeyValue(dst, t[i])
+		if bytes.IndexByte(dst[n:], 0) >= 0 {
+			// Rare path: rewrite the component with NULs escaped.
+			esc := make([]byte, 0, (len(dst)-n)+2)
+			for _, b := range dst[n:] {
+				if b == 0 {
+					esc = append(esc, 0, 0xFF)
+				} else {
+					esc = append(esc, b)
+				}
+			}
+			dst = append(dst[:n], esc...)
+		}
+		dst = append(dst, 0, 1)
 	}
-	return groupKey(k)
+	return dst
 }
 
-// Grouped is the result of a GroupBy: ordered groups awaiting aggregation
-// or per-group reduction.
+func appendKeyValue(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case string:
+		return append(dst, x...)
+	case int64:
+		return strconv.AppendInt(dst, x, 10)
+	case int32:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case int:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case bool:
+		if x {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case float64:
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	case []byte:
+		return append(dst, x...)
+	default:
+		return fmt.Appendf(dst, "%v", x)
+	}
+}
+
+// Grouped is the result of a GroupBy: hash-partitioned (possibly spilled)
+// tuples awaiting reduce-side passes. Groups are merged one partition at a
+// time; within each partition groups are visited in ascending key order,
+// and every emitted relation is globally key-ordered, preserving the
+// ordering semantics of the in-memory engine. A Grouped supports multiple
+// reduce passes (NumGroups, then Aggregate, say); Close releases its spill
+// files.
 type Grouped struct {
 	job     *Job
 	schema  Schema
 	keyCols []string
 	keyIdx  []int
-	keys    []groupKey
-	groups  map[groupKey][]Tuple
+	st      *spillTable
+	all     bool // GROUP ALL: a single global group, present even when empty
+	groups  int  // distinct keys; -1 until a reduce pass has counted
 }
 
 // GroupBy shuffles the dataset by the named key columns — the reduce-side
 // step the paper's session reconstruction pays on every raw-log query
 // ("essentially, a large group-by across potentially terabytes of data").
+// The input is consumed here; partitions spill under Job.MemoryBudget.
 func (d *Dataset) GroupBy(keyCols ...string) (*Grouped, error) {
 	idx := make([]int, len(keyCols))
 	for i, c := range keyCols {
@@ -92,40 +280,165 @@ func (d *Dataset) GroupBy(keyCols ...string) (*Grouped, error) {
 		}
 		idx[i] = j
 	}
-	groups := make(map[groupKey][]Tuple)
-	var keys []groupKey
-	for _, t := range d.tuples {
-		k := keyOf(t, idx)
-		if _, ok := groups[k]; !ok {
-			keys = append(keys, k)
-		}
-		groups[k] = append(groups[k], t)
+	st := newSpillTable(d.job, idx, 0)
+	if err := st.fill(d); err != nil {
+		return nil, err
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	d.job.chargeShuffle(d.tuples, len(groups))
-	return &Grouped{job: d.job, schema: d.schema, keyCols: keyCols, keyIdx: idx, keys: keys, groups: groups}, nil
+	d.job.stats.ReduceTasks++ // base reduce wave; topped up when the group count is known
+	return &Grouped{job: d.job, schema: d.schema, keyCols: keyCols, keyIdx: idx, st: st, groups: -1}, nil
 }
 
-// NumGroups returns the number of distinct keys.
-func (g *Grouped) NumGroups() int { return len(g.keys) }
+// GroupAll groups every tuple into a single group (Pig's GROUP ... ALL),
+// the idiom that ends the paper's counting scripts. The single group still
+// spills under the memory budget; an empty input still has its one group.
+func (d *Dataset) GroupAll() (*Grouped, error) {
+	st := newSpillTable(d.job, nil, 1)
+	if err := st.fill(d); err != nil {
+		return nil, err
+	}
+	d.job.stats.ReduceTasks++
+	g := &Grouped{job: d.job, schema: d.schema, st: st, all: true, groups: -1}
+	g.setGroups(1)
+	return g, nil
+}
 
-// ForEachGroup reduces each group to one tuple. The emitted schema is the
-// key columns followed by outCols.
-func (g *Grouped) ForEachGroup(outCols Schema, fn func(key Tuple, group []Tuple) Tuple) *Dataset {
-	schema := append(append(Schema(nil), g.keyCols...), outCols...)
-	out := make([]Tuple, 0, len(g.keys))
-	for _, k := range g.keys {
-		group := g.groups[k]
-		keyVals := make(Tuple, len(g.keyIdx))
-		for i, idx := range g.keyIdx {
-			keyVals[i] = group[0][idx]
+// setGroups records the group count the first time a reduce pass learns
+// it, topping the base reducer charged at construction up to the
+// group-scaled wave.
+func (g *Grouped) setGroups(n int) {
+	if g.groups >= 0 {
+		return
+	}
+	g.groups = n
+	g.job.stats.ReduceTasks += reducersFor(n) - 1
+}
+
+// Close removes the spill files backing the partitions. The Grouped cannot
+// be reduced again afterwards.
+func (g *Grouped) Close() error { return g.st.Close() }
+
+// mergePass drives one partition-at-a-time reduce pass: within each
+// partition, tuples fold into one state per rendered group key (allocated
+// on first sight), and the partition's groups are then emitted in
+// ascending key order. It returns the number of distinct groups across
+// all partitions. Peak memory is one partition's states — this loop is
+// the shared skeleton under NumGroups, ForEachGroup, and Aggregate.
+func mergePass[S any](g *Grouped, newState func(first Tuple) S, fold func(S, Tuple) S, emit func(key string, s S)) (int, error) {
+	g.job.stats.MergePasses++
+	total := 0
+	var scratch []byte
+	type entry struct {
+		key string
+		s   S
+	}
+	for pi := 0; pi < g.st.numParts(); pi++ {
+		it, err := g.st.partIter(pi)
+		if err != nil {
+			return 0, err
 		}
-		if res := fn(keyVals, group); res != nil {
-			out = append(out, append(append(Tuple(nil), keyVals...), res...))
+		index := make(map[string]int)
+		var entries []entry
+		for {
+			t, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				it.Close()
+				return 0, err
+			}
+			scratch = appendKey(scratch[:0], t, g.keyIdx)
+			ei, ok := index[string(scratch)]
+			if !ok {
+				ei = len(entries)
+				k := string(scratch)
+				index[k] = ei
+				entries = append(entries, entry{key: k, s: newState(t)})
+			}
+			entries[ei].s = fold(entries[ei].s, t)
+		}
+		it.Close()
+		total += len(entries)
+		if emit != nil {
+			sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+			for _, e := range entries {
+				emit(e.key, e.s)
+			}
 		}
 	}
+	return total, nil
+}
+
+// NumGroups returns the number of distinct keys, counting them with a
+// bounded partition-at-a-time pass if no reduce has run yet.
+func (g *Grouped) NumGroups() (int, error) {
+	if g.groups >= 0 {
+		return g.groups, nil
+	}
+	total, err := mergePass(g,
+		func(Tuple) struct{} { return struct{}{} },
+		func(s struct{}, _ Tuple) struct{} { return s },
+		nil)
+	if err != nil {
+		return 0, err
+	}
+	if g.all && total == 0 {
+		total = 1
+	}
+	g.setGroups(total)
+	return total, nil
+}
+
+// keyedRow carries an output row with its rendered group key so partition
+// outputs can be merged into global key order.
+type keyedRow struct {
+	key string
+	row Tuple
+}
+
+func sortKeyed(rows []keyedRow) []Tuple {
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].key < rows[b].key })
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = r.row
+	}
+	return out
+}
+
+// ForEachGroup reduces each group to one tuple. The emitted schema is the
+// key columns followed by outCols. Partitions are merged one at a time, so
+// peak memory is one partition's tuples; fn sees each group's tuples in
+// input order, groups in ascending key order per partition, and the
+// resulting relation is globally key-ordered.
+func (g *Grouped) ForEachGroup(outCols Schema, fn func(key Tuple, group []Tuple) Tuple) (*Dataset, error) {
+	schema := append(append(Schema(nil), g.keyCols...), outCols...)
+	var rows []keyedRow
+	total, err := mergePass(g,
+		func(Tuple) []Tuple { return nil },
+		func(group []Tuple, t Tuple) []Tuple { return append(group, t) },
+		func(key string, group []Tuple) {
+			keyVals := make(Tuple, len(g.keyIdx))
+			for i, idx := range g.keyIdx {
+				keyVals[i] = group[0][idx]
+			}
+			if res := fn(keyVals, group); res != nil {
+				rows = append(rows, keyedRow{key, append(append(Tuple(nil), keyVals...), res...)})
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	if g.all && total == 0 {
+		// GROUP ALL of an empty relation still reduces its single group.
+		total = 1
+		if res := fn(Tuple{}, nil); res != nil {
+			rows = append(rows, keyedRow{"", append(Tuple(nil), res...)})
+		}
+	}
+	g.setGroups(total)
+	out := sortKeyed(rows)
 	g.job.stats.OutputRecords += int64(len(out))
-	return &Dataset{job: g.job, schema: schema, tuples: out}
+	return NewDataset(g.job, schema, out), nil
 }
 
 // Agg is one aggregate computed per group.
@@ -194,10 +507,77 @@ func toI(v Value) int64 {
 	return 0
 }
 
-// Aggregate computes the given aggregates for every group.
+// aggCell is the incremental state of one aggregate over one group. The
+// fold never materializes the group's tuples, so the reduce side of an
+// Aggregate holds per-key state, not per-tuple state.
+type aggCell struct {
+	count    int64
+	isum     int64
+	fsum     float64
+	extreme  int64
+	started  bool
+	distinct map[string]struct{}
+}
+
+func (c *aggCell) fold(kind AggKind, v Value, scratch []byte) []byte {
+	switch kind {
+	case AggCount:
+		c.count++
+	case AggSum:
+		c.isum += toI(v)
+	case AggMin:
+		if x := toI(v); !c.started || x < c.extreme {
+			c.extreme = x
+		}
+		c.started = true
+	case AggMax:
+		if x := toI(v); !c.started || x > c.extreme {
+			c.extreme = x
+		}
+		c.started = true
+	case AggAvg:
+		c.fsum += toF(v)
+		c.count++
+	case AggCountDistinct:
+		scratch = appendKeyValue(scratch[:0], v)
+		if c.distinct == nil {
+			c.distinct = make(map[string]struct{})
+		}
+		if _, ok := c.distinct[string(scratch)]; !ok {
+			c.distinct[string(scratch)] = struct{}{}
+		}
+	}
+	return scratch
+}
+
+func (c *aggCell) final(kind AggKind) Value {
+	switch kind {
+	case AggCount:
+		return c.count
+	case AggSum:
+		return c.isum
+	case AggMin, AggMax:
+		return c.extreme
+	case AggAvg:
+		if c.count == 0 {
+			return float64(0)
+		}
+		return c.fsum / float64(c.count)
+	case AggCountDistinct:
+		return int64(len(c.distinct))
+	}
+	return nil
+}
+
+// Aggregate computes the given aggregates for every group with a streaming
+// fold: each partition is scanned once and only per-group aggregate cells
+// are held, so even a spilled GROUP ALL aggregates in constant memory (per
+// distinct value for CountDistinct).
 func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 	idx := make([]int, len(aggs))
+	outCols := make(Schema, len(aggs))
 	for i, a := range aggs {
+		outCols[i] = a.Name
 		if a.Kind == AggCount {
 			idx[i] = -1
 			continue
@@ -208,67 +588,66 @@ func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 		}
 		idx[i] = j
 	}
-	outCols := make(Schema, len(aggs))
-	for i, a := range aggs {
-		outCols[i] = a.Name
-	}
-	return g.ForEachGroup(outCols, func(key Tuple, group []Tuple) Tuple {
-		res := make(Tuple, len(aggs))
-		for i, a := range aggs {
-			switch a.Kind {
-			case AggCount:
-				res[i] = int64(len(group))
-			case AggSum:
-				var s int64
-				for _, t := range group {
-					s += toI(t[idx[i]])
-				}
-				res[i] = s
-			case AggMin:
-				m := toI(group[0][idx[i]])
-				for _, t := range group[1:] {
-					if v := toI(t[idx[i]]); v < m {
-						m = v
-					}
-				}
-				res[i] = m
-			case AggMax:
-				m := toI(group[0][idx[i]])
-				for _, t := range group[1:] {
-					if v := toI(t[idx[i]]); v > m {
-						m = v
-					}
-				}
-				res[i] = m
-			case AggAvg:
-				var s float64
-				for _, t := range group {
-					s += toF(t[idx[i]])
-				}
-				res[i] = s / float64(len(group))
-			case AggCountDistinct:
-				seen := make(map[string]struct{}, len(group))
-				for _, t := range group {
-					seen[fmt.Sprintf("%v", t[idx[i]])] = struct{}{}
-				}
-				res[i] = int64(len(seen))
-			}
-		}
-		return res
-	}), nil
-}
+	schema := append(append(Schema(nil), g.keyCols...), outCols...)
 
-// GroupAll groups every tuple into a single group (Pig's GROUP ... ALL),
-// the idiom that ends the paper's counting scripts.
-func (d *Dataset) GroupAll() *Grouped {
-	groups := map[groupKey][]Tuple{"": d.tuples}
-	d.job.chargeShuffle(d.tuples, 1)
-	return &Grouped{job: d.job, schema: d.schema, keys: []groupKey{""}, groups: groups}
+	type groupState struct {
+		keyVals Tuple
+		cells   []aggCell
+	}
+	var rows []keyedRow
+	var vscratch []byte
+	total, err := mergePass(g,
+		func(t Tuple) *groupState {
+			keyVals := make(Tuple, len(g.keyIdx))
+			for i, kidx := range g.keyIdx {
+				keyVals[i] = t[kidx]
+			}
+			return &groupState{keyVals: keyVals, cells: make([]aggCell, len(aggs))}
+		},
+		func(st *groupState, t Tuple) *groupState {
+			for ai, a := range aggs {
+				var v Value
+				if idx[ai] >= 0 {
+					v = t[idx[ai]]
+				}
+				vscratch = st.cells[ai].fold(a.Kind, v, vscratch)
+			}
+			return st
+		},
+		func(key string, st *groupState) {
+			row := append(Tuple(nil), st.keyVals...)
+			for ai, a := range aggs {
+				row = append(row, st.cells[ai].final(a.Kind))
+			}
+			rows = append(rows, keyedRow{key, row})
+		})
+	if err != nil {
+		return nil, err
+	}
+	if g.all && total == 0 {
+		// GROUP ALL of an empty relation still emits its single row of
+		// zero-valued aggregates.
+		total = 1
+		row := Tuple{}
+		var zero aggCell
+		for _, a := range aggs {
+			row = append(row, zero.final(a.Kind))
+		}
+		rows = append(rows, keyedRow{"", row})
+	}
+	g.setGroups(total)
+	out := sortKeyed(rows)
+	g.job.stats.OutputRecords += int64(len(out))
+	return NewDataset(g.job, schema, out), nil
 }
 
 // Join hash-joins two datasets on equality of leftCol and rightCol; both
-// sides shuffle. Output schema is the left schema followed by the right
-// schema with joined-column collisions suffixed "_r".
+// sides shuffle into aligned hash partitions (a Grace join), spilling
+// under Job.MemoryBudget. The merge runs lazily, one partition pair at a
+// time: the right partition is loaded into a hash table, the left streams
+// past it — peak memory is one right partition. Output schema is the left
+// schema followed by the right schema with joined-column collisions
+// suffixed "_r". Close the returned dataset to release the spill files.
 func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, error) {
 	li, err := d.schema.Index(leftCol)
 	if err != nil {
@@ -278,14 +657,18 @@ func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, erro
 	if err != nil {
 		return nil, err
 	}
-	right := make(map[string][]Tuple)
-	for _, t := range other.tuples {
-		k := fmt.Sprintf("%v", t[ri])
-		right[k] = append(right[k], t)
+	lt := newSpillTable(d.job, []int{li}, 0)
+	if err := lt.fill(d); err != nil {
+		return nil, err
 	}
-	d.job.chargeShuffle(d.tuples, len(right))
-	d.job.chargeShuffle(other.tuples, len(right))
-
+	rt := newSpillTable(d.job, []int{ri}, lt.numParts())
+	if err := rt.fill(other); err != nil {
+		lt.Close()
+		return nil, err
+	}
+	// Both sides shuffled: one base reduce wave per side now (as the eager
+	// engine charged), topped up when a full merge learns the key count.
+	d.job.stats.ReduceTasks += 2
 	schema := append(Schema(nil), d.schema...)
 	for _, c := range other.schema {
 		if _, err := d.schema.Index(c); err == nil {
@@ -294,43 +677,232 @@ func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, erro
 			schema = append(schema, c)
 		}
 	}
-	var out []Tuple
-	for _, t := range d.tuples {
-		k := fmt.Sprintf("%v", t[li])
-		for _, rt := range right[k] {
-			nt := make(Tuple, 0, len(t)+len(rt))
-			nt = append(nt, t...)
-			nt = append(nt, rt...)
-			out = append(out, nt)
-		}
-	}
-	d.job.stats.OutputRecords += int64(len(out))
-	return &Dataset{job: d.job, schema: schema, tuples: out}, nil
+	js := &joinState{job: d.job, lt: lt, rt: rt, lidx: []int{li}, ridx: []int{ri}}
+	return &Dataset{job: d.job, schema: schema, open: js.open, cleanup: js.close}, nil
 }
 
-// Distinct removes duplicate tuples (whole-row comparison).
-func (d *Dataset) Distinct() *Dataset {
-	seen := make(map[string]struct{}, len(d.tuples))
-	var out []Tuple
-	for _, t := range d.tuples {
-		k := fmt.Sprintf("%v", t)
-		if _, ok := seen[k]; ok {
+// joinState is the partitioned both-sides shuffle behind a Join output;
+// every iteration of the output dataset merges it again.
+type joinState struct {
+	job        *Job
+	lt, rt     *spillTable
+	lidx, ridx []int
+	charged    bool
+}
+
+func (s *joinState) open() (Iterator, error) {
+	s.job.stats.MergePasses++
+	return &joinIter{s: s}, nil
+}
+
+func (s *joinState) close() error {
+	err := s.lt.Close()
+	if rerr := s.rt.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+type joinIter struct {
+	s             *joinState
+	part          int
+	lit           Iterator // current left partition cursor
+	right         map[string][]Tuple
+	cur           Tuple
+	matches       []Tuple
+	mi            int
+	distinctRight int
+	scratch       []byte
+	err           error // sticky: a failed partition cannot be skipped
+}
+
+func (it *joinIter) Next() (Tuple, error) {
+	if it.err != nil {
+		return nil, it.err
+	}
+	t, err := it.next()
+	if err != nil && err != io.EOF {
+		it.err = err
+	}
+	return t, err
+}
+
+func (it *joinIter) next() (Tuple, error) {
+	s := it.s
+	for {
+		if it.mi < len(it.matches) {
+			rt := it.matches[it.mi]
+			it.mi++
+			nt := make(Tuple, 0, len(it.cur)+len(rt))
+			nt = append(nt, it.cur...)
+			nt = append(nt, rt...)
+			s.job.stats.OutputRecords++
+			return nt, nil
+		}
+		if it.lit != nil {
+			t, err := it.lit.Next()
+			if err == io.EOF {
+				it.lit.Close()
+				it.lit = nil
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			it.cur = t
+			it.scratch = appendKey(it.scratch[:0], t, s.lidx)
+			it.matches = it.right[string(it.scratch)]
+			it.mi = 0
 			continue
 		}
-		seen[k] = struct{}{}
-		out = append(out, t)
+		if it.part >= s.lt.numParts() {
+			if !s.charged {
+				s.charged = true
+				s.job.stats.ReduceTasks += 2 * (reducersFor(it.distinctRight) - 1)
+			}
+			return nil, io.EOF
+		}
+		pi := it.part
+		it.part++
+		rit, err := s.rt.partIter(pi)
+		if err != nil {
+			return nil, err
+		}
+		right := make(map[string][]Tuple)
+		for {
+			t, err := rit.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rit.Close()
+				return nil, err
+			}
+			it.scratch = appendKey(it.scratch[:0], t, s.ridx)
+			k := string(it.scratch)
+			right[k] = append(right[k], t)
+		}
+		rit.Close()
+		it.distinctRight += len(right)
+		it.right = right
+		it.lit, err = s.lt.partIter(pi)
+		if err != nil {
+			return nil, err
+		}
 	}
-	d.job.chargeShuffle(d.tuples, len(out))
-	return &Dataset{job: d.job, schema: d.schema, tuples: out}
 }
 
-// OrderBy sorts by the named column; numeric columns sort numerically.
+func (it *joinIter) Close() error {
+	if it.lit != nil {
+		err := it.lit.Close()
+		it.lit = nil
+		return err
+	}
+	return nil
+}
+
+// Distinct removes duplicate tuples (whole-row comparison). It is an
+// external operator: rows hash-partition and spill under Job.MemoryBudget,
+// and each partition deduplicates independently, one at a time. Output
+// order is first-occurrence order within each partition.
+func (d *Dataset) Distinct() *Dataset {
+	idx := make([]int, len(d.schema))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Dataset{job: d.job, schema: d.schema, cleanup: d.cleanup, open: func() (Iterator, error) {
+		st := newSpillTable(d.job, idx, 0)
+		if err := st.fill(d); err != nil {
+			return nil, err
+		}
+		d.job.stats.ReduceTasks++ // base wave; topped up at end of merge
+		d.job.stats.MergePasses++
+		return &distinctIter{job: d.job, st: st, idx: idx}, nil
+	}}
+}
+
+type distinctIter struct {
+	job     *Job
+	st      *spillTable
+	idx     []int
+	part    int
+	out     []Tuple
+	i       int
+	total   int
+	charged bool
+	scratch []byte
+	err     error // sticky: a failed partition cannot be skipped
+}
+
+func (it *distinctIter) Next() (Tuple, error) {
+	if it.err != nil {
+		return nil, it.err
+	}
+	t, err := it.next()
+	if err != nil && err != io.EOF {
+		it.err = err
+	}
+	return t, err
+}
+
+func (it *distinctIter) next() (Tuple, error) {
+	for {
+		if it.i < len(it.out) {
+			t := it.out[it.i]
+			it.i++
+			return t, nil
+		}
+		if it.part >= it.st.numParts() {
+			if !it.charged {
+				it.charged = true
+				it.job.stats.ReduceTasks += reducersFor(it.total) - 1
+			}
+			return nil, io.EOF
+		}
+		pi := it.part
+		it.part++
+		src, err := it.st.partIter(pi)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]struct{})
+		it.out = it.out[:0]
+		for {
+			t, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				src.Close()
+				return nil, err
+			}
+			it.scratch = appendKey(it.scratch[:0], t, it.idx)
+			if _, ok := seen[string(it.scratch)]; ok {
+				continue
+			}
+			seen[string(it.scratch)] = struct{}{}
+			it.out = append(it.out, t)
+		}
+		src.Close()
+		it.total += len(seen)
+		it.i = 0
+	}
+}
+
+func (it *distinctIter) Close() error { return it.st.Close() }
+
+// OrderBy sorts by the named column; numeric columns sort numerically. The
+// sort materializes its input (sorted outputs are expected to be small
+// reduce-side relations).
 func (d *Dataset) OrderBy(col string, ascending bool) (*Dataset, error) {
 	i, err := d.schema.Index(col)
 	if err != nil {
 		return nil, err
 	}
-	out := append([]Tuple(nil), d.tuples...)
+	out, err := d.Tuples()
+	if err != nil {
+		return nil, err
+	}
 	sort.SliceStable(out, func(a, b int) bool {
 		va, vb := out[a][i], out[b][i]
 		var less bool
@@ -347,16 +919,7 @@ func (d *Dataset) OrderBy(col string, ascending bool) (*Dataset, error) {
 		}
 		return !less
 	})
-	return &Dataset{job: d.job, schema: d.schema, tuples: out}, nil
+	sorted := NewDataset(d.job, d.schema, out)
+	sorted.cleanup = d.cleanup // closing the sorted view frees upstream spill state too
+	return sorted, nil
 }
-
-// Limit keeps the first n tuples.
-func (d *Dataset) Limit(n int) *Dataset {
-	if n > len(d.tuples) {
-		n = len(d.tuples)
-	}
-	return &Dataset{job: d.job, schema: d.schema, tuples: d.tuples[:n]}
-}
-
-// Count returns the number of tuples (a terminal operation).
-func (d *Dataset) Count() int64 { return int64(len(d.tuples)) }

@@ -29,6 +29,7 @@ func TestAggregateUnknownColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer g.Close()
 	if _, err := g.Aggregate(Sum("nope", "s")); !errors.Is(err, ErrNoColumn) {
 		t.Fatalf("err = %v", err)
 	}
@@ -54,20 +55,31 @@ func TestJoinNoMatches(t *testing.T) {
 	l := NewDataset(j, Schema{"k"}, []Tuple{{"x"}})
 	r := NewDataset(j, Schema{"k"}, []Tuple{{"y"}})
 	out, err := l.Join(r, "k", "k")
-	if err != nil || out.Len() != 0 {
-		t.Fatalf("join = %d rows, %v", out.Len(), err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if n, err := out.Count(); err != nil || n != 0 {
+		t.Fatalf("join = %d rows, %v", n, err)
 	}
 }
 
 func TestGroupByEmptyDataset(t *testing.T) {
 	d := NewDataset(emptyJob(), Schema{"k"}, nil)
 	g, err := d.GroupBy("k")
-	if err != nil || g.NumGroups() != 0 {
-		t.Fatalf("groups = %d, %v", g.NumGroups(), err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if n, err := g.NumGroups(); err != nil || n != 0 {
+		t.Fatalf("groups = %d, %v", n, err)
 	}
 	res, err := g.Aggregate(Count("n"))
-	if err != nil || res.Len() != 0 {
-		t.Fatalf("agg = %d rows, %v", res.Len(), err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := res.Count(); err != nil || n != 0 {
+		t.Fatalf("agg = %d rows, %v", n, err)
 	}
 }
 
@@ -77,8 +89,12 @@ func TestOrderByStrings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Tuples()[0][0] != "apple" || out.Tuples()[2][0] != "cherry" {
-		t.Fatalf("order = %v", out.Tuples())
+	rows, err := out.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != "apple" || rows[2][0] != "cherry" {
+		t.Fatalf("order = %v", rows)
 	}
 	if _, err := d.OrderBy("nope", true); !errors.Is(err, ErrNoColumn) {
 		t.Fatalf("err = %v", err)
@@ -93,8 +109,12 @@ func TestOrderByStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Tuples()[1][1] != "first" || out.Tuples()[2][1] != "second" {
-		t.Fatalf("unstable sort: %v", out.Tuples())
+	rows, err := out.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1][1] != "first" || rows[2][1] != "second" {
+		t.Fatalf("unstable sort: %v", rows)
 	}
 }
 
@@ -106,8 +126,8 @@ func TestForEachDropsNil(t *testing.T) {
 		}
 		return tp
 	})
-	if out.Len() != 2 {
-		t.Fatalf("rows = %d", out.Len())
+	if n, err := out.Count(); err != nil || n != 2 {
+		t.Fatalf("rows = %d, %v", n, err)
 	}
 }
 
@@ -133,12 +153,17 @@ func TestCountDistinctAcrossTypes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer g.Close()
 	res, err := g.Aggregate(CountDistinct("v", "dv"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Tuples()[0][1].(int64) != 2 {
-		t.Fatalf("distinct = %v", res.Tuples())
+	rows, err := res.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][1].(int64) != 2 {
+		t.Fatalf("distinct = %v", rows)
 	}
 }
 

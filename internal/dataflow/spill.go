@@ -1,0 +1,287 @@
+package dataflow
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+
+	"unilog/internal/recordio"
+)
+
+// An external operator (GroupBy, GroupAll, Join, Distinct) cannot assume
+// its input fits in memory. spillTable is the shared machinery: tuples are
+// hash-partitioned on their key, each partition buffers in memory, and
+// when the buffered bytes across partitions exceed Job.MemoryBudget the
+// largest partition's buffer is flushed to a CRC-framed spill file. The
+// reduce side then reads one partition at a time — spilled prefix first,
+// in-memory residue after, which together preserve per-partition insertion
+// order — so peak memory is bounded by the largest partition rather than
+// the dataset. With MemoryBudget <= 0 the table degenerates to a single
+// never-spilled in-memory partition: the engine's original behavior.
+
+// DefaultSpillPartitions is the hash fan-out of external operators when
+// Job.SpillPartitions is unset.
+const DefaultSpillPartitions = 8
+
+// spillPart is one hash partition: an in-memory buffer plus, once it has
+// overflowed, a spill file holding its earlier tuples.
+type spillPart struct {
+	mem      []Tuple
+	memBytes int64
+
+	path string // spill file; "" until first overflow
+	f    *os.File
+	bw   *bufio.Writer
+	w    *recordio.CRCWriter
+}
+
+// spillTable partitions one operator input.
+type spillTable struct {
+	job      *Job
+	keyIdx   []int
+	parts    []spillPart
+	budget   int64 // <= 0: unlimited (pure in-memory)
+	buffered int64 // tuple bytes currently buffered across partitions
+	scratch  []byte
+	encBuf   []byte
+	closed   bool
+}
+
+// newSpillTable sizes a table for the job's budget. partitions overrides
+// the fan-out when > 0 (GroupAll uses 1: a single global group cannot be
+// split).
+func newSpillTable(j *Job, keyIdx []int, partitions int) *spillTable {
+	n := partitions
+	if n <= 0 {
+		n = j.SpillPartitions
+		if n <= 0 {
+			n = DefaultSpillPartitions
+		}
+	}
+	budget := j.MemoryBudget
+	if budget <= 0 {
+		// In-memory fallback: one partition, no spilling, exactly the
+		// pre-out-of-core engine.
+		budget = 0
+		if partitions <= 0 {
+			n = 1
+		}
+	}
+	return &spillTable{job: j, keyIdx: keyIdx, parts: make([]spillPart, n), budget: budget}
+}
+
+// spillDir returns where this job stages spill files.
+func (st *spillTable) spillDir() string {
+	if st.job.SpillDir != "" {
+		return st.job.SpillDir
+	}
+	return os.TempDir()
+}
+
+// add routes one tuple to its partition, charging the shuffle and spilling
+// buffers as needed. On error the table has already been cleaned up.
+func (st *spillTable) add(t Tuple) error {
+	b := tupleBytes(t)
+	st.job.stats.ShuffleBytes += b
+	st.job.stats.ShuffleRecords++
+	p := 0
+	if len(st.parts) > 1 {
+		st.scratch = appendKey(st.scratch[:0], t, st.keyIdx)
+		h := fnv.New64a()
+		h.Write(st.scratch)
+		p = int(h.Sum64() % uint64(len(st.parts)))
+	}
+	part := &st.parts[p]
+	part.mem = append(part.mem, t)
+	part.memBytes += b
+	st.buffered += b
+	for st.budget > 0 && st.buffered > st.budget {
+		if err := st.spillLargest(); err != nil {
+			st.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// fill consumes an entire dataset into the table, then seals the spill
+// files for reading. On error the table has been cleaned up.
+func (st *spillTable) fill(d *Dataset) error {
+	if err := d.Each(st.add); err != nil {
+		st.Close()
+		return err
+	}
+	return st.finish()
+}
+
+// spillLargest flushes the biggest in-memory partition buffer to its spill
+// file and drops the buffer, freeing its budget share.
+func (st *spillTable) spillLargest() error {
+	var p *spillPart
+	for i := range st.parts {
+		if st.parts[i].memBytes > 0 && (p == nil || st.parts[i].memBytes > p.memBytes) {
+			p = &st.parts[i]
+		}
+	}
+	if p == nil {
+		return nil
+	}
+	if p.f == nil {
+		f, err := os.CreateTemp(st.spillDir(), "unilog-spill-"+st.job.Name+"-*.crc")
+		if err != nil {
+			return fmt.Errorf("dataflow: create spill file: %w", err)
+		}
+		p.f = f
+		p.path = f.Name()
+		p.bw = bufio.NewWriterSize(f, 1<<16)
+		p.w = recordio.NewCRCWriter(p.bw)
+		st.job.stats.SpilledPartitions++
+	}
+	st.job.stats.SpillFlushes++
+	before := p.w.Bytes()
+	for _, t := range p.mem {
+		var err error
+		st.encBuf, err = appendTuple(st.encBuf[:0], t)
+		if err != nil {
+			return err
+		}
+		if err := p.w.Append(st.encBuf); err != nil {
+			return fmt.Errorf("dataflow: write spill file %s: %w", p.path, err)
+		}
+	}
+	st.job.stats.SpilledRecords += int64(len(p.mem))
+	st.job.stats.SpilledBytes += p.w.Bytes() - before
+	st.buffered -= p.memBytes
+	p.mem = nil // really release: the budget exists to bound live tuples
+	p.memBytes = 0
+	return nil
+}
+
+// finish flushes and closes every spill file for writing; the table is
+// then ready for (repeated) partition reads. On error the table has been
+// cleaned up.
+func (st *spillTable) finish() error {
+	for i := range st.parts {
+		p := &st.parts[i]
+		if p.f == nil {
+			continue
+		}
+		err := p.bw.Flush()
+		if cerr := p.f.Close(); err == nil {
+			err = cerr
+		}
+		p.f, p.bw, p.w = nil, nil, nil
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("dataflow: seal spill file %s: %w", p.path, err)
+		}
+	}
+	return nil
+}
+
+// errSpillClosed guards use-after-Close: without it a reduce pass over a
+// closed table would see empty partitions and return a silently empty
+// relation.
+var errSpillClosed = errors.New("dataflow: spilled operator state is closed")
+
+// partIter opens one partition for reading: the spilled prefix, then the
+// in-memory residue. Callers own Close.
+func (st *spillTable) partIter(i int) (Iterator, error) {
+	if st.closed {
+		return nil, errSpillClosed
+	}
+	p := &st.parts[i]
+	if p.path == "" {
+		return &sliceIter{tuples: p.mem}, nil
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: reopen spill file: %w", err)
+	}
+	return &spillIter{path: p.path, f: f, r: recordio.NewCRCReader(f), mem: p.mem}, nil
+}
+
+// numParts returns the partition fan-out.
+func (st *spillTable) numParts() int { return len(st.parts) }
+
+// Close removes every spill file and drops the buffers. It is safe to call
+// more than once; after Close the table cannot be read.
+func (st *spillTable) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var err error
+	for i := range st.parts {
+		p := &st.parts[i]
+		if p.f != nil {
+			p.f.Close()
+			p.f, p.bw, p.w = nil, nil, nil
+		}
+		if p.path != "" {
+			if rerr := os.Remove(p.path); rerr != nil && err == nil {
+				err = rerr
+			}
+			p.path = ""
+		}
+		p.mem = nil
+		p.memBytes = 0
+	}
+	return err
+}
+
+// spillIter streams one partition: decoded spill records, then the
+// in-memory residue. A truncated or corrupted spill file surfaces the
+// recordio error (wrapped with the file) instead of a panic or a silent
+// partial group; the error is sticky, so re-polling can never skip the
+// damaged record and resume mid-partition.
+type spillIter struct {
+	path     string
+	f        *os.File
+	r        *recordio.CRCReader
+	fileDone bool
+	mem      []Tuple
+	i        int
+	err      error
+}
+
+func (s *spillIter) Next() (Tuple, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.fileDone {
+		rec, err := s.r.Next()
+		switch {
+		case err == io.EOF:
+			s.fileDone = true
+		case err != nil:
+			s.err = fmt.Errorf("dataflow: spill file %s: %w", s.path, err)
+			return nil, s.err
+		default:
+			t, err := decodeTuple(rec)
+			if err != nil {
+				s.err = fmt.Errorf("%s: %w", s.path, err)
+				return nil, s.err
+			}
+			return t, nil
+		}
+	}
+	if s.i < len(s.mem) {
+		t := s.mem[s.i]
+		s.i++
+		return t, nil
+	}
+	return nil, io.EOF
+}
+
+func (s *spillIter) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

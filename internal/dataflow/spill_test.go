@@ -1,0 +1,535 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+)
+
+// spillJob returns a job whose external operators spill into an observable
+// directory under a deliberately tiny budget.
+func spillJob(t *testing.T, budget int64) *Job {
+	t.Helper()
+	j := NewJob("spill-test", hdfs.New(0))
+	j.MemoryBudget = budget
+	j.SpillDir = t.TempDir()
+	return j
+}
+
+func spillFiles(t *testing.T, j *Job) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(j.SpillDir, "unilog-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// wideDataset builds n tuples exercising every codec value kind, with keys
+// drawn from k distinct groups.
+func wideDataset(j *Job, n, k int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		tuples[i] = Tuple{
+			fmt.Sprintf("key-%03d", rng.Intn(k)),
+			int64(rng.Intn(1000)),
+			rng.Float64(),
+			rng.Intn(2) == 0,
+			fmt.Sprintf("payload-%d-%s", i, string(make([]byte, rng.Intn(32)))),
+			map[string]string{"client": fmt.Sprintf("c%d", rng.Intn(4))},
+		}
+	}
+	return NewDataset(j, Schema{"k", "v", "f", "b", "s", "m"}, tuples)
+}
+
+func TestGroupBySpillsUnderBudget(t *testing.T) {
+	j := spillJob(t, 512)
+	d := wideDataset(j, 2000, 50, 1)
+	g, err := d.GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.SpilledPartitions < 2 {
+		t.Fatalf("spilled partitions = %d, want >= 2 under a 512-byte budget", st.SpilledPartitions)
+	}
+	if st.SpilledBytes == 0 || st.SpilledRecords == 0 || st.SpillFlushes == 0 {
+		t.Fatalf("spill stats = %+v", st)
+	}
+	if len(spillFiles(t, j)) == 0 {
+		t.Fatal("no spill files on disk while Grouped is live")
+	}
+	n, err := g.NumGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("groups = %d, want 50", n)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := spillFiles(t, j); len(left) != 0 {
+		t.Fatalf("spill files survived Close: %v", left)
+	}
+}
+
+func TestZeroAndNegativeBudgetStayInMemory(t *testing.T) {
+	for _, budget := range []int64{0, -1} {
+		j := spillJob(t, budget)
+		d := wideDataset(j, 500, 10, 2)
+		g, err := d.GroupBy("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.Aggregate(Count("n"), Sum("v", "sum"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := res.Tuples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 10 {
+			t.Fatalf("budget %d: groups = %d", budget, len(rows))
+		}
+		st := j.Stats()
+		if st.SpilledPartitions != 0 || st.SpilledBytes != 0 {
+			t.Fatalf("budget %d spilled: %+v", budget, st)
+		}
+		if files := spillFiles(t, j); len(files) != 0 {
+			t.Fatalf("budget %d left files: %v", budget, files)
+		}
+		g.Close()
+	}
+}
+
+// renderRows canonicalizes a relation for comparison across execution
+// strategies whose row order may differ (Join partitions).
+func renderRows(rows []Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%v", r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGroupBySpillMatchesInMemory is the acceptance property: on
+// randomized datasets, the spilling path and the in-memory path produce
+// identical relations — same rows, same order — for Aggregate and
+// ForEachGroup.
+func TestGroupBySpillMatchesInMemory(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(1500)
+		k := 1 + rng.Intn(80)
+
+		run := func(budget int64) ([]Tuple, []Tuple, int) {
+			j := spillJob(t, budget)
+			d := wideDataset(j, n, k, seed)
+			g, err := d.GroupBy("k", "b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			agg, err := g.Aggregate(Count("n"), Sum("v", "sum"), Min("v", "min"), Max("v", "max"), Avg("f", "avg"), CountDistinct("s", "ds"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			aggRows, err := agg.Tuples()
+			if err != nil {
+				t.Fatal(err)
+			}
+			red, err := g.ForEachGroup(Schema{"size", "firstv"}, func(key Tuple, group []Tuple) Tuple {
+				return Tuple{int64(len(group)), group[0][1]}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			redRows, err := red.Tuples()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return aggRows, redRows, j.Stats().SpilledPartitions
+		}
+
+		memAgg, memRed, memSpills := run(0)
+		spillAgg, spillRed, spills := run(256)
+		if memSpills != 0 {
+			t.Fatalf("seed %d: in-memory run spilled", seed)
+		}
+		if spills == 0 {
+			t.Fatalf("seed %d: budgeted run never spilled (n=%d)", seed, n)
+		}
+		// Same rows in the same (globally key-sorted) order.
+		if fmt.Sprintf("%v", memAgg) != fmt.Sprintf("%v", spillAgg) {
+			t.Fatalf("seed %d: aggregate diverged\nmem:   %v\nspill: %v", seed, memAgg, spillAgg)
+		}
+		if fmt.Sprintf("%v", memRed) != fmt.Sprintf("%v", spillRed) {
+			t.Fatalf("seed %d: reduce diverged\nmem:   %v\nspill: %v", seed, memRed, spillRed)
+		}
+	}
+}
+
+// TestJoinSpillMatchesInMemory: Grace-join output equals the in-memory
+// join as a relation (order may legitimately differ across partitions).
+func TestJoinSpillMatchesInMemory(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		nl, nr := 100+rng.Intn(800), 50+rng.Intn(400)
+		keys := 1 + rng.Intn(40)
+
+		build := func(j *Job, n int, tag string) *Dataset {
+			r := rand.New(rand.NewSource(seed*7 + int64(n)))
+			tuples := make([]Tuple, n)
+			for i := range tuples {
+				tuples[i] = Tuple{int64(r.Intn(keys)), fmt.Sprintf("%s-%d", tag, i)}
+			}
+			return NewDataset(j, Schema{"id", tag}, tuples)
+		}
+		run := func(budget int64) ([]string, int) {
+			j := spillJob(t, budget)
+			left := build(j, nl, "left")
+			right := build(j, nr, "right")
+			joined, err := left.Join(right, "id", "id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer joined.Close()
+			rows, err := joined.Tuples()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return renderRows(rows), j.Stats().SpilledPartitions
+		}
+		mem, memSpills := run(0)
+		spilled, spills := run(256)
+		if memSpills != 0 {
+			t.Fatalf("seed %d: in-memory join spilled", seed)
+		}
+		if spills == 0 {
+			t.Fatalf("seed %d: budgeted join never spilled", seed)
+		}
+		if !equalRows(mem, spilled) {
+			t.Fatalf("seed %d: join diverged (%d vs %d rows)", seed, len(mem), len(spilled))
+		}
+	}
+}
+
+func TestDistinctSpillMatchesInMemory(t *testing.T) {
+	run := func(budget int64) []string {
+		j := spillJob(t, budget)
+		d := wideDataset(j, 1000, 20, 5)
+		// Project to a low-cardinality relation so duplicates exist.
+		p, err := d.Project("k", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := p.Distinct().Tuples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if files := spillFiles(t, j); len(files) != 0 {
+			t.Fatalf("distinct left spill files: %v", files)
+		}
+		return renderRows(rows)
+	}
+	if mem, spilled := run(0), run(128); !equalRows(mem, spilled) {
+		t.Fatalf("distinct diverged: %v vs %v", mem, spilled)
+	}
+}
+
+// TestSpillFileCorruption: flipped bits in a spill file surface as a clean
+// recordio.ErrCorrupt from the reduce pass — no panic, no silent partial
+// group — and Close still removes the files.
+func TestSpillFileCorruption(t *testing.T) {
+	j := spillJob(t, 512)
+	g, err := wideDataset(j, 2000, 50, 3).GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := spillFiles(t, j)
+	if len(files) == 0 {
+		t.Fatal("no spill files to corrupt")
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, aerr := g.Aggregate(Count("n"))
+	if aerr == nil {
+		t.Fatal("aggregate over corrupted spill succeeded")
+	}
+	if !errors.Is(aerr, recordio.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", aerr)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := spillFiles(t, j); len(left) != 0 {
+		t.Fatalf("spill files survived Close after error: %v", left)
+	}
+}
+
+// TestSpillFileTruncation: a truncated spill file (a lost write) surfaces
+// recordio.ErrTruncated cleanly.
+func TestSpillFileTruncation(t *testing.T) {
+	j := spillJob(t, 512)
+	g, err := wideDataset(j, 2000, 50, 4).GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	files := spillFiles(t, j)
+	if len(files) == 0 {
+		t.Fatal("no spill files to truncate")
+	}
+	fi, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	_, aerr := g.ForEachGroup(Schema{"n"}, func(key Tuple, group []Tuple) Tuple {
+		return Tuple{int64(len(group))}
+	})
+	if !errors.Is(aerr, recordio.ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", aerr)
+	}
+}
+
+// TestSpillEncodeErrorCleansUp: a tuple the codec cannot serialize fails
+// the partition phase with a clean error and leaves no temp files behind.
+func TestSpillEncodeErrorCleansUp(t *testing.T) {
+	j := spillJob(t, 64)
+	type opaque struct{ x int }
+	tuples := make([]Tuple, 200)
+	for i := range tuples {
+		tuples[i] = Tuple{"k", opaque{i}}
+	}
+	d := NewDataset(j, Schema{"k", "v"}, tuples)
+	_, err := d.GroupBy("k")
+	if err == nil {
+		t.Fatal("group-by of unspillable values under a budget succeeded")
+	}
+	if left := spillFiles(t, j); len(left) != 0 {
+		t.Fatalf("encode error leaked spill files: %v", left)
+	}
+	// The same relation groups fine in memory, where no codec is needed.
+	j2 := spillJob(t, 0)
+	d2 := NewDataset(j2, Schema{"k", "v"}, tuples)
+	g, err := d2.GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if n, err := g.NumGroups(); err != nil || n != 1 {
+		t.Fatalf("in-memory groups = %d, %v", n, err)
+	}
+}
+
+// TestJoinSpillCleanup: closing a Join output removes both sides' files.
+func TestJoinSpillCleanup(t *testing.T) {
+	j := spillJob(t, 128)
+	left := wideDataset(j, 500, 20, 6)
+	right := wideDataset(j, 300, 20, 7)
+	rn, err := right.Project("k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := left.Join(rn, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spillFiles(t, j)) == 0 {
+		t.Fatal("join under budget produced no spill files")
+	}
+	if _, err := joined.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if err := joined.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := spillFiles(t, j); len(left) != 0 {
+		t.Fatalf("join spill files survived Close: %v", left)
+	}
+}
+
+// TestGroupAllSpills: even the single global group stages through disk
+// under a budget, and a streaming Aggregate still folds it exactly.
+func TestGroupAllSpills(t *testing.T) {
+	j := spillJob(t, 256)
+	tuples := make([]Tuple, 3000)
+	var want int64
+	for i := range tuples {
+		tuples[i] = Tuple{int64(i)}
+		want += int64(i)
+	}
+	g, err := NewDataset(j, Schema{"c"}, tuples).GroupAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if j.Stats().SpilledRecords == 0 {
+		t.Fatal("GROUP ALL under budget never spilled")
+	}
+	res, err := g.Aggregate(Sum("c", "total"), Count("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].(int64) != want || rows[0][1].(int64) != 3000 {
+		t.Fatalf("rows = %v, want sum %d", rows, want)
+	}
+}
+
+// TestLoadIsLazy: planning a scan charges nothing; each execution charges
+// one full pass.
+func TestLoadIsLazy(t *testing.T) {
+	fs := hdfs.New(0)
+	populate(t, fs)
+	j := NewJob("lazy", fs)
+	d, err := j.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.MapTasks != 0 || st.BytesRead != 0 || st.RecordsRead != 0 {
+		t.Fatalf("planning charged I/O: %+v", st)
+	}
+	if _, err := d.Count(); err != nil {
+		t.Fatal(err)
+	}
+	first := j.Stats()
+	if first.MapTasks == 0 || first.RecordsRead != 80 {
+		t.Fatalf("first pass stats = %+v", first)
+	}
+	if _, err := d.Count(); err != nil {
+		t.Fatal(err)
+	}
+	second := j.Stats()
+	if second.RecordsRead != 2*first.RecordsRead || second.MapTasks != 2*first.MapTasks {
+		t.Fatalf("second pass not metered: %+v", second)
+	}
+}
+
+// TestLimitStopsScanEarly: Limit over a lazy scan does not read every
+// split.
+func TestLimitStopsScanEarly(t *testing.T) {
+	fs := hdfs.New(0)
+	populate(t, fs) // 8 hour-files of 10 events each
+	j := NewJob("limit", fs)
+	d, err := j.LoadClientEventsDay(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.Limit(5).Count(); err != nil || n != 5 {
+		t.Fatalf("limit = %d, %v", n, err)
+	}
+	if st := j.Stats(); st.MapTasks >= 8 {
+		t.Fatalf("limit scanned every split: %+v", st)
+	}
+}
+
+// TestGroupByKeysWithEmbeddedNUL: a NUL inside one key column must not
+// shift the component boundary and merge distinct multi-column keys.
+func TestGroupByKeysWithEmbeddedNUL(t *testing.T) {
+	j := NewJob("nul", hdfs.New(0))
+	d := NewDataset(j, Schema{"a", "b"}, []Tuple{
+		{"x\x00y", "z"},
+		{"x", "y\x00z"},
+		{"x\x00y", "z"},
+	})
+	g, err := d.GroupBy("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if n, err := g.NumGroups(); err != nil || n != 2 {
+		t.Fatalf("groups = %d, %v, want 2 (NUL shifted a key boundary)", n, err)
+	}
+	if n, err := d.Distinct().Count(); err != nil || n != 2 {
+		t.Fatalf("distinct = %d, %v, want 2", n, err)
+	}
+}
+
+// TestClosedGroupedErrs: reducing after Close is an error, not a silently
+// empty relation.
+func TestClosedGroupedErrs(t *testing.T) {
+	j := NewJob("closed", hdfs.New(0))
+	d := NewDataset(j, Schema{"k"}, []Tuple{{"a"}, {"b"}})
+	g, err := d.GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Aggregate(Count("n")); err == nil {
+		t.Fatal("aggregate over closed Grouped succeeded")
+	}
+	if _, err := g.NumGroups(); err == nil {
+		t.Fatal("NumGroups over closed Grouped succeeded")
+	}
+}
+
+// TestDerivedDatasetCloseReleasesJoin: closing a Filter over a Join output
+// releases the join's spill files (cleanup propagates through streaming
+// wrappers).
+func TestDerivedDatasetCloseReleasesJoin(t *testing.T) {
+	j := spillJob(t, 128)
+	left := wideDataset(j, 400, 20, 8)
+	right, err := wideDataset(j, 200, 20, 9).Project("k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := left.Join(right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := joined.Filter(func(Tuple) bool { return true })
+	if len(spillFiles(t, j)) == 0 {
+		t.Fatal("join under budget produced no spill files")
+	}
+	if _, err := filtered.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if err := filtered.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := spillFiles(t, j); len(left) != 0 {
+		t.Fatalf("closing the derived view leaked join spill files: %v", left)
+	}
+	// The shared state is gone: iterating either handle now errs.
+	if _, err := joined.Count(); err == nil {
+		t.Fatal("iterating a closed join succeeded")
+	}
+}

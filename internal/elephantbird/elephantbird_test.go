@@ -153,20 +153,21 @@ func TestGeneratedInputFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds.Len() != n {
-		t.Fatalf("loaded %d", ds.Len())
+	if got, err := ds.Count(); err != nil || got != int64(n) {
+		t.Fatalf("loaded %d, %v", got, err)
 	}
 	// The loaded relation is queryable with the dataflow operators.
 	g, err := ds.GroupBy("converted")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer g.Close()
 	res, err := g.Aggregate(dataflow.Count("n"), dataflow.Sum("user_id", "sum"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Len() != 2 {
-		t.Fatalf("groups = %d", res.Len())
+	if got, err := res.Count(); err != nil || got != 2 {
+		t.Fatalf("groups = %d, %v", got, err)
 	}
 }
 

@@ -246,28 +246,28 @@ func Formats() map[string]dataflow.RawRecordFormat {
 // unified and materialized variants (experiment E3).
 func ReconstructSessions(j *dataflow.Job, dirsByCategory map[string][]string, gap time.Duration) (int64, error) {
 	formats := Formats()
-	var union *dataflow.Dataset
+	var parts []*dataflow.Dataset
 	for _, cat := range Categories {
 		d, err := j.LoadDirs(dirsByCategory[cat], formats[cat])
 		if err != nil {
 			return 0, err
 		}
-		if union == nil {
-			union = d
-		} else {
-			union = dataflow.NewDataset(j, normalizedSchema, append(union.Tuples(), d.Tuples()...))
-		}
+		parts = append(parts, d)
 	}
-	if union == nil || union.Len() == 0 {
+	if len(parts) == 0 {
 		return 0, nil
 	}
+	// The three category scans stream into one relation; nothing
+	// materializes until the group-by shuffles it.
+	union := parts[0].Union(parts[1:]...)
 	g, err := union.GroupBy("user_id")
 	if err != nil {
 		return 0, err
 	}
+	defer g.Close()
 	gapMs := gap.Milliseconds()
 	tsIdx := normalizedSchema.MustIndex("timestamp_ms")
-	counts := g.ForEachGroup(dataflow.Schema{"sessions"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
+	counts, err := g.ForEachGroup(dataflow.Schema{"sessions"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
 		ts := make([]int64, len(group))
 		for i, t := range group {
 			ts[i] = t[tsIdx].(int64)
@@ -281,9 +281,21 @@ func ReconstructSessions(j *dataflow.Job, dirsByCategory map[string][]string, ga
 		}
 		return dataflow.Tuple{n}
 	})
-	total, err := counts.GroupAll().Aggregate(dataflow.Sum("sessions", "total"))
 	if err != nil {
 		return 0, err
 	}
-	return total.Tuples()[0][0].(int64), nil
+	ga, err := counts.GroupAll()
+	if err != nil {
+		return 0, err
+	}
+	defer ga.Close()
+	total, err := ga.Aggregate(dataflow.Sum("sessions", "total"))
+	if err != nil {
+		return 0, err
+	}
+	rows, err := total.Tuples()
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0].(int64), nil
 }

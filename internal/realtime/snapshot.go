@@ -380,7 +380,8 @@ type snapHeader struct {
 	stats     Stats // zero when loading a v1 snapshot
 }
 
-// decodeSnapHeader parses a header record, v1 or v2.
+// decodeSnapHeader parses a header record, v1 or v2, on the shared
+// recordio.Cursor.
 func decodeSnapHeader(rec []byte) (snapHeader, error) {
 	var h snapHeader
 	corrupt := func(what string) (snapHeader, error) {
@@ -391,45 +392,24 @@ func decodeSnapHeader(rec []byte) (snapHeader, error) {
 		return corrupt("tag/version")
 	}
 	h.version = rec[1]
-	rec = rec[2:]
-	uv := func() (uint64, bool) {
-		v, n := binary.Uvarint(rec)
-		if n <= 0 {
-			return 0, false
-		}
-		rec = rec[n:]
-		return v, true
-	}
-	nshards, ok := uv()
-	if !ok || nshards > 1<<16 {
+	c := recordio.NewCursor(rec[2:])
+	nshards := c.Uvarint("shard count")
+	if !c.Ok() || nshards > 1<<16 {
 		return corrupt("shard count")
 	}
 	h.next = make([]int64, nshards)
 	for i := range h.next {
-		v, ok := uv()
-		if !ok {
-			return corrupt("next seq")
-		}
-		h.next[i] = int64(v)
+		h.next[i] = int64(c.Uvarint("next seq"))
 	}
-	v, ok := uv()
-	if !ok {
-		return corrupt("observed")
-	}
-	h.observed = int64(v)
-	v, ok = uv()
-	if !ok {
-		return corrupt("max minute")
-	}
-	h.maxMinute = int64(v)
+	h.observed = int64(c.Uvarint("observed"))
+	h.maxMinute = int64(c.Uvarint("max minute"))
 	if h.version >= snapRecordVersion {
 		for _, f := range statsFields(&h.stats) {
-			v, ok := uv()
-			if !ok {
-				return corrupt("stats")
-			}
-			*f = int64(v)
+			*f = int64(c.Uvarint("stats"))
 		}
+	}
+	if err := c.Err(); err != nil {
+		return h, fmt.Errorf("snapshot header: %w", err)
 	}
 	return h, nil
 }
@@ -457,7 +437,9 @@ func encodeSnapDict(buf []byte, paths, countries []string) []byte {
 	return buf
 }
 
-// decodeSnapDict parses a dictionary record.
+// decodeSnapDict parses a dictionary record. The cursor's Count bounds the
+// entry count by the remaining bytes, so a CRC-colliding file cannot
+// balloon the preallocation.
 func decodeSnapDict(rec []byte) (snapDict, error) {
 	var d snapDict
 	corrupt := func(what string) (snapDict, error) {
@@ -466,33 +448,19 @@ func decodeSnapDict(rec []byte) (snapDict, error) {
 	if len(rec) < 1 || rec[0] != snapTagDict {
 		return corrupt("tag")
 	}
-	rec = rec[1:]
-	readStrs := func() ([]string, bool) {
-		count, n := binary.Uvarint(rec)
-		// Every entry costs at least one byte, so a count beyond the
-		// remaining record is corruption — reject it before the
-		// preallocation below can balloon on a CRC-colliding file.
-		if n <= 0 || count > uint64(len(rec)-n) {
-			return nil, false
-		}
-		rec = rec[n:]
+	c := recordio.NewCursor(rec[1:])
+	readStrs := func(what string) []string {
+		count := c.Count(what)
 		out := make([]string, 0, count)
-		for i := uint64(0); i < count; i++ {
-			l, n := binary.Uvarint(rec)
-			if n <= 0 || uint64(len(rec)-n) < l {
-				return nil, false
-			}
-			out = append(out, string(rec[n:n+int(l)]))
-			rec = rec[n+int(l):]
+		for i := 0; i < count && c.Ok(); i++ {
+			out = append(out, c.String(what))
 		}
-		return out, true
+		return out
 	}
-	var ok bool
-	if d.paths, ok = readStrs(); !ok {
-		return corrupt("paths")
-	}
-	if d.countries, ok = readStrs(); !ok {
-		return corrupt("countries")
+	d.paths = readStrs("paths")
+	d.countries = readStrs("countries")
+	if err := c.Err(); err != nil {
+		return d, fmt.Errorf("snapshot dictionary: %w", err)
 	}
 	return d, nil
 }
@@ -537,7 +505,8 @@ type snapBucket struct {
 }
 
 // decodeBucket parses a bucket record of either version; v2 records
-// resolve their IDs through the file's dictionary.
+// resolve their IDs through the file's dictionary. Bounds checks ride on
+// the shared recordio.Cursor; dictionary-range checks stay local.
 func decodeBucket(rec []byte, version byte, dict *snapDict) (snapBucket, error) {
 	var b snapBucket
 	corrupt := func(what string) (snapBucket, error) {
@@ -546,96 +515,59 @@ func decodeBucket(rec []byte, version byte, dict *snapDict) (snapBucket, error) 
 	if len(rec) < 1 || rec[0] != snapTagBucket {
 		return corrupt("tag")
 	}
-	rec = rec[1:]
-	uv := func() (uint64, bool) {
-		v, n := binary.Uvarint(rec)
-		if n <= 0 {
-			return 0, false
-		}
-		rec = rec[n:]
-		return v, true
-	}
-	str := func() (string, bool) {
-		l, ok := uv()
-		if !ok || uint64(len(rec)) < l {
-			return "", false
-		}
-		s := string(rec[:l])
-		rec = rec[l:]
-		return s, true
-	}
-	path := func() (string, bool) {
+	c := recordio.NewCursor(rec[1:])
+	badID := false
+	path := func(what string) string {
 		if version == snapRecordV1 {
-			return str()
+			return c.String(what)
 		}
-		id, ok := uv()
-		if !ok || id >= uint64(len(dict.paths)) {
-			return "", false
+		id := c.Uvarint(what)
+		if !c.Ok() || id >= uint64(len(dict.paths)) {
+			badID = true
+			return ""
 		}
-		return dict.paths[id], true
+		return dict.paths[id]
 	}
-	countryStr := func() (string, bool) {
+	countryStr := func(what string) string {
 		if version == snapRecordV1 {
-			return str()
+			return c.String(what)
 		}
-		id, ok := uv()
-		if !ok || id >= uint64(len(dict.countries)) {
-			return "", false
+		id := c.Uvarint(what)
+		if !c.Ok() || id >= uint64(len(dict.countries)) {
+			badID = true
+			return ""
 		}
-		return dict.countries[id], true
+		return dict.countries[id]
 	}
-	shard, ok1 := uv()
-	stripe, ok2 := uv()
-	minute, ok3 := uv()
-	if !ok1 || !ok2 || !ok3 {
-		return corrupt("coordinates")
-	}
-	b.shard, b.stripe, b.minute = int(shard), int(stripe), int64(minute)
-	np, ok := uv()
-	if !ok || np > uint64(len(rec)) { // every entry costs >= 1 byte
-		return corrupt("prefix count")
-	}
+	b.shard = int(c.Uvarint("coordinates"))
+	b.stripe = int(c.Uvarint("coordinates"))
+	b.minute = int64(c.Uvarint("coordinates"))
+	np := c.Count("prefix count")
 	b.prefix = make(map[string]int64, np)
-	for i := uint64(0); i < np; i++ {
-		k, ok := path()
-		if !ok {
-			return corrupt("prefix key")
+	for i := 0; i < np && c.Ok() && !badID; i++ {
+		k := path("prefix key")
+		v := c.Uvarint("prefix value")
+		if c.Ok() && !badID {
+			b.prefix[k] += int64(v)
 		}
-		v, ok := uv()
-		if !ok {
-			return corrupt("prefix value")
-		}
-		b.prefix[k] += int64(v)
 	}
-	nr, ok := uv()
-	if !ok || nr > uint64(len(rec)) { // every entry costs >= 1 byte
-		return corrupt("rollup count")
-	}
+	nr := c.Count("rollup count")
 	b.rollup = make(map[analytics.RollupKey]int64, nr)
-	for i := uint64(0); i < nr; i++ {
-		if len(rec) < 1 {
-			return corrupt("rollup level")
+	for i := 0; i < nr && c.Ok() && !badID; i++ {
+		level := events.RollupLevel(c.Byte("rollup level"))
+		name := path("rollup name")
+		country := countryStr("rollup country")
+		loggedIn := c.Bool("rollup login bit")
+		v := c.Uvarint("rollup value")
+		if c.Ok() && !badID {
+			b.rollup[analytics.RollupKey{Level: level, Name: name, Country: country, LoggedIn: loggedIn}] += int64(v)
 		}
-		level := events.RollupLevel(rec[0])
-		rec = rec[1:]
-		name, ok := path()
-		if !ok {
-			return corrupt("rollup name")
-		}
-		country, ok := countryStr()
-		if !ok {
-			return corrupt("rollup country")
-		}
-		if len(rec) < 1 {
-			return corrupt("rollup login bit")
-		}
-		loggedIn := rec[0] == 1
-		rec = rec[1:]
-		v, ok := uv()
-		if !ok {
-			return corrupt("rollup value")
-		}
-		b.rollup[analytics.RollupKey{Level: level, Name: name, Country: country, LoggedIn: loggedIn}] += int64(v)
+	}
+	if err := c.Err(); err != nil {
+		return b, fmt.Errorf("snapshot bucket: %w", err)
+	}
+	if badID {
+		return corrupt("dictionary id out of range")
 	}
 	return b, nil
 }

@@ -311,34 +311,20 @@ func (d *walDecoder) decodeBatch(rec []byte, fn func(name string, minute int64, 
 }
 
 // decodeBatchV2 parses one dictionary-compressed record, extending the
-// segment dictionaries with its first-seen entries.
+// segment dictionaries with its first-seen entries. Bounds checking rides
+// on the shared recordio.Cursor; the wrap keeps errors in the familiar
+// "wal record <field>" shape.
 func (d *walDecoder) decodeBatchV2(rec []byte, fn func(name string, minute int64, country string, loggedIn bool) error) error {
+	c := recordio.NewCursor(rec)
 	corrupt := func(what string) error {
 		return fmt.Errorf("%w: wal record %s", recordio.ErrCorrupt, what)
 	}
-	uv := func() (uint64, bool) {
-		v, n := binary.Uvarint(rec)
-		if n <= 0 {
-			return 0, false
-		}
-		rec = rec[n:]
-		return v, true
-	}
 	readStrs := func(into *[]string, what string) error {
-		count, ok := uv()
-		// Every entry costs at least one byte; a larger count is corrupt.
-		if !ok || count > uint64(len(rec)) {
-			return corrupt(what + " count")
+		count := c.Count(what + " count")
+		for i := 0; i < count && c.Ok(); i++ {
+			*into = append(*into, c.String(what))
 		}
-		for i := uint64(0); i < count; i++ {
-			l, ok := uv()
-			if !ok || uint64(len(rec)) < l {
-				return corrupt(what)
-			}
-			*into = append(*into, string(rec[:l]))
-			rec = rec[l:]
-		}
-		return nil
+		return c.Err()
 	}
 	if err := readStrs(&d.names, "dictionary name"); err != nil {
 		return err
@@ -346,26 +332,22 @@ func (d *walDecoder) decodeBatchV2(rec []byte, fn func(name string, minute int64
 	if err := readStrs(&d.countries, "dictionary country"); err != nil {
 		return err
 	}
-	count, ok := uv()
-	if !ok {
-		return corrupt("count")
-	}
-	base, ok := uv()
-	if !ok {
-		return corrupt("base minute")
+	count := c.Uvarint("count")
+	base := c.Uvarint("base minute")
+	if !c.Ok() {
+		return fmt.Errorf("wal record: %w", c.Err())
 	}
 	for i := uint64(0); i < count; i++ {
-		nameID, ok := uv()
-		if !ok || nameID >= uint64(len(d.names)) {
+		nameID := c.Uvarint("name id")
+		delta := c.Varint("minute delta")
+		cl := c.Uvarint("country id")
+		if !c.Ok() {
+			return fmt.Errorf("wal record: %w", c.Err())
+		}
+		if nameID >= uint64(len(d.names)) {
 			return corrupt("name id")
 		}
-		delta, n := binary.Varint(rec)
-		if n <= 0 {
-			return corrupt("minute delta")
-		}
-		rec = rec[n:]
-		cl, ok := uv()
-		if !ok || cl>>1 >= uint64(len(d.countries)) {
+		if cl>>1 >= uint64(len(d.countries)) {
 			return corrupt("country id")
 		}
 		if err := fn(d.names[nameID], int64(base)+delta, d.countries[cl>>1], cl&1 == 1); err != nil {
@@ -379,45 +361,22 @@ func (d *walDecoder) decodeBatchV2(rec []byte, fn func(name string, minute int64
 // country, login bit per observation) — the compatibility path that keeps
 // logs written before the v2 format replayable.
 func decodeBatchV1(rec []byte, fn func(name string, minute int64, country string, loggedIn bool) error) error {
-	corrupt := func(what string) error {
-		return fmt.Errorf("%w: wal record %s", recordio.ErrCorrupt, what)
-	}
-	count, n := binary.Uvarint(rec)
-	if n <= 0 {
-		return corrupt("count")
-	}
-	rec = rec[n:]
-	readStr := func() (string, bool) {
-		l, n := binary.Uvarint(rec)
-		if n <= 0 || uint64(len(rec)-n) < l {
-			return "", false
-		}
-		s := string(rec[n : n+int(l)])
-		rec = rec[n+int(l):]
-		return s, true
-	}
+	c := recordio.NewCursor(rec)
+	count := c.Uvarint("count")
 	for i := uint64(0); i < count; i++ {
-		name, ok := readStr()
-		if !ok {
-			return corrupt("name")
+		name := c.String("name")
+		minute := c.Uvarint("minute")
+		country := c.String("country")
+		loggedIn := c.Bool("login bit")
+		if !c.Ok() {
+			break
 		}
-		minute, n := binary.Uvarint(rec)
-		if n <= 0 {
-			return corrupt("minute")
-		}
-		rec = rec[n:]
-		country, ok := readStr()
-		if !ok {
-			return corrupt("country")
-		}
-		if len(rec) < 1 {
-			return corrupt("login bit")
-		}
-		loggedIn := rec[0] == 1
-		rec = rec[1:]
 		if err := fn(name, int64(minute), country, loggedIn); err != nil {
 			return err
 		}
+	}
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("wal record: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,117 @@
+package recordio
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 300)
+	buf = binary.AppendVarint(buf, -42)
+	buf = append(buf, 7)
+	buf = binary.AppendUvarint(buf, uint64(len("hello")))
+	buf = append(buf, "hello"...)
+	buf = binary.AppendUvarint(buf, 2) // count of entries below
+	buf = append(buf, 'x', 'y')
+
+	c := NewCursor(buf)
+	if v := c.Uvarint("u"); v != 300 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := c.Varint("v"); v != -42 {
+		t.Fatalf("varint = %d", v)
+	}
+	if b := c.Byte("b"); b != 7 {
+		t.Fatalf("byte = %d", b)
+	}
+	if s := c.String("s"); s != "hello" {
+		t.Fatalf("string = %q", s)
+	}
+	if n := c.Count("n"); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if c.Byte("x") != 'x' || c.Byte("y") != 'y' {
+		t.Fatal("trailing bytes wrong")
+	}
+	if !c.Ok() || c.Err() != nil || !c.Empty() || c.Remaining() != 0 {
+		t.Fatalf("end state: ok=%v err=%v remaining=%d", c.Ok(), c.Err(), c.Remaining())
+	}
+}
+
+func TestCursorStickyFailure(t *testing.T) {
+	// A string whose declared length exceeds the buffer.
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 100)
+	buf = append(buf, "short"...)
+	c := NewCursor(buf)
+	if s := c.String("name"); s != "" {
+		t.Fatalf("overlong string = %q", s)
+	}
+	if c.Ok() {
+		t.Fatal("cursor still ok after bad read")
+	}
+	// Every later read fails without resurrecting the cursor, and the
+	// first failing field is the one reported.
+	if v := c.Uvarint("later"); v != 0 {
+		t.Fatalf("read after failure = %d", v)
+	}
+	err := c.Err()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "name") {
+		t.Fatalf("err does not name the first bad field: %v", err)
+	}
+}
+
+func TestCursorEmptyReads(t *testing.T) {
+	c := NewCursor(nil)
+	if c.Uvarint("u") != 0 || c.Ok() {
+		t.Fatal("uvarint from empty buffer succeeded")
+	}
+	c = NewCursor(nil)
+	if c.Byte("b") != 0 || c.Ok() {
+		t.Fatal("byte from empty buffer succeeded")
+	}
+	c = NewCursor(nil)
+	if c.Varint("v") != 0 || c.Ok() {
+		t.Fatal("varint from empty buffer succeeded")
+	}
+}
+
+func TestCursorCountBounds(t *testing.T) {
+	// A count larger than the remaining bytes is corruption: each entry
+	// costs at least one byte.
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 1000)
+	buf = append(buf, 1, 2, 3)
+	c := NewCursor(buf)
+	if n := c.Count("entries"); n != 0 || c.Ok() {
+		t.Fatalf("count = %d, ok = %v", n, c.Ok())
+	}
+	// A count equal to the remainder is the legal extreme.
+	buf = nil
+	buf = binary.AppendUvarint(buf, 3)
+	buf = append(buf, 1, 2, 3)
+	c = NewCursor(buf)
+	if n := c.Count("entries"); n != 3 || !c.Ok() {
+		t.Fatalf("count = %d, ok = %v", n, c.Ok())
+	}
+}
+
+func TestCursorBytesAlias(t *testing.T) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 3)
+	buf = append(buf, 'a', 'b', 'c')
+	c := NewCursor(buf)
+	b := c.Bytes("blob")
+	if string(b) != "abc" {
+		t.Fatalf("bytes = %q", b)
+	}
+	if !c.Empty() {
+		t.Fatalf("remaining = %d", c.Remaining())
+	}
+}

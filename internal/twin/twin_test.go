@@ -90,8 +90,8 @@ func TestSelectivePruning(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := truth.FunnelStage[len(truth.FunnelStage)-1]
-	if int64(d.Len()) != want {
-		t.Fatalf("indexed load found %d events, truth %d", d.Len(), want)
+	if got, err := d.Count(); err != nil || got != want {
+		t.Fatalf("indexed load found %d events, %v, truth %d", got, err, want)
 	}
 	if idx.SkippedFiles() == 0 {
 		t.Fatal("no files pruned for a highly-selective query")
@@ -104,7 +104,10 @@ func TestSelectivePruning(t *testing.T) {
 		t.Fatal(err)
 	}
 	nameIdx := full.Schema().MustIndex("name")
-	n := int64(full.Filter(func(tp dataflow.Tuple) bool { return match(tp[nameIdx].(string)) }).Count())
+	n, err := full.Filter(func(tp dataflow.Tuple) bool { return match(tp[nameIdx].(string)) }).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != want {
 		t.Fatalf("full scan found %d", n)
 	}
@@ -124,8 +127,8 @@ func TestMissingIndexFallsBackToScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d.Len() == 0 {
-		t.Fatal("no events found without indexes")
+	if n, err := d.Count(); err != nil || n == 0 {
+		t.Fatalf("no events found without indexes: %v", err)
 	}
 	if idx.SkippedFiles() != 0 {
 		t.Fatal("files skipped without indexes")

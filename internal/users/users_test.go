@@ -24,8 +24,12 @@ func TestWriteAndLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds.Len() != len(truth.UserCountry) {
-		t.Fatalf("rows = %d, want %d", ds.Len(), len(truth.UserCountry))
+	rows, err := ds.Tuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(truth.UserCountry) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(truth.UserCountry))
 	}
 	uidIdx := ds.Schema().MustIndex("user_id")
 	ctryIdx := ds.Schema().MustIndex("country")
@@ -34,7 +38,7 @@ func TestWriteAndLoad(t *testing.T) {
 	for _, c := range geo.Countries {
 		valid[c] = true
 	}
-	for _, tp := range ds.Tuples() {
+	for _, tp := range rows {
 		uid := tp[uidIdx].(int64)
 		if truth.UserCountry[uid] != tp[ctryIdx].(string) {
 			t.Fatalf("user %d country = %v, want %v", uid, tp[ctryIdx], truth.UserCountry[uid])
