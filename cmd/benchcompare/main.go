@@ -6,9 +6,11 @@
 // of drifting.
 //
 // Every numeric field whose name ends in "_per_sec" is compared (higher is
-// better); other fields are informational. Fields present in the current
-// run but absent from the baseline are reported and skipped, so adding a
-// metric does not require a lockstep baseline update.
+// better); other fields are informational. Metrics present in only one of
+// current/baseline are reported as "new" (a just-added experiment, e.g.
+// the E17 keys) or "removed" (a retired one) instead of failing the job,
+// so adding or dropping a metric never requires a lockstep baseline
+// update.
 //
 // Usage:
 //
@@ -16,7 +18,7 @@
 //
 // Baselines regenerate with the same command CI runs:
 //
-//	go run ./cmd/benchrunner -users 60 -loggedout 40 -only e14,e15,e16
+//	go run ./cmd/benchrunner -users 60 -loggedout 40 -only e14,e15,e16,e17
 //	cp BENCH_realtime.json BENCH_dataflow.json ci/baseline/
 package main
 
@@ -54,11 +56,14 @@ func main() {
 		}
 		fmt.Printf("## %s vs %s (max regression %.0f%%)\n", path, basePath, *maxRegress*100)
 		fmt.Printf("%-32s %14s %14s %9s\n", "metric", "baseline", "current", "delta")
+		seen := map[string]bool{}
 		for _, key := range throughputKeys(cur) {
+			seen[key] = true
 			curV := cur[key].(float64)
 			baseV, ok := base[key].(float64)
 			if !ok || baseV <= 0 {
-				fmt.Printf("%-32s %14s %14.0f %9s\n", key, "(none)", curV, "skip")
+				// A metric the baseline predates: report it, don't gate on it.
+				fmt.Printf("%-32s %14s %14.0f %9s\n", key, "(none)", curV, "new")
 				continue
 			}
 			delta := curV/baseV - 1
@@ -68,6 +73,14 @@ func main() {
 				failed = true
 			}
 			fmt.Printf("%-32s %14.0f %14.0f %+8.1f%% %s\n", key, baseV, curV, delta*100, verdict)
+		}
+		for _, key := range throughputKeys(base) {
+			if seen[key] {
+				continue
+			}
+			// A baseline metric the current run no longer emits: a retired
+			// experiment, not a regression.
+			fmt.Printf("%-32s %14.0f %14s %9s\n", key, base[key].(float64), "(none)", "removed")
 		}
 		fmt.Println()
 	}

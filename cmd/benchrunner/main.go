@@ -66,9 +66,11 @@ type realtimeMetrics struct {
 var metrics realtimeMetrics
 
 // dataflowMetrics is the machine-readable summary of the out-of-core
-// dataflow experiment (E16), written as BENCH_dataflow.json. The spill
-// figures are the peak-RSS proxy: what the engine staged on disk instead
-// of holding in memory.
+// dataflow experiments (E16/E17), written as BENCH_dataflow.json. The
+// spill figures are the peak-RSS proxy: what the engine staged on disk
+// instead of holding in memory; the run/fan-in figures are the sort-merge
+// reduce-memory proxy. Zero-valued fields mean the experiment that
+// measures them was skipped via -only.
 type dataflowMetrics struct {
 	GeneratedAt             string  `json:"generated_at"`
 	Events                  int64   `json:"events"`
@@ -86,6 +88,19 @@ type dataflowMetrics struct {
 	ShuffleBytes            int64   `json:"shuffle_bytes"`
 	SessionGroups           int     `json:"session_groups"`
 	Identical               bool    `json:"identical"`
+
+	// E17: sort-merge reduce + external OrderBy at day scale.
+	E17Events                int64   `json:"e17_events"`
+	E17SpillRuns             int     `json:"e17_spill_runs"`
+	E17MergeRuns             int     `json:"e17_merge_runs"`
+	E17PeakRunFanIn          int     `json:"e17_peak_run_fan_in"`
+	E17RollupIdentical       bool    `json:"e17_rollup_identical"`
+	SessionizeEventsPerSec   float64 `json:"sessionize_events_per_sec"`
+	InMemSessionizePerSec    float64 `json:"inmem_sessionize_events_per_sec"`
+	OrderByEventsPerSec      float64 `json:"orderby_events_per_sec"`
+	OrderBySpilledBytes      int64   `json:"orderby_spilled_bytes"`
+	OrderedSessionsIdentical bool    `json:"ordered_sessions_identical"`
+	OrderBySortedAndComplete bool    `json:"orderby_sorted_and_complete"`
 
 	measured bool
 }
@@ -110,7 +125,7 @@ func main() {
 	benchJSON := flag.String("benchjson", "BENCH_realtime.json",
 		"write machine-readable realtime metrics (e14/e15) to this file; empty disables")
 	benchJSONDataflow := flag.String("benchjson-dataflow", "BENCH_dataflow.json",
-		"write machine-readable dataflow metrics (e16) to this file; empty disables")
+		"write machine-readable dataflow metrics (e16/e17) to this file; empty disables")
 	flag.Parse()
 
 	cfg := workload.DefaultConfig(day)
@@ -170,6 +185,7 @@ func main() {
 		{"e14", "realtime streaming counters: ingest, queries, lambda reconciliation (§6)", e14},
 		{"e15", "realtime durability: WAL ingest overhead, crash recovery of ~1M events", e15},
 		{"e16", "out-of-core dataflow: day-scale rollups under a spilling memory budget", e16},
+		{"e17", "sort-merge dataflow: streaming merge-reduce, ordered groups, external OrderBy", e17},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -838,18 +854,7 @@ func e16(e *env) {
 	cfg.Users = e.cfg.Users * 12
 	cfg.LoggedOutSessions = e.cfg.LoggedOutSessions * 12
 	cfg.Seed = e.cfg.Seed + 16
-	evs, truth := workload.New(cfg).Generate()
-	bigFS := hdfs.New(0)
-	w := warehouse.NewWriter(bigFS, events.Category)
-	w.RollRecords = 4000
-	for i := range evs {
-		if err := w.Append(&evs[i]); err != nil {
-			fatal(err)
-		}
-	}
-	if err := w.Close(); err != nil {
-		fatal(err)
-	}
+	bigFS, truth := synthesizeDay(cfg)
 	scale := float64(truth.Events) / float64(e.truth.Events)
 	fmt.Printf("  synthetic day: %d events (%.1fx the shared E-series corpus)\n", truth.Events, scale)
 	if scale < 10 {
@@ -968,6 +973,192 @@ func e16(e *env) {
 	dfMetrics.ShuffleBytes = bst.ShuffleBytes + bgs.ShuffleBytes
 	dfMetrics.SessionGroups = bg
 	dfMetrics.Identical = identical
+}
+
+// synthesizeDay streams a synthetic day straight into a fresh warehouse —
+// generator events flow into the writer one at a time, so day scale is no
+// longer bounded by a materialized []events.ClientEvent.
+func synthesizeDay(cfg workload.Config) (*hdfs.FS, *workload.Truth) {
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	w.RollRecords = 4000
+	truth, err := workload.New(cfg).GenerateTo(func(ev *events.ClientEvent) error {
+		return w.Append(ev)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	return fs, truth
+}
+
+func e17(e *env) {
+	// The sort-merge question: with the shuffle spilling *sorted runs* and
+	// the reduce side a streaming k-way merge, reduce memory is bounded by
+	// run fan-in instead of group count — while producing byte-identical
+	// relations. Three legs, all on a streamed synthetic day an order of
+	// magnitude past the shared corpus, all under a deliberately tiny
+	// budget: the §3.2 rollup table (vs the in-memory path), an
+	// ordered-group sessionization (GroupByOrdered delivers each session's
+	// events time-sorted, no reducer re-sort), and a day-scale external
+	// OrderBy that never materializes its input.
+	cfg := e.cfg
+	cfg.Users = e.cfg.Users * 12
+	cfg.LoggedOutSessions = e.cfg.LoggedOutSessions * 12
+	cfg.Seed = e.cfg.Seed + 17
+	bigFS, truth := synthesizeDay(cfg)
+	fmt.Printf("  synthetic day: %d events (%.1fx the shared corpus), streamed into the warehouse\n",
+		truth.Events, float64(truth.Events)/float64(e.truth.Events))
+
+	const budget = 32 << 10
+	spillDir, err := os.MkdirTemp("", "benchrunner-sortmerge-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(spillDir)
+	budgeted := func(name string) *dataflow.Job {
+		j := dataflow.NewJob(name, bigFS)
+		j.MemoryBudget = budget
+		j.SpillDir = spillDir
+		return j
+	}
+
+	// Leg 1: rollups under budget vs in memory — byte-identical tables.
+	bj := budgeted("rollups-sortmerge")
+	var bRoll map[analytics.RollupKey]int64
+	bt := timeIt(func() {
+		var err error
+		bRoll, err = analytics.Rollups(bj, day)
+		if err != nil {
+			fatal(err)
+		}
+	})
+	mj := dataflow.NewJob("rollups-inmem", bigFS)
+	var mRoll map[analytics.RollupKey]int64
+	mt := timeIt(func() {
+		var err error
+		mRoll, err = analytics.Rollups(mj, day)
+		if err != nil {
+			fatal(err)
+		}
+	})
+	rollIdentical := len(bRoll) == len(mRoll)
+	if rollIdentical {
+		for k, v := range mRoll {
+			if bRoll[k] != v {
+				rollIdentical = false
+				break
+			}
+		}
+	}
+	bst := bj.Stats()
+	fmt.Printf("  rollups: budgeted %v vs in-memory %v over %d rows; identical: %v\n",
+		bt.Round(time.Millisecond), mt.Round(time.Millisecond), len(bRoll), rollIdentical)
+	fmt.Printf("  reduce memory proxy: %d sorted runs spilled, %d run cursors merged, peak fan-in %d (one buffered tuple per run)\n",
+		bst.SpillRuns, bst.MergeRuns, bst.PeakRunFanIn)
+	if !rollIdentical {
+		fatal(fmt.Errorf("e17: sort-merge and in-memory rollups diverged"))
+	}
+	if bst.SpillRuns == 0 || bst.PeakRunFanIn < 2 {
+		fatal(fmt.Errorf("e17: budget did not force a multi-run merge (runs=%d fan-in=%d)", bst.SpillRuns, bst.PeakRunFanIn))
+	}
+
+	// Leg 2: ordered-group sessionization — the raw-log count with the
+	// shuffle's secondary sort, budgeted vs in-memory.
+	m, err := analytics.MatcherFromPattern("*:profile_click")
+	if err != nil {
+		fatal(err)
+	}
+	sj := budgeted("sessionize-sortmerge")
+	var bRep analytics.CountReport
+	sbt := timeIt(func() {
+		var err error
+		bRep, err = analytics.CountRawDay(sj, day, m)
+		if err != nil {
+			fatal(err)
+		}
+	})
+	smj := dataflow.NewJob("sessionize-inmem", bigFS)
+	var mRep analytics.CountReport
+	smt := timeIt(func() {
+		var err error
+		mRep, err = analytics.CountRawDay(smj, day, m)
+		if err != nil {
+			fatal(err)
+		}
+	})
+	fmt.Printf("  ordered sessionization: %d sessions, %d matching events; budgeted %v (%.0f events/s) vs in-memory %v; identical: %v\n",
+		bRep.TotalSessions, bRep.Events, sbt.Round(time.Millisecond),
+		float64(truth.Events)/sbt.Seconds(), smt.Round(time.Millisecond), bRep == mRep)
+	if bRep != mRep {
+		fatal(fmt.Errorf("e17: ordered-group sessionization diverged under budget"))
+	}
+	if sj.Stats().SpillRuns == 0 {
+		fatal(fmt.Errorf("e17: sessionization never spilled a sorted run"))
+	}
+
+	// Leg 3: external OrderBy over the day (projected first, §4.1) — the
+	// sort streams through sorted runs, never through Tuples().
+	oj := budgeted("orderby-sortmerge")
+	d, err := oj.LoadClientEventsDay(day)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := d.Project("timestamp", "name", "user_id")
+	if err != nil {
+		fatal(err)
+	}
+	var sorted *dataflow.Dataset
+	var rows int64
+	ordered := true
+	ot := timeIt(func() {
+		var err error
+		sorted, err = p.OrderBy("timestamp", true)
+		if err != nil {
+			fatal(err)
+		}
+		prev := int64(0)
+		if err := sorted.Each(func(t dataflow.Tuple) error {
+			ts := t[0].(int64)
+			if ts < prev {
+				ordered = false
+			}
+			prev = ts
+			rows++
+			return nil
+		}); err != nil {
+			fatal(err)
+		}
+	})
+	ost := oj.Stats()
+	if err := sorted.Close(); err != nil {
+		fatal(err)
+	}
+	complete := rows == truth.Events
+	fmt.Printf("  external OrderBy: %d rows in %v (%.0f events/s), %.1f MiB of sorted runs, fan-in %d; ordered: %v, complete: %v\n",
+		rows, ot.Round(time.Millisecond), float64(rows)/ot.Seconds(),
+		float64(ost.SpilledBytes)/(1<<20), ost.PeakRunFanIn, ordered, complete)
+	if !ordered || !complete {
+		fatal(fmt.Errorf("e17: external OrderBy produced a wrong relation (ordered=%v rows=%d want=%d)", ordered, rows, truth.Events))
+	}
+	if ost.SpilledRecords == 0 {
+		fatal(fmt.Errorf("e17: OrderBy under budget never spilled — not an external sort"))
+	}
+
+	dfMetrics.measured = true
+	dfMetrics.E17Events = truth.Events
+	dfMetrics.E17SpillRuns = bst.SpillRuns
+	dfMetrics.E17MergeRuns = bst.MergeRuns
+	dfMetrics.E17PeakRunFanIn = bst.PeakRunFanIn
+	dfMetrics.E17RollupIdentical = rollIdentical
+	dfMetrics.SessionizeEventsPerSec = float64(truth.Events) / sbt.Seconds()
+	dfMetrics.InMemSessionizePerSec = float64(truth.Events) / smt.Seconds()
+	dfMetrics.OrderByEventsPerSec = float64(rows) / ot.Seconds()
+	dfMetrics.OrderBySpilledBytes = ost.SpilledBytes
+	dfMetrics.OrderedSessionsIdentical = bRep == mRep
+	dfMetrics.OrderBySortedAndComplete = ordered && complete
 }
 
 type memBuf struct{ data []byte }

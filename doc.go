@@ -12,19 +12,28 @@
 // collocations) — over a deterministic synthetic workload with planted
 // ground truth.
 //
-// The dataflow engine executes out-of-core, the way the MapReduce jobs it
-// models do: datasets are lazy pull-based iterator pipelines (scans buffer
-// one split at a time; Filter/Project/ForEach/FlatMap stream), and the
-// pipeline breakers — GroupBy, GroupAll, Join, Distinct — are external
-// operators that hash-partition their input and spill partitions to
-// CRC-framed spill files once dataflow.Job.MemoryBudget is exceeded,
-// merging one partition at a time so peak memory is bounded by the
-// largest partition rather than the day. A zero budget keeps everything
-// in memory (the default); either path produces identical relations,
-// asserted by property tests and by benchrunner E16, which rolls up a
-// synthetic day >= 10x the shared corpus under a 32 KiB budget. The §3.2
-// rollup job runs map-combine-reduce: a map-side combiner pre-aggregates
-// the five rollup rows per event so only distinct partial counts shuffle.
+// The dataflow engine executes out-of-core with a sort-merge shuffle, the
+// way the MapReduce jobs it models do: datasets are lazy pull-based
+// iterator pipelines (scans buffer one split at a time;
+// Filter/Project/ForEach/FlatMap stream), and the pipeline breakers —
+// GroupBy, GroupAll, Join, Distinct, OrderBy — are external operators that
+// hash-partition their input and, once dataflow.Job.MemoryBudget is
+// exceeded, sort each overflowing buffer on (rendered key, optional order
+// column, insertion sequence) and spill it as a sorted run in a CRC-framed
+// spill file. The reduce side is a streaming k-way merge over the runs:
+// groups arrive in global key order with their tuples pre-ordered
+// (GroupByOrdered's secondary sort is what lets sessionization and funnel
+// walks consume each group without re-sorting it), joins advance two
+// ordered streams in lockstep, and OrderBy is a true external merge sort —
+// so peak reduce memory is the run fan-in (one buffered tuple per run),
+// never the group count. A zero budget keeps everything in memory (the
+// default); either path produces identical relations in identical order,
+// asserted by property tests and by benchrunner E16/E17, which roll up,
+// sessionize, and sort a synthetic day >= 10x the shared corpus — streamed
+// straight from the workload generator into the warehouse writer — under a
+// 32 KiB budget. The §3.2 rollup job runs map-combine-reduce: a map-side
+// combiner pre-aggregates the five rollup rows per event so only distinct
+// partial counts shuffle.
 //
 // Beyond the paper's batch pipeline, internal/realtime adds the §6
 // "real-time processing" direction as a Rainbird-style streaming counter

@@ -17,7 +17,6 @@ package analytics
 
 import (
 	"regexp"
-	"sort"
 	"time"
 
 	"unilog/internal/dataflow"
@@ -127,6 +126,9 @@ func CountSequencesDay(j *dataflow.Job, day time.Time, dict *session.Dictionary,
 
 // CountRawDay answers the same query from the raw client event logs: a full
 // scan, then the reduce-side re-sessionization the paper wants to avoid.
+// The group-by uses the shuffle's secondary sort (GroupByOrdered), so each
+// group streams past already in timestamp order — the reducer never
+// re-sorts it.
 func CountRawDay(j *dataflow.Job, day time.Time, m Matcher) (CountReport, error) {
 	var rep CountReport
 	d, err := j.LoadClientEventsDay(day)
@@ -138,7 +140,7 @@ func CountRawDay(j *dataflow.Job, day time.Time, m Matcher) (CountReport, error)
 	if err != nil {
 		return rep, err
 	}
-	g, err := p.GroupBy("user_id", "session_id")
+	g, err := p.GroupByOrdered("timestamp", "user_id", "session_id")
 	if err != nil {
 		return rep, err
 	}
@@ -146,8 +148,7 @@ func CountRawDay(j *dataflow.Job, day time.Time, m Matcher) (CountReport, error)
 	nameIdx := 2
 	tsIdx := 3
 	gapMs := session.InactivityGap.Milliseconds()
-	_, err = g.ForEachGroup(dataflow.Schema{"n"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
-		sort.Slice(group, func(a, b int) bool { return group[a][tsIdx].(int64) < group[b][tsIdx].(int64) })
+	err = g.EachGroup(func(key dataflow.Tuple, group []dataflow.Tuple) error {
 		segMatches := int64(0)
 		for i, t := range group {
 			if i > 0 && t[tsIdx].(int64)-group[i-1][tsIdx].(int64) > gapMs {

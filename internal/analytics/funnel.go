@@ -190,14 +190,15 @@ func FunnelRawDay(j *dataflow.Job, day time.Time, stageMatch []Matcher) (Report,
 	if err != nil {
 		return rep, err
 	}
-	g, err := p.GroupBy("user_id", "session_id")
+	// Secondary sort on the shuffle: each group arrives in timestamp order,
+	// so the funnel walk streams it without a per-group re-sort.
+	g, err := p.GroupByOrdered("timestamp", "user_id", "session_id")
 	if err != nil {
 		return rep, err
 	}
 	defer g.Close()
 	gapMs := session.InactivityGap.Milliseconds()
-	_, err = g.ForEachGroup(dataflow.Schema{"x"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
-		sort.Slice(group, func(a, b int) bool { return group[a][3].(int64) < group[b][3].(int64) })
+	err = g.EachGroup(func(key dataflow.Tuple, group []dataflow.Tuple) error {
 		stage := 0
 		flush := func() {
 			rep.Observe(stage)

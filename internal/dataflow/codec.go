@@ -97,9 +97,26 @@ func appendValue(buf []byte, v Value) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeTuple parses one spill record back into a tuple.
+// appendRunRec appends the wire form of one sorted-run record: the
+// rendered group key and insertion sequence the merge orders by, then the
+// tuple. Prefixing the key means the reduce-side merge compares bytes
+// without re-rendering key columns per comparison.
+func appendRunRec(buf, key []byte, seq uint64, t Tuple) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, seq)
+	return appendTuple(buf, t)
+}
+
+// decodeTuple parses one whole record as a tuple (tests and tooling; the
+// merge path goes through decodeTupleFrom after the run header).
 func decodeTuple(rec []byte) (Tuple, error) {
-	c := recordio.NewCursor(rec)
+	return decodeTupleFrom(recordio.NewCursor(rec))
+}
+
+// decodeTupleFrom parses a tuple from the cursor's remaining bytes, which
+// it must consume exactly.
+func decodeTupleFrom(c *recordio.Cursor) (Tuple, error) {
 	n := c.Count("tuple arity")
 	t := make(Tuple, 0, n)
 	for i := 0; i < n && c.Ok(); i++ {

@@ -22,14 +22,20 @@
 //     Filter, Project, ForEach, FlatMap, and Limit compose pull-based
 //     Iterators (Volcano-style) and hold no tuples of their own; a scan
 //     buffers one split at a time — exactly a map task's working set.
-//   - GroupBy, GroupAll, Join, and Distinct are the pipeline breakers, and
-//     they are external operators: input tuples are hash-partitioned on
-//     the key, buffered per partition, and spilled to CRC-framed spill
-//     files (see spill.go) once the buffered bytes exceed Job.MemoryBudget.
-//     The reduce side then merges one partition at a time, so peak memory
-//     is bounded by the largest partition, not the dataset. A zero or
-//     negative budget disables spilling — the original fully-in-memory
-//     path, still the default.
+//   - GroupBy, GroupAll, Join, Distinct, and OrderBy are the pipeline
+//     breakers, and they are external operators with a *sort-merge*
+//     shuffle, like the Hadoop jobs they model: input tuples are
+//     hash-partitioned on the key, buffered per partition, and — once the
+//     buffered bytes exceed Job.MemoryBudget — sorted on (rendered key,
+//     optional order column, insertion sequence) and spilled to CRC-framed
+//     spill files as sorted runs (spill.go). The reduce side is a
+//     streaming k-way merge over the runs (merge.go): groups arrive in
+//     global key order with ordered tuples inside, reducers fold each
+//     group as it streams by without any per-group hash map, and OrderBy
+//     is a true external merge sort over the same runs. Peak reduce memory
+//     is the run fan-in — one buffered tuple per run — not the group
+//     count. A zero or negative budget disables spilling (the in-memory
+//     fast path, still the default), with identical output order.
 //   - Terminal operations (Each, Tuples, Count, and the reduce-side calls
 //     on Grouped) drive the pipeline. Every execution is metered: re-running
 //     a pipeline really is another job, and the stats say so.
@@ -102,7 +108,10 @@ type Stats struct {
 	SpilledRecords    int64 // tuples written to spill files
 	SpilledPartitions int   // partitions that overflowed to disk (one spill file each)
 	SpillFlushes      int   // buffer-to-disk flush waves across all partitions
-	MergePasses       int   // partition-at-a-time reduce passes executed
+	SpillRuns         int   // sorted runs written across all spill files
+	MergePasses       int   // streaming merge-reduce passes executed
+	MergeRuns         int   // run cursors (spilled runs + sorted residues) consumed by merges
+	PeakRunFanIn      int   // widest single k-way merge: peak reduce memory is one buffered tuple per run at this width
 }
 
 // ClusterSeconds estimates cluster occupancy from task startup overheads —
@@ -118,9 +127,10 @@ type Job struct {
 	FS   *hdfs.FS
 
 	// MemoryBudget bounds the tuple bytes an external operator (GroupBy,
-	// GroupAll, Join, Distinct) may buffer before hash partitions start
-	// spilling to disk. <= 0 (the default) disables spilling: everything
-	// stays in memory, as the engine behaved before it went out-of-core.
+	// GroupAll, Join, Distinct, OrderBy) may buffer before hash partitions
+	// start spilling sorted runs to disk. <= 0 (the default) disables
+	// spilling: everything stays in memory, as the engine behaved before
+	// it went out-of-core.
 	MemoryBudget int64
 	// SpillDir is where spill files are created; empty means os.TempDir().
 	SpillDir string

@@ -1,0 +1,306 @@
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"unilog/internal/recordio"
+)
+
+// The reduce side of every external operator is a streaming k-way merge
+// over a spill table's sorted runs: each run contributes one cursor
+// holding its current (key, sequence, tuple) record, and a binary min-heap
+// orders the cursors by (key, order column, sequence) — the same order the
+// runs were written in — so the merged stream is globally ordered and a
+// reducer detects group boundaries by comparing adjacent keys. Peak merge
+// memory is the heap plus one buffered record per run (the run fan-in,
+// tracked in Stats.PeakRunFanIn); nothing scales with the number of
+// groups. A corrupted or short run surfaces recordio.ErrCorrupt /
+// ErrTruncated from the merge instead of a silently incomplete relation.
+
+// runCursor is one sorted run being merged: a spilled run (fileRun) or a
+// partition's sorted in-memory residue (memRun). advance loads the next
+// record, returning io.EOF at the end of the run; key/seq/tuple read the
+// current record and are valid until the next advance.
+type runCursor interface {
+	advance() error
+	key() []byte
+	seq() uint64
+	tuple() Tuple
+}
+
+// fileRun streams one sorted run out of a partition's spill file through
+// an io.SectionReader, so every run of a file shares a single descriptor.
+// The run's record count is checked at EOF: a truncated file makes a
+// section read clean but short, which must surface as ErrTruncated, not as
+// a quietly smaller relation.
+type fileRun struct {
+	path      string
+	r         *recordio.CRCReader
+	remaining int64
+	curKey    []byte
+	curSeq    uint64
+	curT      Tuple
+}
+
+func (c *fileRun) advance() error {
+	rec, err := c.r.Next()
+	if err == io.EOF {
+		if c.remaining != 0 {
+			return fmt.Errorf("dataflow: spill file %s: %d records missing from run: %w",
+				c.path, c.remaining, recordio.ErrTruncated)
+		}
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("dataflow: spill file %s: %w", c.path, err)
+	}
+	cur := recordio.NewCursor(rec)
+	k := cur.Bytes("run key")
+	seq := cur.Uvarint("run sequence")
+	t, err := decodeTupleFrom(cur)
+	if err != nil {
+		return fmt.Errorf("%s: %w", c.path, err)
+	}
+	// The key aliases the reader's reused record buffer; copy it into the
+	// cursor's own buffer so it stays valid while the record sits in the
+	// merge heap.
+	c.curKey = append(c.curKey[:0], k...)
+	c.curSeq = seq
+	c.curT = t
+	c.remaining--
+	return nil
+}
+
+func (c *fileRun) key() []byte  { return c.curKey }
+func (c *fileRun) seq() uint64  { return c.curSeq }
+func (c *fileRun) tuple() Tuple { return c.curT }
+
+// memRun cursors a partition's sorted in-memory residue.
+type memRun struct {
+	p *spillPart
+	i int
+}
+
+func (c *memRun) advance() error {
+	c.i++
+	if c.i >= len(c.p.mem) {
+		return io.EOF
+	}
+	return nil
+}
+
+func (c *memRun) key() []byte  { return c.p.key(&c.p.mem[c.i]) }
+func (c *memRun) seq() uint64  { return c.p.mem[c.i].seq }
+func (c *memRun) tuple() Tuple { return c.p.mem[c.i].t }
+
+// mergeAll opens one streaming merge over every run of every partition.
+// Hash partitions hold disjoint key sets, so merging all runs at once
+// yields the global (key, order, sequence) order directly — there is no
+// per-partition pass and no output re-sort. The caller owns Close; the
+// table can be merged repeatedly until it is closed.
+func (st *spillTable) mergeAll() (*mergeIter, error) {
+	if st.closed {
+		return nil, errSpillClosed
+	}
+	m := &mergeIter{st: st}
+	for pi := range st.parts {
+		p := &st.parts[pi]
+		if len(p.runs) > 0 {
+			f, err := os.Open(p.path)
+			if err != nil {
+				m.Close()
+				return nil, fmt.Errorf("dataflow: reopen spill file: %w", err)
+			}
+			m.files = append(m.files, f)
+			for _, r := range p.runs {
+				sec := io.NewSectionReader(f, r.off, r.len)
+				m.h = append(m.h, &fileRun{path: p.path, r: recordio.NewCRCReader(sec), remaining: r.records})
+			}
+		}
+		if len(p.mem) > 0 {
+			m.h = append(m.h, &memRun{p: p, i: -1})
+		}
+	}
+	fanIn := len(m.h)
+	st.job.stats.MergeRuns += fanIn
+	if fanIn > st.job.stats.PeakRunFanIn {
+		st.job.stats.PeakRunFanIn = fanIn
+	}
+	// Prime every cursor, dropping the (theoretical) empty ones, then order
+	// the heap.
+	kept := m.h[:0]
+	for _, c := range m.h {
+		switch err := c.advance(); {
+		case err == io.EOF:
+		case err != nil:
+			m.Close()
+			return nil, err
+		default:
+			kept = append(kept, c)
+		}
+	}
+	m.h = kept
+	for i := len(m.h)/2 - 1; i >= 0; i-- {
+		m.down(i)
+	}
+	return m, nil
+}
+
+// mergeIter is the k-way merge: a min-heap of run cursors. The root's
+// record is handed out and the root advanced lazily on the next call, so a
+// returned key stays valid until next is called again. Errors are sticky —
+// a failed run cannot be skipped into a silently partial relation.
+type mergeIter struct {
+	st      *spillTable
+	h       []runCursor
+	files   []*os.File
+	pending bool // the root's record has been handed out; advance before the next pop
+	err     error
+}
+
+// next returns the next record in global order, io.EOF after the last. The
+// key is valid until the following call; the tuple is the caller's.
+func (m *mergeIter) next() ([]byte, Tuple, error) {
+	if m.err != nil {
+		return nil, nil, m.err
+	}
+	if m.pending {
+		m.pending = false
+		switch err := m.h[0].advance(); {
+		case err == io.EOF:
+			n := len(m.h) - 1
+			m.h[0] = m.h[n]
+			m.h[n] = nil
+			m.h = m.h[:n]
+			if len(m.h) > 0 {
+				m.down(0)
+			}
+		case err != nil:
+			m.err = err
+			return nil, nil, err
+		default:
+			m.down(0)
+		}
+	}
+	if len(m.h) == 0 {
+		return nil, nil, io.EOF
+	}
+	m.pending = true
+	c := m.h[0]
+	return c.key(), c.tuple(), nil
+}
+
+// less orders two cursors by (key, order column, sequence) — identical to
+// the run sort in spill.go, so the merge preserves it globally.
+func (m *mergeIter) less(i, j int) bool {
+	a, b := m.h[i], m.h[j]
+	if c := bytes.Compare(a.key(), b.key()); c != 0 {
+		return c < 0
+	}
+	if m.st.order.col >= 0 {
+		if c := compareValues(a.tuple()[m.st.order.col], b.tuple()[m.st.order.col]); c != 0 {
+			if m.st.order.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return a.seq() < b.seq()
+}
+
+func (m *mergeIter) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(m.h) && m.less(l, s) {
+			s = l
+		}
+		if r < len(m.h) && m.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		m.h[i], m.h[s] = m.h[s], m.h[i]
+		i = s
+	}
+}
+
+// Close releases the merge's open spill-file handles (one per partition;
+// the files themselves belong to the spill table). Safe to call more than
+// once, including mid-merge abandonment.
+func (m *mergeIter) Close() error {
+	var err error
+	for _, f := range m.files {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	m.files = nil
+	m.h = nil
+	return err
+}
+
+// compareValues orders two column values the way OrderBy always has:
+// integer kinds compare exactly, any numeric pair compares as float64, and
+// everything else by its %v rendering — with numerics before non-numerics
+// so mixed-type columns still have one total order shared by the external
+// merge sort and the in-memory fast path.
+func compareValues(a, b Value) int {
+	aInt, aNum := numericKind(a)
+	bInt, bNum := numericKind(b)
+	switch {
+	case aNum && bNum:
+		if aInt && bInt {
+			ai, bi := toI(a), toI(b)
+			switch {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			}
+			return 0
+		}
+		af, bf := toF(a), toF(b)
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	case aNum:
+		return -1
+	case bNum:
+		return 1
+	}
+	if as, ok := a.(string); ok {
+		if bs, ok := b.(string); ok {
+			return strings.Compare(as, bs)
+		}
+	}
+	return bytes.Compare(renderValue(a), renderValue(b))
+}
+
+// numericKind reports whether v is an integer kind and whether it is
+// numeric at all.
+func numericKind(v Value) (isInt, isNum bool) {
+	switch v.(type) {
+	case int64, int32, int:
+		return true, true
+	case float64:
+		return false, true
+	}
+	return false, false
+}
+
+func renderValue(v Value) []byte {
+	if s, ok := v.(string); ok {
+		return []byte(s)
+	}
+	return fmt.Appendf(nil, "%v", v)
+}

@@ -250,13 +250,13 @@ func appendKeyValue(dst []byte, v Value) []byte {
 	}
 }
 
-// Grouped is the result of a GroupBy: hash-partitioned (possibly spilled)
-// tuples awaiting reduce-side passes. Groups are merged one partition at a
-// time; within each partition groups are visited in ascending key order,
-// and every emitted relation is globally key-ordered, preserving the
-// ordering semantics of the in-memory engine. A Grouped supports multiple
-// reduce passes (NumGroups, then Aggregate, say); Close releases its spill
-// files.
+// Grouped is the result of a GroupBy: sorted spill runs awaiting
+// reduce-side merge passes. Every reduce pass is a streaming k-way merge
+// (merge.go): groups arrive in ascending key order — globally, for free,
+// because the runs are sorted — and within each group tuples arrive in
+// input order (GroupBy) or ordered by the requested column
+// (GroupByOrdered). A Grouped supports multiple reduce passes (NumGroups,
+// then Aggregate, say); Close releases its spill files.
 type Grouped struct {
 	job     *Job
 	schema  Schema
@@ -270,8 +270,25 @@ type Grouped struct {
 // GroupBy shuffles the dataset by the named key columns — the reduce-side
 // step the paper's session reconstruction pays on every raw-log query
 // ("essentially, a large group-by across potentially terabytes of data").
-// The input is consumed here; partitions spill under Job.MemoryBudget.
+// The input is consumed here; partitions spill sorted runs under
+// Job.MemoryBudget. Each group's tuples are delivered in input order.
 func (d *Dataset) GroupBy(keyCols ...string) (*Grouped, error) {
+	return d.groupBy(noSort, keyCols)
+}
+
+// GroupByOrdered is GroupBy with a secondary sort: each group's tuples are
+// delivered ordered ascending by orderCol (ties in input order) — the
+// sort-merge shuffle's "secondary sort" idiom that lets sessionization and
+// funnel walks consume each group without re-sorting it.
+func (d *Dataset) GroupByOrdered(orderCol string, keyCols ...string) (*Grouped, error) {
+	oi, err := d.schema.Index(orderCol)
+	if err != nil {
+		return nil, err
+	}
+	return d.groupBy(sortSpec{col: oi}, keyCols)
+}
+
+func (d *Dataset) groupBy(order sortSpec, keyCols []string) (*Grouped, error) {
 	idx := make([]int, len(keyCols))
 	for i, c := range keyCols {
 		j, err := d.schema.Index(c)
@@ -280,7 +297,7 @@ func (d *Dataset) GroupBy(keyCols ...string) (*Grouped, error) {
 		}
 		idx[i] = j
 	}
-	st := newSpillTable(d.job, idx, 0)
+	st := newSpillTable(d.job, idx, order, 0)
 	if err := st.fill(d); err != nil {
 		return nil, err
 	}
@@ -292,7 +309,7 @@ func (d *Dataset) GroupBy(keyCols ...string) (*Grouped, error) {
 // the idiom that ends the paper's counting scripts. The single group still
 // spills under the memory budget; an empty input still has its one group.
 func (d *Dataset) GroupAll() (*Grouped, error) {
-	st := newSpillTable(d.job, nil, 1)
+	st := newSpillTable(d.job, nil, noSort, 1)
 	if err := st.fill(d); err != nil {
 		return nil, err
 	}
@@ -313,64 +330,59 @@ func (g *Grouped) setGroups(n int) {
 	g.job.stats.ReduceTasks += reducersFor(n) - 1
 }
 
-// Close removes the spill files backing the partitions. The Grouped cannot
-// be reduced again afterwards.
+// Close removes the spill files backing the sorted runs. The Grouped
+// cannot be reduced again afterwards.
 func (g *Grouped) Close() error { return g.st.Close() }
 
-// mergePass drives one partition-at-a-time reduce pass: within each
-// partition, tuples fold into one state per rendered group key (allocated
-// on first sight), and the partition's groups are then emitted in
-// ascending key order. It returns the number of distinct groups across
-// all partitions. Peak memory is one partition's states — this loop is
-// the shared skeleton under NumGroups, ForEachGroup, and Aggregate.
-func mergePass[S any](g *Grouped, newState func(first Tuple) S, fold func(S, Tuple) S, emit func(key string, s S)) (int, error) {
+// mergePass drives one streaming merge-reduce: the sorted runs of every
+// partition merge into one globally ordered stream, each tuple folds into
+// the current group's state, and a key change emits the finished group.
+// There is no per-group index map and no output re-sort — peak memory is
+// the merge fan-in (one buffered tuple per run) plus one group state. It
+// returns the number of distinct groups; this loop is the shared skeleton
+// under NumGroups, EachGroup, and Aggregate.
+func mergePass[S any](g *Grouped, newState func(first Tuple) S, fold func(S, Tuple) S, emit func(s S) error) (int, error) {
 	g.job.stats.MergePasses++
-	total := 0
-	var scratch []byte
-	type entry struct {
-		key string
-		s   S
+	m, err := g.st.mergeAll()
+	if err != nil {
+		return 0, err
 	}
-	for pi := 0; pi < g.st.numParts(); pi++ {
-		it, err := g.st.partIter(pi)
+	defer m.Close()
+	total := 0
+	var curKey []byte
+	var state S
+	open := false
+	for {
+		key, t, err := m.next()
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
 			return 0, err
 		}
-		index := make(map[string]int)
-		var entries []entry
-		for {
-			t, err := it.Next()
-			if err == io.EOF {
-				break
+		if !open || !bytes.Equal(key, curKey) {
+			if open && emit != nil {
+				if err := emit(state); err != nil {
+					return 0, err
+				}
 			}
-			if err != nil {
-				it.Close()
-				return 0, err
-			}
-			scratch = appendKey(scratch[:0], t, g.keyIdx)
-			ei, ok := index[string(scratch)]
-			if !ok {
-				ei = len(entries)
-				k := string(scratch)
-				index[k] = ei
-				entries = append(entries, entry{key: k, s: newState(t)})
-			}
-			entries[ei].s = fold(entries[ei].s, t)
+			curKey = append(curKey[:0], key...)
+			state = newState(t)
+			open = true
+			total++
 		}
-		it.Close()
-		total += len(entries)
-		if emit != nil {
-			sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
-			for _, e := range entries {
-				emit(e.key, e.s)
-			}
+		state = fold(state, t)
+	}
+	if open && emit != nil {
+		if err := emit(state); err != nil {
+			return 0, err
 		}
 	}
 	return total, nil
 }
 
 // NumGroups returns the number of distinct keys, counting them with a
-// bounded partition-at-a-time pass if no reduce has run yet.
+// streaming merge if no reduce has run yet; nothing is buffered per group.
 func (g *Grouped) NumGroups() (int, error) {
 	if g.groups >= 0 {
 		return g.groups, nil
@@ -389,56 +401,54 @@ func (g *Grouped) NumGroups() (int, error) {
 	return total, nil
 }
 
-// keyedRow carries an output row with its rendered group key so partition
-// outputs can be merged into global key order.
-type keyedRow struct {
-	key string
-	row Tuple
-}
-
-func sortKeyed(rows []keyedRow) []Tuple {
-	sort.SliceStable(rows, func(a, b int) bool { return rows[a].key < rows[b].key })
-	out := make([]Tuple, len(rows))
-	for i, r := range rows {
-		out[i] = r.row
-	}
-	return out
-}
-
-// ForEachGroup reduces each group to one tuple. The emitted schema is the
-// key columns followed by outCols. Partitions are merged one at a time, so
-// peak memory is one partition's tuples; fn sees each group's tuples in
-// input order, groups in ascending key order per partition, and the
-// resulting relation is globally key-ordered.
-func (g *Grouped) ForEachGroup(outCols Schema, fn func(key Tuple, group []Tuple) Tuple) (*Dataset, error) {
-	schema := append(append(Schema(nil), g.keyCols...), outCols...)
-	var rows []keyedRow
+// EachGroup streams every group through fn: groups in ascending key order,
+// each group's tuples in its delivery order (input order, or the
+// GroupByOrdered column). Only one group is materialized at a time, so a
+// raw-log sessionization walks a spilled day in group-sized memory. A fn
+// error aborts the merge.
+func (g *Grouped) EachGroup(fn func(key Tuple, group []Tuple) error) error {
 	total, err := mergePass(g,
 		func(Tuple) []Tuple { return nil },
 		func(group []Tuple, t Tuple) []Tuple { return append(group, t) },
-		func(key string, group []Tuple) {
+		func(group []Tuple) error {
 			keyVals := make(Tuple, len(g.keyIdx))
 			for i, idx := range g.keyIdx {
 				keyVals[i] = group[0][idx]
 			}
-			if res := fn(keyVals, group); res != nil {
-				rows = append(rows, keyedRow{key, append(append(Tuple(nil), keyVals...), res...)})
-			}
+			return fn(keyVals, group)
 		})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if g.all && total == 0 {
-		// GROUP ALL of an empty relation still reduces its single group.
+		// GROUP ALL of an empty relation still visits its single group.
 		total = 1
-		if res := fn(Tuple{}, nil); res != nil {
-			rows = append(rows, keyedRow{"", append(Tuple(nil), res...)})
+		if err := fn(Tuple{}, nil); err != nil {
+			return err
 		}
 	}
 	g.setGroups(total)
-	out := sortKeyed(rows)
-	g.job.stats.OutputRecords += int64(len(out))
-	return NewDataset(g.job, schema, out), nil
+	return nil
+}
+
+// ForEachGroup reduces each group to one tuple. The emitted schema is the
+// key columns followed by outCols; the relation arrives already in global
+// key order off the merge. fn sees each group's tuples in delivery order
+// (input order, or the GroupByOrdered column).
+func (g *Grouped) ForEachGroup(outCols Schema, fn func(key Tuple, group []Tuple) Tuple) (*Dataset, error) {
+	schema := append(append(Schema(nil), g.keyCols...), outCols...)
+	var rows []Tuple
+	err := g.EachGroup(func(key Tuple, group []Tuple) error {
+		if res := fn(key, group); res != nil {
+			rows = append(rows, append(append(Tuple(nil), key...), res...))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.job.stats.OutputRecords += int64(len(rows))
+	return NewDataset(g.job, schema, rows), nil
 }
 
 // Agg is one aggregate computed per group.
@@ -509,7 +519,7 @@ func toI(v Value) int64 {
 
 // aggCell is the incremental state of one aggregate over one group. The
 // fold never materializes the group's tuples, so the reduce side of an
-// Aggregate holds per-key state, not per-tuple state.
+// Aggregate holds one group's cells at a time, not the group's tuples.
 type aggCell struct {
 	count    int64
 	isum     int64
@@ -570,9 +580,10 @@ func (c *aggCell) final(kind AggKind) Value {
 }
 
 // Aggregate computes the given aggregates for every group with a streaming
-// fold: each partition is scanned once and only per-group aggregate cells
-// are held, so even a spilled GROUP ALL aggregates in constant memory (per
-// distinct value for CountDistinct).
+// merge-fold: the sorted runs stream by once and only the *current*
+// group's aggregate cells are live (per distinct value for CountDistinct),
+// so even a spilled GROUP ALL aggregates in fan-in-bounded memory. Output
+// rows arrive in global key order.
 func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 	idx := make([]int, len(aggs))
 	outCols := make(Schema, len(aggs))
@@ -594,7 +605,7 @@ func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 		keyVals Tuple
 		cells   []aggCell
 	}
-	var rows []keyedRow
+	var rows []Tuple
 	var vscratch []byte
 	total, err := mergePass(g,
 		func(t Tuple) *groupState {
@@ -614,12 +625,13 @@ func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 			}
 			return st
 		},
-		func(key string, st *groupState) {
+		func(st *groupState) error {
 			row := append(Tuple(nil), st.keyVals...)
 			for ai, a := range aggs {
 				row = append(row, st.cells[ai].final(a.Kind))
 			}
-			rows = append(rows, keyedRow{key, row})
+			rows = append(rows, row)
+			return nil
 		})
 	if err != nil {
 		return nil, err
@@ -633,21 +645,21 @@ func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 		for _, a := range aggs {
 			row = append(row, zero.final(a.Kind))
 		}
-		rows = append(rows, keyedRow{"", row})
+		rows = append(rows, row)
 	}
 	g.setGroups(total)
-	out := sortKeyed(rows)
-	g.job.stats.OutputRecords += int64(len(out))
-	return NewDataset(g.job, schema, out), nil
+	g.job.stats.OutputRecords += int64(len(rows))
+	return NewDataset(g.job, schema, rows), nil
 }
 
-// Join hash-joins two datasets on equality of leftCol and rightCol; both
-// sides shuffle into aligned hash partitions (a Grace join), spilling
-// under Job.MemoryBudget. The merge runs lazily, one partition pair at a
-// time: the right partition is loaded into a hash table, the left streams
-// past it — peak memory is one right partition. Output schema is the left
-// schema followed by the right schema with joined-column collisions
-// suffixed "_r". Close the returned dataset to release the spill files.
+// Join sort-merge-joins two datasets on equality of leftCol and rightCol:
+// both sides shuffle into sorted spill runs under Job.MemoryBudget, and
+// the merge advances the two ordered streams in lockstep — buffering only
+// the right tuples of the *current* key, never a whole partition's hash
+// table. Output schema is the left schema followed by the right schema
+// with joined-column collisions suffixed "_r"; rows arrive in key order,
+// left-input order within a key. Close the returned dataset to release the
+// spill files.
 func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, error) {
 	li, err := d.schema.Index(leftCol)
 	if err != nil {
@@ -657,11 +669,11 @@ func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, erro
 	if err != nil {
 		return nil, err
 	}
-	lt := newSpillTable(d.job, []int{li}, 0)
+	lt := newSpillTable(d.job, []int{li}, noSort, 0)
 	if err := lt.fill(d); err != nil {
 		return nil, err
 	}
-	rt := newSpillTable(d.job, []int{ri}, lt.numParts())
+	rt := newSpillTable(d.job, []int{ri}, noSort, lt.numParts())
 	if err := rt.fill(other); err != nil {
 		lt.Close()
 		return nil, err
@@ -677,22 +689,29 @@ func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, erro
 			schema = append(schema, c)
 		}
 	}
-	js := &joinState{job: d.job, lt: lt, rt: rt, lidx: []int{li}, ridx: []int{ri}}
+	js := &joinState{job: d.job, lt: lt, rt: rt}
 	return &Dataset{job: d.job, schema: schema, open: js.open, cleanup: js.close}, nil
 }
 
-// joinState is the partitioned both-sides shuffle behind a Join output;
-// every iteration of the output dataset merges it again.
+// joinState is the sorted both-sides shuffle behind a Join output; every
+// iteration of the output dataset merges it again.
 type joinState struct {
-	job        *Job
-	lt, rt     *spillTable
-	lidx, ridx []int
-	charged    bool
+	job    *Job
+	lt, rt *spillTable
 }
 
 func (s *joinState) open() (Iterator, error) {
 	s.job.stats.MergePasses++
-	return &joinIter{s: s}, nil
+	lm, err := s.lt.mergeAll()
+	if err != nil {
+		return nil, err
+	}
+	rm, err := s.rt.mergeAll()
+	if err != nil {
+		lm.Close()
+		return nil, err
+	}
+	return &joinIter{s: s, lm: lm, rm: rm}, nil
 }
 
 func (s *joinState) close() error {
@@ -703,17 +722,30 @@ func (s *joinState) close() error {
 	return err
 }
 
+// joinIter merges the two key-ordered streams. The right stream holds a
+// one-record lookahead; matches is the right group of the current left
+// key, reused key over key.
 type joinIter struct {
-	s             *joinState
-	part          int
-	lit           Iterator // current left partition cursor
-	right         map[string][]Tuple
-	cur           Tuple
-	matches       []Tuple
-	mi            int
+	s      *joinState
+	lm, rm *mergeIter
+
+	cur     Tuple // current left tuple
+	matches []Tuple
+	mi      int
+	matched []byte // key of the buffered matches
+	haveKey bool
+
+	rKey  []byte // right lookahead
+	rTup  Tuple
+	rOK   bool
+	rDone bool
+
+	rSeen         bool
+	rLast         []byte // last right key, for the distinct count
 	distinctRight int
-	scratch       []byte
-	err           error // sticky: a failed partition cannot be skipped
+	charged       bool
+
+	err error // sticky: a failed side cannot be skipped
 }
 
 func (it *joinIter) Next() (Tuple, error) {
@@ -728,7 +760,6 @@ func (it *joinIter) Next() (Tuple, error) {
 }
 
 func (it *joinIter) next() (Tuple, error) {
-	s := it.s
 	for {
 		if it.mi < len(it.matches) {
 			rt := it.matches[it.mi]
@@ -736,190 +767,244 @@ func (it *joinIter) next() (Tuple, error) {
 			nt := make(Tuple, 0, len(it.cur)+len(rt))
 			nt = append(nt, it.cur...)
 			nt = append(nt, rt...)
-			s.job.stats.OutputRecords++
+			it.s.job.stats.OutputRecords++
 			return nt, nil
 		}
-		if it.lit != nil {
-			t, err := it.lit.Next()
-			if err == io.EOF {
-				it.lit.Close()
-				it.lit = nil
-				continue
-			}
-			if err != nil {
+		lkey, lt, err := it.lm.next()
+		if err == io.EOF {
+			// Finish the right-side key count so the reduce wave is charged
+			// as the hash engine charged it.
+			if err := it.drainRight(); err != nil {
 				return nil, err
 			}
-			it.cur = t
-			it.scratch = appendKey(it.scratch[:0], t, s.lidx)
-			it.matches = it.right[string(it.scratch)]
-			it.mi = 0
-			continue
-		}
-		if it.part >= s.lt.numParts() {
-			if !s.charged {
-				s.charged = true
-				s.job.stats.ReduceTasks += 2 * (reducersFor(it.distinctRight) - 1)
+			if !it.charged {
+				it.charged = true
+				it.s.job.stats.ReduceTasks += 2 * (reducersFor(it.distinctRight) - 1)
 			}
 			return nil, io.EOF
 		}
-		pi := it.part
-		it.part++
-		rit, err := s.rt.partIter(pi)
 		if err != nil {
 			return nil, err
 		}
-		right := make(map[string][]Tuple)
-		for {
-			t, err := rit.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				rit.Close()
+		if !it.haveKey || !bytes.Equal(lkey, it.matched) {
+			if err := it.seekRight(lkey); err != nil {
 				return nil, err
 			}
-			it.scratch = appendKey(it.scratch[:0], t, s.ridx)
-			k := string(it.scratch)
-			right[k] = append(right[k], t)
 		}
-		rit.Close()
-		it.distinctRight += len(right)
-		it.right = right
-		it.lit, err = s.lt.partIter(pi)
+		it.cur = lt
+		it.mi = 0
+	}
+}
+
+// advanceRight loads the right lookahead, counting distinct right keys as
+// they stream past.
+func (it *joinIter) advanceRight() (bool, error) {
+	if it.rDone {
+		return false, nil
+	}
+	key, t, err := it.rm.next()
+	if err == io.EOF {
+		it.rDone = true
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if !it.rSeen || !bytes.Equal(key, it.rLast) {
+		it.rSeen = true
+		it.distinctRight++
+		it.rLast = append(it.rLast[:0], key...)
+	}
+	it.rKey = append(it.rKey[:0], key...)
+	it.rTup = t
+	it.rOK = true
+	return true, nil
+}
+
+// seekRight positions the right stream at key k, buffering the right
+// tuples that match it.
+func (it *joinIter) seekRight(k []byte) error {
+	it.matches = it.matches[:0]
+	it.matched = append(it.matched[:0], k...)
+	it.haveKey = true
+	for {
+		if !it.rOK {
+			ok, err := it.advanceRight()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		switch c := bytes.Compare(it.rKey, k); {
+		case c < 0:
+			it.rOK = false
+		case c == 0:
+			it.matches = append(it.matches, it.rTup)
+			it.rOK = false
+		default:
+			return nil // lookahead kept for a later left key
+		}
+	}
+}
+
+// drainRight consumes the rest of the right stream for key counting.
+func (it *joinIter) drainRight() error {
+	it.rOK = false
+	for {
+		ok, err := it.advanceRight()
 		if err != nil {
-			return nil, err
+			return err
 		}
+		if !ok {
+			return nil
+		}
+		it.rOK = false
 	}
 }
 
 func (it *joinIter) Close() error {
-	if it.lit != nil {
-		err := it.lit.Close()
-		it.lit = nil
-		return err
+	err := it.lm.Close()
+	if rerr := it.rm.Close(); err == nil {
+		err = rerr
 	}
-	return nil
+	return err
 }
 
 // Distinct removes duplicate tuples (whole-row comparison). It is an
-// external operator: rows hash-partition and spill under Job.MemoryBudget,
-// and each partition deduplicates independently, one at a time. Output
-// order is first-occurrence order within each partition.
+// external operator: rows shuffle into sorted runs under Job.MemoryBudget
+// and the merge emits the first occurrence of each key, so deduplication
+// holds no seen-set — one key comparison per tuple. Output arrives in
+// ascending (whole-row) key order.
 func (d *Dataset) Distinct() *Dataset {
 	idx := make([]int, len(d.schema))
 	for i := range idx {
 		idx[i] = i
 	}
 	return &Dataset{job: d.job, schema: d.schema, cleanup: d.cleanup, open: func() (Iterator, error) {
-		st := newSpillTable(d.job, idx, 0)
+		st := newSpillTable(d.job, idx, noSort, 0)
 		if err := st.fill(d); err != nil {
 			return nil, err
 		}
 		d.job.stats.ReduceTasks++ // base wave; topped up at end of merge
 		d.job.stats.MergePasses++
-		return &distinctIter{job: d.job, st: st, idx: idx}, nil
+		m, err := st.mergeAll()
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		return &distinctIter{job: d.job, st: st, m: m}, nil
 	}}
 }
 
 type distinctIter struct {
 	job     *Job
 	st      *spillTable
-	idx     []int
-	part    int
-	out     []Tuple
-	i       int
+	m       *mergeIter
+	last    []byte
+	started bool
 	total   int
 	charged bool
-	scratch []byte
-	err     error // sticky: a failed partition cannot be skipped
+	err     error // sticky: a failed merge cannot be skipped
 }
 
 func (it *distinctIter) Next() (Tuple, error) {
 	if it.err != nil {
 		return nil, it.err
 	}
-	t, err := it.next()
-	if err != nil && err != io.EOF {
-		it.err = err
-	}
-	return t, err
-}
-
-func (it *distinctIter) next() (Tuple, error) {
 	for {
-		if it.i < len(it.out) {
-			t := it.out[it.i]
-			it.i++
-			return t, nil
-		}
-		if it.part >= it.st.numParts() {
+		key, t, err := it.m.next()
+		if err == io.EOF {
 			if !it.charged {
 				it.charged = true
 				it.job.stats.ReduceTasks += reducersFor(it.total) - 1
 			}
 			return nil, io.EOF
 		}
-		pi := it.part
-		it.part++
-		src, err := it.st.partIter(pi)
 		if err != nil {
+			it.err = err
 			return nil, err
 		}
-		seen := make(map[string]struct{})
-		it.out = it.out[:0]
-		for {
-			t, err := src.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				src.Close()
-				return nil, err
-			}
-			it.scratch = appendKey(it.scratch[:0], t, it.idx)
-			if _, ok := seen[string(it.scratch)]; ok {
-				continue
-			}
-			seen[string(it.scratch)] = struct{}{}
-			it.out = append(it.out, t)
+		if it.started && bytes.Equal(key, it.last) {
+			continue
 		}
-		src.Close()
-		it.total += len(seen)
-		it.i = 0
+		it.started = true
+		it.last = append(it.last[:0], key...)
+		it.total++
+		return t, nil
 	}
 }
 
-func (it *distinctIter) Close() error { return it.st.Close() }
+func (it *distinctIter) Close() error {
+	err := it.m.Close()
+	if cerr := it.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
-// OrderBy sorts by the named column; numeric columns sort numerically. The
-// sort materializes its input (sorted outputs are expected to be small
-// reduce-side relations).
+// OrderBy sorts by the named column; numeric columns sort numerically and
+// the sort is stable (equal keys keep input order, for descending too).
+// With Job.MemoryBudget unset the input is materialized and sorted in
+// memory, as ever. Under a budget it is a true external merge sort: the
+// input streams into sorted spill runs through the shared run machinery —
+// never through Tuples() — and every iteration of the result is a k-way
+// merge, so peak memory is the run fan-in. Close the returned dataset to
+// release the runs (and any operator state upstream).
 func (d *Dataset) OrderBy(col string, ascending bool) (*Dataset, error) {
 	i, err := d.schema.Index(col)
 	if err != nil {
 		return nil, err
 	}
-	out, err := d.Tuples()
-	if err != nil {
+	if d.job.MemoryBudget <= 0 {
+		out, err := d.Tuples()
+		if err != nil {
+			return nil, err
+		}
+		sort.SliceStable(out, func(a, b int) bool {
+			c := compareValues(out[a][i], out[b][i])
+			if ascending {
+				return c < 0
+			}
+			return c > 0
+		})
+		sorted := NewDataset(d.job, d.schema, out)
+		sorted.cleanup = d.cleanup // closing the sorted view frees upstream spill state too
+		return sorted, nil
+	}
+	st := newSpillTable(d.job, nil, sortSpec{col: i, desc: !ascending}, 1)
+	if err := st.fill(d); err != nil {
 		return nil, err
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		va, vb := out[a][i], out[b][i]
-		var less bool
-		switch va.(type) {
-		case int64, int32, int:
-			less = toI(va) < toI(vb)
-		case float64:
-			less = toF(va) < toF(vb)
-		default:
-			less = fmt.Sprintf("%v", va) < fmt.Sprintf("%v", vb)
+	d.job.stats.ReduceTasks++ // the sort's reduce wave
+	upstream := d.cleanup
+	cleanup := func() error {
+		err := st.Close()
+		if upstream != nil {
+			if uerr := upstream(); err == nil {
+				err = uerr
+			}
 		}
-		if ascending {
-			return less
+		return err
+	}
+	job := d.job
+	return &Dataset{job: job, schema: d.schema, cleanup: cleanup, open: func() (Iterator, error) {
+		job.stats.MergePasses++
+		m, err := st.mergeAll()
+		if err != nil {
+			return nil, err
 		}
-		return !less
-	})
-	sorted := NewDataset(d.job, d.schema, out)
-	sorted.cleanup = d.cleanup // closing the sorted view frees upstream spill state too
-	return sorted, nil
+		return &mergeTupleIter{m: m}, nil
+	}}, nil
 }
+
+// mergeTupleIter adapts a run merge into a plain tuple Iterator.
+type mergeTupleIter struct{ m *mergeIter }
+
+func (it *mergeTupleIter) Next() (Tuple, error) {
+	_, t, err := it.m.next()
+	return t, err
+}
+
+func (it *mergeTupleIter) Close() error { return it.m.Close() }

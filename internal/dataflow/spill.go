@@ -2,58 +2,104 @@ package dataflow
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"os"
+	"sort"
 
 	"unilog/internal/recordio"
 )
 
-// An external operator (GroupBy, GroupAll, Join, Distinct) cannot assume
-// its input fits in memory. spillTable is the shared machinery: tuples are
-// hash-partitioned on their key, each partition buffers in memory, and
-// when the buffered bytes across partitions exceed Job.MemoryBudget the
-// largest partition's buffer is flushed to a CRC-framed spill file. The
-// reduce side then reads one partition at a time — spilled prefix first,
-// in-memory residue after, which together preserve per-partition insertion
-// order — so peak memory is bounded by the largest partition rather than
-// the dataset. With MemoryBudget <= 0 the table degenerates to a single
-// never-spilled in-memory partition: the engine's original behavior.
+// An external operator (GroupBy, GroupAll, Join, Distinct, OrderBy) cannot
+// assume its input fits in memory. spillTable is the shared machinery, and
+// — like the sort-merge shuffle of the MapReduce jobs this engine models —
+// it is sort-based: tuples are hash-partitioned on their rendered key and
+// buffered per partition, and when the buffered bytes exceed
+// Job.MemoryBudget the largest partition's buffer is *sorted* (key, then
+// the optional order column, then insertion sequence) and appended to the
+// partition's spill file as one sorted run. The reduce side is a streaming
+// k-way merge over every run plus the sorted in-memory residues (merge.go):
+// tuples arrive in global (key, order, sequence) order, so reducers fold
+// group boundaries as they stream by and never hold a per-group hash map —
+// peak reduce memory is the merge heap plus one buffered tuple per run.
+// With MemoryBudget <= 0 the table degenerates to a single never-spilled
+// partition whose residue is sorted once: the in-memory fast path, with
+// identical output order.
 
 // DefaultSpillPartitions is the hash fan-out of external operators when
 // Job.SpillPartitions is unset.
 const DefaultSpillPartitions = 8
 
+// sortSpec is the optional secondary order of a spill table: tuples with
+// equal keys are delivered ordered by the col'th column (descending when
+// desc), ties broken by insertion sequence. col < 0 means insertion order
+// alone — the classic GroupBy contract. OrderBy uses an empty key with a
+// sortSpec, making the whole table one ordered stream.
+type sortSpec struct {
+	col  int
+	desc bool
+}
+
+// noSort is the sortSpec of operators that only need key grouping.
+var noSort = sortSpec{col: -1}
+
+// memTuple is one buffered tuple: its rendered key (an arena slice), its
+// global insertion sequence (the stability tiebreak), and the tuple. The
+// arena offset is an int: the unbudgeted path never resets the arena, so
+// a narrower offset could silently wrap on a multi-GiB key volume.
+type memTuple struct {
+	keyOff int
+	keyLen int
+	seq    uint64
+	t      Tuple
+}
+
+// spillRun is one sorted run inside a partition's spill file.
+type spillRun struct {
+	off     int64
+	len     int64
+	records int64
+}
+
 // spillPart is one hash partition: an in-memory buffer plus, once it has
-// overflowed, a spill file holding its earlier tuples.
+// overflowed, a spill file holding earlier tuples as sorted runs.
 type spillPart struct {
-	mem      []Tuple
+	mem      []memTuple
+	keyArena []byte
 	memBytes int64
 
 	path string // spill file; "" until first overflow
 	f    *os.File
 	bw   *bufio.Writer
 	w    *recordio.CRCWriter
+	runs []spillRun
 }
 
-// spillTable partitions one operator input.
+// key returns the rendered key of a buffered tuple.
+func (p *spillPart) key(m *memTuple) []byte {
+	return p.keyArena[m.keyOff : m.keyOff+m.keyLen]
+}
+
+// spillTable partitions one operator input into sorted runs.
 type spillTable struct {
 	job      *Job
 	keyIdx   []int
+	order    sortSpec
 	parts    []spillPart
 	budget   int64 // <= 0: unlimited (pure in-memory)
-	buffered int64 // tuple bytes currently buffered across partitions
+	buffered int64 // tuple+key bytes currently buffered across partitions
+	seq      uint64
 	scratch  []byte
 	encBuf   []byte
 	closed   bool
 }
 
 // newSpillTable sizes a table for the job's budget. partitions overrides
-// the fan-out when > 0 (GroupAll uses 1: a single global group cannot be
-// split).
-func newSpillTable(j *Job, keyIdx []int, partitions int) *spillTable {
+// the fan-out when > 0 (GroupAll and OrderBy use 1: a single global order
+// cannot be hash-split).
+func newSpillTable(j *Job, keyIdx []int, order sortSpec, partitions int) *spillTable {
 	n := partitions
 	if n <= 0 {
 		n = j.SpillPartitions
@@ -63,14 +109,14 @@ func newSpillTable(j *Job, keyIdx []int, partitions int) *spillTable {
 	}
 	budget := j.MemoryBudget
 	if budget <= 0 {
-		// In-memory fallback: one partition, no spilling, exactly the
-		// pre-out-of-core engine.
+		// In-memory fast path: one partition, no spilling; the residue is
+		// still sorted once, so the merge semantics are identical.
 		budget = 0
 		if partitions <= 0 {
 			n = 1
 		}
 	}
-	return &spillTable{job: j, keyIdx: keyIdx, parts: make([]spillPart, n), budget: budget}
+	return &spillTable{job: j, keyIdx: keyIdx, order: order, parts: make([]spillPart, n), budget: budget}
 }
 
 // spillDir returns where this job stages spill files.
@@ -82,20 +128,27 @@ func (st *spillTable) spillDir() string {
 }
 
 // add routes one tuple to its partition, charging the shuffle and spilling
-// buffers as needed. On error the table has already been cleaned up.
+// sorted runs as needed. On error the table has already been cleaned up.
 func (st *spillTable) add(t Tuple) error {
 	b := tupleBytes(t)
 	st.job.stats.ShuffleBytes += b
 	st.job.stats.ShuffleRecords++
+	st.scratch = st.scratch[:0]
+	if len(st.keyIdx) > 0 {
+		st.scratch = appendKey(st.scratch, t, st.keyIdx)
+	}
 	p := 0
 	if len(st.parts) > 1 {
-		st.scratch = appendKey(st.scratch[:0], t, st.keyIdx)
 		h := fnv.New64a()
 		h.Write(st.scratch)
 		p = int(h.Sum64() % uint64(len(st.parts)))
 	}
 	part := &st.parts[p]
-	part.mem = append(part.mem, t)
+	off := len(part.keyArena)
+	part.keyArena = append(part.keyArena, st.scratch...)
+	part.mem = append(part.mem, memTuple{keyOff: off, keyLen: len(st.scratch), seq: st.seq, t: t})
+	st.seq++
+	b += int64(len(st.scratch)) // the rendered key is buffered too
 	part.memBytes += b
 	st.buffered += b
 	for st.budget > 0 && st.buffered > st.budget {
@@ -108,7 +161,8 @@ func (st *spillTable) add(t Tuple) error {
 }
 
 // fill consumes an entire dataset into the table, then seals the spill
-// files for reading. On error the table has been cleaned up.
+// files and sorts the residues for merging. On error the table has been
+// cleaned up.
 func (st *spillTable) fill(d *Dataset) error {
 	if err := d.Each(st.add); err != nil {
 		st.Close()
@@ -117,8 +171,30 @@ func (st *spillTable) fill(d *Dataset) error {
 	return st.finish()
 }
 
-// spillLargest flushes the biggest in-memory partition buffer to its spill
-// file and drops the buffer, freeing its budget share.
+// sortPart orders a partition buffer by (key, order column, sequence) —
+// the run order the merge relies on. Sequences are unique, so the order is
+// total and the sort is stable by construction.
+func (st *spillTable) sortPart(p *spillPart) {
+	sort.Slice(p.mem, func(i, j int) bool {
+		a, b := &p.mem[i], &p.mem[j]
+		if c := bytes.Compare(p.key(a), p.key(b)); c != 0 {
+			return c < 0
+		}
+		if st.order.col >= 0 {
+			if c := compareValues(a.t[st.order.col], b.t[st.order.col]); c != 0 {
+				if st.order.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return a.seq < b.seq
+	})
+}
+
+// spillLargest sorts the biggest in-memory partition buffer, appends it to
+// the partition's spill file as one sorted run, and drops the buffer,
+// freeing its budget share.
 func (st *spillTable) spillLargest() error {
 	var p *spillPart
 	for i := range st.parts {
@@ -140,11 +216,13 @@ func (st *spillTable) spillLargest() error {
 		p.w = recordio.NewCRCWriter(p.bw)
 		st.job.stats.SpilledPartitions++
 	}
+	st.sortPart(p)
 	st.job.stats.SpillFlushes++
 	before := p.w.Bytes()
-	for _, t := range p.mem {
+	for i := range p.mem {
+		m := &p.mem[i]
 		var err error
-		st.encBuf, err = appendTuple(st.encBuf[:0], t)
+		st.encBuf, err = appendRunRec(st.encBuf[:0], p.key(m), m.seq, m.t)
 		if err != nil {
 			return err
 		}
@@ -152,20 +230,26 @@ func (st *spillTable) spillLargest() error {
 			return fmt.Errorf("dataflow: write spill file %s: %w", p.path, err)
 		}
 	}
+	p.runs = append(p.runs, spillRun{off: before, len: p.w.Bytes() - before, records: int64(len(p.mem))})
+	st.job.stats.SpillRuns++
 	st.job.stats.SpilledRecords += int64(len(p.mem))
 	st.job.stats.SpilledBytes += p.w.Bytes() - before
 	st.buffered -= p.memBytes
 	p.mem = nil // really release: the budget exists to bound live tuples
+	p.keyArena = nil
 	p.memBytes = 0
 	return nil
 }
 
-// finish flushes and closes every spill file for writing; the table is
-// then ready for (repeated) partition reads. On error the table has been
-// cleaned up.
+// finish flushes and closes every spill file for writing and sorts the
+// in-memory residues; the table is then ready for (repeated) merge reads.
+// On error the table has been cleaned up.
 func (st *spillTable) finish() error {
 	for i := range st.parts {
 		p := &st.parts[i]
+		if len(p.mem) > 0 {
+			st.sortPart(p)
+		}
 		if p.f == nil {
 			continue
 		}
@@ -186,23 +270,6 @@ func (st *spillTable) finish() error {
 // closed table would see empty partitions and return a silently empty
 // relation.
 var errSpillClosed = errors.New("dataflow: spilled operator state is closed")
-
-// partIter opens one partition for reading: the spilled prefix, then the
-// in-memory residue. Callers own Close.
-func (st *spillTable) partIter(i int) (Iterator, error) {
-	if st.closed {
-		return nil, errSpillClosed
-	}
-	p := &st.parts[i]
-	if p.path == "" {
-		return &sliceIter{tuples: p.mem}, nil
-	}
-	f, err := os.Open(p.path)
-	if err != nil {
-		return nil, fmt.Errorf("dataflow: reopen spill file: %w", err)
-	}
-	return &spillIter{path: p.path, f: f, r: recordio.NewCRCReader(f), mem: p.mem}, nil
-}
 
 // numParts returns the partition fan-out.
 func (st *spillTable) numParts() int { return len(st.parts) }
@@ -228,60 +295,9 @@ func (st *spillTable) Close() error {
 			p.path = ""
 		}
 		p.mem = nil
+		p.keyArena = nil
+		p.runs = nil
 		p.memBytes = 0
 	}
-	return err
-}
-
-// spillIter streams one partition: decoded spill records, then the
-// in-memory residue. A truncated or corrupted spill file surfaces the
-// recordio error (wrapped with the file) instead of a panic or a silent
-// partial group; the error is sticky, so re-polling can never skip the
-// damaged record and resume mid-partition.
-type spillIter struct {
-	path     string
-	f        *os.File
-	r        *recordio.CRCReader
-	fileDone bool
-	mem      []Tuple
-	i        int
-	err      error
-}
-
-func (s *spillIter) Next() (Tuple, error) {
-	if s.err != nil {
-		return nil, s.err
-	}
-	if !s.fileDone {
-		rec, err := s.r.Next()
-		switch {
-		case err == io.EOF:
-			s.fileDone = true
-		case err != nil:
-			s.err = fmt.Errorf("dataflow: spill file %s: %w", s.path, err)
-			return nil, s.err
-		default:
-			t, err := decodeTuple(rec)
-			if err != nil {
-				s.err = fmt.Errorf("%s: %w", s.path, err)
-				return nil, s.err
-			}
-			return t, nil
-		}
-	}
-	if s.i < len(s.mem) {
-		t := s.mem[s.i]
-		s.i++
-		return t, nil
-	}
-	return nil, io.EOF
-}
-
-func (s *spillIter) Close() error {
-	if s.f == nil {
-		return nil
-	}
-	err := s.f.Close()
-	s.f = nil
 	return err
 }

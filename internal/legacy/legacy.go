@@ -22,7 +22,6 @@ package legacy
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -258,9 +257,11 @@ func ReconstructSessions(j *dataflow.Job, dirsByCategory map[string][]string, ga
 		return 0, nil
 	}
 	// The three category scans stream into one relation; nothing
-	// materializes until the group-by shuffles it.
+	// materializes until the group-by shuffles it. The shuffle's secondary
+	// sort orders each user's records by timestamp, so the gap walk below
+	// consumes the group as it streams by.
 	union := parts[0].Union(parts[1:]...)
-	g, err := union.GroupBy("user_id")
+	g, err := union.GroupByOrdered("timestamp_ms", "user_id")
 	if err != nil {
 		return 0, err
 	}
@@ -268,14 +269,9 @@ func ReconstructSessions(j *dataflow.Job, dirsByCategory map[string][]string, ga
 	gapMs := gap.Milliseconds()
 	tsIdx := normalizedSchema.MustIndex("timestamp_ms")
 	counts, err := g.ForEachGroup(dataflow.Schema{"sessions"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
-		ts := make([]int64, len(group))
-		for i, t := range group {
-			ts[i] = t[tsIdx].(int64)
-		}
-		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
 		n := int64(1)
-		for i := 1; i < len(ts); i++ {
-			if ts[i]-ts[i-1] > gapMs {
+		for i := 1; i < len(group); i++ {
+			if group[i][tsIdx].(int64)-group[i-1][tsIdx].(int64) > gapMs {
 				n++
 			}
 		}

@@ -235,12 +235,14 @@ var pageTransitions = map[string][]weighted{
 	"connect":  {{"home", 60}, {"profile", 30}, {"connect", 10}},
 }
 
-// Generator produces one day of traffic.
+// Generator produces one day of traffic. A Generator is single-use: call
+// Generate or GenerateTo exactly once.
 type Generator struct {
 	cfg   Config
 	rng   *rand.Rand
 	truth *Truth
-	out   []events.ClientEvent
+	sink  func(*events.ClientEvent) error
+	err   error // first sink error; generation short-circuits on it
 }
 
 // New returns a generator for the given config.
@@ -248,10 +250,33 @@ func New(cfg Config) *Generator {
 	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), truth: newTruth()}
 }
 
-// Generate produces the full day of events, sorted by timestamp, together
-// with the ground truth.
-func (g *Generator) Generate() ([]events.ClientEvent, *Truth) {
-	users := make(map[int64]bool)
+// sessionPlan is one scheduled session: everything decided up front so
+// sessions can then be emitted in start-time order.
+type sessionPlan struct {
+	userID  int64
+	cookie  string
+	client  string
+	country string
+	ip      string
+	start   time.Time
+	signup  bool
+}
+
+// GenerateTo streams the day's events into sink — sessions in start-time
+// order, each session's events in time order — without ever materializing
+// a []events.ClientEvent, which is what lets benchrunner synthesize days
+// orders of magnitude past the shared corpus. Planning (user attributes
+// and session start times) happens first and is cheap: one schedule entry
+// per session, not per event. The emitted stream is only approximately
+// timestamp-ordered globally (concurrent sessions interleave at session
+// granularity); the warehouse writer buckets by each event's own hour, and
+// every downstream consumer orders or windows by the event timestamp.
+// Generate wraps this with a slice sink and a final stable sort for
+// callers that need the exact global order. A sink error aborts generation
+// and is returned.
+func (g *Generator) GenerateTo(sink func(*events.ClientEvent) error) (*Truth, error) {
+	g.sink = sink
+	var plans []sessionPlan
 	// Logged-in users.
 	for u := 1; u <= g.cfg.Users; u++ {
 		userID := int64(u)
@@ -262,28 +287,63 @@ func (g *Generator) Generate() ([]events.ClientEvent, *Truth) {
 		ip := geo.IPFor(country, userID)
 		cookie := fmt.Sprintf("%016x", splitmix64(uint64(userID)))
 		nSessions := 1 + g.rng.Intn(g.cfg.MaxSessionsPerUser)
-		starts := g.sessionStarts(nSessions)
-		for _, start := range starts {
-			g.browseSession(userID, cookie, client, country, ip, start)
-			users[userID] = true
+		for _, start := range g.sessionStarts(nSessions) {
+			plans = append(plans, sessionPlan{userID: userID, cookie: cookie, client: client, country: country, ip: ip, start: start})
 		}
 	}
 	// Logged-out sessions: half browse, SignupFraction enter the funnel.
 	for s := 0; s < g.cfg.LoggedOutSessions; s++ {
 		client := pick(g.rng, defaultClients)
 		country := pick(g.rng, defaultCountries)
-		ip := geo.IPFor(country, int64(1e6+s))
-		cookie := fmt.Sprintf("%016x", splitmix64(uint64(1<<40+s)))
-		start := g.randomStart()
-		if g.rng.Float64() < g.cfg.SignupFraction {
-			g.signupSession(cookie, client, country, ip, start)
+		plans = append(plans, sessionPlan{
+			cookie:  fmt.Sprintf("%016x", splitmix64(uint64(1<<40+s))),
+			client:  client,
+			country: country,
+			ip:      geo.IPFor(country, int64(1e6+s)),
+			start:   g.randomStart(),
+			signup:  g.rng.Float64() < g.cfg.SignupFraction,
+		})
+	}
+	// Emit sessions in start order. The stable sort keeps the schedule —
+	// and therefore the RNG draw order — deterministic for a given seed.
+	sort.SliceStable(plans, func(i, j int) bool { return plans[i].start.Before(plans[j].start) })
+	users := make(map[int64]bool)
+	for i := range plans {
+		if g.err != nil {
+			break
+		}
+		p := &plans[i]
+		if p.signup {
+			g.signupSession(p.cookie, p.client, p.country, p.ip, p.start)
 		} else {
-			g.browseSessionAs(0, cookie, client, country, ip, start)
+			g.browseSessionAs(p.userID, p.cookie, p.client, p.country, p.ip, p.start)
+			if p.userID != 0 {
+				users[p.userID] = true
+			}
 		}
 	}
 	g.truth.UniqueUsers = int64(len(users))
-	sort.SliceStable(g.out, func(i, j int) bool { return g.out[i].Timestamp < g.out[j].Timestamp })
-	return g.out, g.truth
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.truth, nil
+}
+
+// Generate produces the full day of events, sorted by timestamp, together
+// with the ground truth. It is a thin materializing wrapper around
+// GenerateTo; out-of-core callers should stream through GenerateTo
+// instead.
+func (g *Generator) Generate() ([]events.ClientEvent, *Truth) {
+	var out []events.ClientEvent
+	truth, err := g.GenerateTo(func(e *events.ClientEvent) error {
+		out = append(out, *e)
+		return nil
+	})
+	if err != nil {
+		panic(err) // unreachable: the slice sink cannot fail
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp < out[j].Timestamp })
+	return out, truth
 }
 
 // sessionStarts returns nSessions start times separated by well over the
@@ -311,6 +371,9 @@ func (g *Generator) randomStart() time.Time {
 // Session sequences discard all of it, which is where the §4.2 compression
 // factor comes from.
 func (g *Generator) emit(userID int64, cookie, client, ip string, at time.Time, name string, details map[string]string) {
+	if g.err != nil {
+		return
+	}
 	if details == nil {
 		details = make(map[string]string, 4)
 	}
@@ -318,7 +381,7 @@ func (g *Generator) emit(userID int64, cookie, client, ip string, at time.Time, 
 	details["ua"] = userAgents[client]
 	details["lang"] = "en"
 	details["render_ms"] = fmt.Sprint(10 + g.rng.Intn(400))
-	g.out = append(g.out, events.ClientEvent{
+	e := events.ClientEvent{
 		Initiator: events.InitiatorClientUser,
 		Name:      events.MustParseName(name),
 		UserID:    userID,
@@ -326,7 +389,11 @@ func (g *Generator) emit(userID int64, cookie, client, ip string, at time.Time, 
 		IP:        ip,
 		Timestamp: at.UnixMilli(),
 		Details:   details,
-	})
+	}
+	if err := g.sink(&e); err != nil {
+		g.err = err
+		return
+	}
 	g.truth.Events++
 }
 
@@ -340,10 +407,6 @@ func (g *Generator) snowflake() string {
 // inactivity gap.
 func (g *Generator) step(at *time.Time) {
 	*at = at.Add(time.Duration(2+g.rng.Intn(28)) * time.Second)
-}
-
-func (g *Generator) browseSession(userID int64, cookie, client, country, ip string, start time.Time) {
-	g.browseSessionAs(userID, cookie, client, country, ip, start)
 }
 
 // browseSessionAs emits one browsing session: a Markov walk over pages with

@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"errors"
+	"fmt"
 	"math"
+	"sort"
 	"testing"
 	"time"
 
@@ -9,6 +12,7 @@ import (
 	"unilog/internal/geo"
 	"unilog/internal/hdfs"
 	"unilog/internal/session"
+	"unilog/internal/warehouse"
 )
 
 var day = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
@@ -186,6 +190,118 @@ func TestCountryIPsResolve(t *testing.T) {
 	}
 	if sum != truth.Sessions {
 		t.Fatalf("per-country sessions sum %d != %d", sum, truth.Sessions)
+	}
+}
+
+// TestGenerateToMatchesGenerate: Generate is a thin wrapper — streaming
+// the same config through GenerateTo yields the same events (modulo the
+// wrapper's final global sort) and the same ground truth.
+func TestGenerateToMatchesGenerate(t *testing.T) {
+	var streamed []events.ClientEvent
+	truthStream, err := New(smallConfig()).GenerateTo(func(e *events.ClientEvent) error {
+		streamed = append(streamed, *e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, truth := New(smallConfig()).Generate()
+	if int64(len(streamed)) != truthStream.Events || len(streamed) != len(evs) {
+		t.Fatalf("streamed %d events, Generate produced %d (truth %d)", len(streamed), len(evs), truthStream.Events)
+	}
+	sortByTimestamp := func(s []events.ClientEvent) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Timestamp < s[j].Timestamp })
+	}
+	sortByTimestamp(streamed)
+	for i := range evs {
+		if evs[i].Name != streamed[i].Name || evs[i].Timestamp != streamed[i].Timestamp ||
+			evs[i].UserID != streamed[i].UserID || evs[i].SessionID != streamed[i].SessionID {
+			t.Fatalf("event %d differs between Generate and GenerateTo", i)
+		}
+	}
+	if truth.Events != truthStream.Events || truth.Sessions != truthStream.Sessions ||
+		truth.UniqueUsers != truthStream.UniqueUsers || truth.LoggedOutSessions != truthStream.LoggedOutSessions {
+		t.Fatalf("truth diverged: %+v vs %+v", truth, truthStream)
+	}
+	for i := range truth.FunnelStage {
+		if truth.FunnelStage[i] != truthStream.FunnelStage[i] {
+			t.Fatalf("funnel truth diverged at stage %d", i)
+		}
+	}
+}
+
+// TestGenerateToSessionsStreamInStartOrder: the streamed sessions arrive
+// in start order with each session's events time-ordered, so the
+// warehouse writer sees at most session-boundary hour regressions.
+func TestGenerateToSessionsStreamInStartOrder(t *testing.T) {
+	var lastOfSession = map[string]int64{}
+	var lastStart int64
+	_, err := New(smallConfig()).GenerateTo(func(e *events.ClientEvent) error {
+		sess := fmt.Sprintf("%d/%s", e.UserID, e.SessionID)
+		if prev, ok := lastOfSession[sess]; ok {
+			if e.Timestamp < prev {
+				t.Fatalf("session %s went backwards: %d after %d", sess, e.Timestamp, prev)
+			}
+		} else {
+			// A session's first event: session starts must be non-decreasing.
+			if e.Timestamp < lastStart {
+				t.Fatalf("session %s started at %d after a session starting %d", sess, e.Timestamp, lastStart)
+			}
+			lastStart = e.Timestamp
+		}
+		lastOfSession[sess] = e.Timestamp
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenerateToStreamsIntoWarehouse: the emit-callback path feeds the
+// warehouse writer directly, and the sessionizer recovers the exact
+// ground truth from what landed — the benchrunner E16/E17 path.
+func TestGenerateToStreamsIntoWarehouse(t *testing.T) {
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	truth, err := New(smallConfig()).GenerateTo(func(e *events.ClientEvent) error {
+		return w.Append(e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Written() != truth.Events {
+		t.Fatalf("wrote %d events, truth %d", w.Written(), truth.Events)
+	}
+	_, hist, stats, err := session.BuildDay(fs, day, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Events != truth.Events || stats.Sessions != truth.Sessions {
+		t.Fatalf("warehouse day = %d events / %d sessions, truth %d / %d",
+			hist.Events, stats.Sessions, truth.Events, truth.Sessions)
+	}
+}
+
+// TestGenerateToSinkErrorAborts: a failing sink stops generation and
+// surfaces the error.
+func TestGenerateToSinkErrorAborts(t *testing.T) {
+	boom := errors.New("disk full")
+	n := 0
+	_, err := New(smallConfig()).GenerateTo(func(*events.ClientEvent) error {
+		n++
+		if n >= 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+	if n > 10 {
+		t.Fatalf("sink called %d times after failing", n)
 	}
 }
 
