@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# metrics-smoke: prove the telemetry endpoint works end to end.
+#
+# Runs unilog-demo with the /debug/unilog endpoint up and a post-run hold,
+# scrapes the endpoint while the process is alive, and asserts that the
+# JSON parses and that the two load-bearing series are present and nonzero:
+#
+#   realtime.ingest.events — the streaming path counted events
+#   dataflow.spill.bytes   — the budgeted rollup job actually spilled
+#
+# This is the guard against the classic observability failure mode: the
+# metrics endpoint serves 200 OK forever while every counter silently
+# reads zero. Run from the repo root; needs curl and jq (present on
+# ubuntu-latest).
+set -euo pipefail
+
+PORT="${METRICS_SMOKE_PORT:-18472}"
+URL="http://127.0.0.1:${PORT}/debug/unilog?format=json"
+OUT="$(mktemp -d)"
+trap 'kill "$DEMO_PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+echo "metrics-smoke: starting unilog-demo with telemetry on :${PORT}"
+go run ./cmd/unilog-demo -users 20 -live=false \
+  -http "127.0.0.1:${PORT}" -hold 90s >"$OUT/demo.log" 2>&1 &
+DEMO_PID=$!
+
+# Poll until the endpoint answers with nonzero values for both series, or
+# time out. The demo takes a few seconds to build its day of traffic and
+# run the budgeted rollup; 120 polls x 1s is generous for a cold CI box.
+for i in $(seq 1 120); do
+  if ! kill -0 "$DEMO_PID" 2>/dev/null; then
+    echo "metrics-smoke: demo exited before the endpoint was scraped" >&2
+    cat "$OUT/demo.log" >&2
+    exit 1
+  fi
+  if curl -fsS "$URL" -o "$OUT/snap.json" 2>/dev/null &&
+    jq -e '.series["realtime.ingest.events"] > 0 and .series["dataflow.spill.bytes"] > 0' \
+      "$OUT/snap.json" >/dev/null 2>&1; then
+    echo "metrics-smoke: OK after ${i}s"
+    jq '{ "realtime.ingest.events": .series["realtime.ingest.events"],
+          "dataflow.spill.bytes": .series["dataflow.spill.bytes"],
+          series_total: (.series | length),
+          histograms_total: (.histograms | length) }' "$OUT/snap.json"
+    exit 0
+  fi
+  sleep 1
+done
+
+echo "metrics-smoke: timed out waiting for nonzero telemetry at $URL" >&2
+echo "--- last scrape (if any) ---" >&2
+cat "$OUT/snap.json" >&2 2>/dev/null || true
+echo "--- demo log ---" >&2
+cat "$OUT/demo.log" >&2
+exit 1

@@ -1,20 +1,26 @@
 // Command benchcompare guards the benchmark trajectory: it compares the
-// throughput fields of freshly generated benchmark JSON files
+// gated fields of freshly generated benchmark JSON files
 // (BENCH_realtime.json, BENCH_dataflow.json) against the baselines
 // committed under ci/baseline/ and exits non-zero when any regresses more
 // than the allowed fraction — so a perf regression fails CI loudly instead
 // of drifting.
 //
-// Every numeric field whose name ends in "_per_sec" is compared (higher is
-// better); other fields are informational. Metrics present in only one of
-// current/baseline are reported as "new" (a just-added experiment, e.g.
-// the E17 keys) or "removed" (a retired one) instead of failing the job,
-// so adding or dropping a metric never requires a lockstep baseline
-// update.
+// The comparison is direction-aware. Numeric fields ending in "_per_sec"
+// are throughput: higher is better, and a drop beyond -max-regress fails.
+// Numeric fields ending in "_ns" are latency percentiles from the
+// pipeline's telemetry histograms: LOWER is better, and a rise beyond
+// -max-latency-regress fails. The latency gate defaults much looser than
+// the throughput gate because p95/p99 over the small CI workload are
+// noisy single-run order statistics, not averaged rates; it exists to
+// catch order-of-magnitude cliffs, not percent drift. All other fields
+// are informational. Metrics present in only one of current/baseline are
+// reported as "new" (a just-added experiment) or "removed" (a retired
+// one) instead of failing the job, so adding or dropping a metric never
+// requires a lockstep baseline update.
 //
 // Usage:
 //
-//	benchcompare [-baseline-dir ci/baseline] [-max-regress 0.30] FILE...
+//	benchcompare [-baseline-dir ci/baseline] [-max-regress 0.30] [-max-latency-regress 2.0] FILE...
 //
 // Baselines regenerate with the same command CI runs:
 //
@@ -34,7 +40,8 @@ import (
 
 func main() {
 	baselineDir := flag.String("baseline-dir", "ci/baseline", "directory holding committed baseline JSON files")
-	maxRegress := flag.Float64("max-regress", 0.30, "maximum allowed fractional throughput regression")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum allowed fractional throughput regression (_per_sec keys, higher is better)")
+	maxLatRegress := flag.Float64("max-latency-regress", 2.0, "maximum allowed fractional latency regression (_ns keys, lower is better)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark files given")
@@ -54,10 +61,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Printf("## %s vs %s (max regression %.0f%%)\n", path, basePath, *maxRegress*100)
+		fmt.Printf("## %s vs %s (max regression: throughput %.0f%%, latency %.0f%%)\n",
+			path, basePath, *maxRegress*100, *maxLatRegress*100)
 		fmt.Printf("%-32s %14s %14s %9s\n", "metric", "baseline", "current", "delta")
 		seen := map[string]bool{}
-		for _, key := range throughputKeys(cur) {
+		for _, key := range gatedKeys(cur) {
 			seen[key] = true
 			curV := cur[key].(float64)
 			baseV, ok := base[key].(float64)
@@ -68,13 +76,18 @@ func main() {
 			}
 			delta := curV/baseV - 1
 			verdict := "ok"
-			if curV < baseV*(1-*maxRegress) {
+			if lowerIsBetter(key) {
+				if curV > baseV*(1+*maxLatRegress) {
+					verdict = "REGRESSED"
+					failed = true
+				}
+			} else if curV < baseV*(1-*maxRegress) {
 				verdict = "REGRESSED"
 				failed = true
 			}
 			fmt.Printf("%-32s %14.0f %14.0f %+8.1f%% %s\n", key, baseV, curV, delta*100, verdict)
 		}
-		for _, key := range throughputKeys(base) {
+		for _, key := range gatedKeys(base) {
 			if seen[key] {
 				continue
 			}
@@ -85,10 +98,10 @@ func main() {
 		fmt.Println()
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcompare: throughput regressed more than %.0f%% versus the committed baseline\n", *maxRegress*100)
+		fmt.Fprintf(os.Stderr, "benchcompare: metrics regressed beyond the allowed bounds versus the committed baseline\n")
 		os.Exit(1)
 	}
-	fmt.Println("benchcompare: all throughput metrics within bounds")
+	fmt.Println("benchcompare: all gated metrics within bounds")
 }
 
 func load(path string) (map[string]any, error) {
@@ -103,15 +116,22 @@ func load(path string) (map[string]any, error) {
 	return out, nil
 }
 
-// throughputKeys returns the sorted higher-is-better metric names present
-// in m.
-func throughputKeys(m map[string]any) []string {
+// lowerIsBetter reports the gating direction of a key: latency series
+// (nanosecond percentiles) regress upward, throughput regresses downward.
+func lowerIsBetter(key string) bool {
+	return strings.HasSuffix(key, "_ns")
+}
+
+// gatedKeys returns the sorted gated metric names present in m: top-level
+// numeric fields ending in _per_sec (throughput) or _ns (latency). The
+// nested "telemetry" snapshot object is not a float64 and falls out here.
+func gatedKeys(m map[string]any) []string {
 	var keys []string
 	for k, v := range m {
 		if _, ok := v.(float64); !ok {
 			continue
 		}
-		if strings.HasSuffix(k, "_per_sec") {
+		if strings.HasSuffix(k, "_per_sec") || strings.HasSuffix(k, "_ns") {
 			keys = append(keys, k)
 		}
 	}

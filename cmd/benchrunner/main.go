@@ -34,6 +34,7 @@ import (
 	"unilog/internal/recordio"
 	"unilog/internal/scribe"
 	"unilog/internal/session"
+	"unilog/internal/telemetry"
 	"unilog/internal/twin"
 	"unilog/internal/users"
 	"unilog/internal/warehouse"
@@ -59,6 +60,23 @@ type realtimeMetrics struct {
 	RecoveryMillis        float64 `json:"recovery_ms"`
 	RecoveryEventsPerSec  float64 `json:"recovery_events_per_sec"`
 	ReconcileOK           bool    `json:"reconcile_ok"`
+
+	// Latency percentiles from the pipeline's own telemetry histograms,
+	// recorded over everything the selected experiments ran. Flat _ns keys
+	// so benchcompare's direction-aware gate (lower is better) sees them.
+	IngestApplyP50Ns  int64 `json:"ingest_apply_p50_ns"`
+	IngestApplyP95Ns  int64 `json:"ingest_apply_p95_ns"`
+	IngestApplyP99Ns  int64 `json:"ingest_apply_p99_ns"`
+	WALAppendP50Ns    int64 `json:"wal_append_p50_ns"`
+	WALAppendP95Ns    int64 `json:"wal_append_p95_ns"`
+	WALAppendP99Ns    int64 `json:"wal_append_p99_ns"`
+	QueryPathSumP50Ns int64 `json:"query_pathsum_p50_ns"`
+	QueryPathSumP95Ns int64 `json:"query_pathsum_p95_ns"`
+	QueryPathSumP99Ns int64 `json:"query_pathsum_p99_ns"`
+
+	// Telemetry is the full registry snapshot at write time: every series
+	// and histogram summary, for forensics beyond the flat keys above.
+	Telemetry telemetry.Snap `json:"telemetry"`
 
 	measured bool
 }
@@ -101,6 +119,18 @@ type dataflowMetrics struct {
 	OrderBySpilledBytes      int64   `json:"orderby_spilled_bytes"`
 	OrderedSessionsIdentical bool    `json:"ordered_sessions_identical"`
 	OrderBySortedAndComplete bool    `json:"orderby_sorted_and_complete"`
+
+	// Stage-latency percentiles from the dataflow telemetry histograms
+	// (flat _ns keys for benchcompare's lower-is-better gate), plus the
+	// full registry snapshot for forensics.
+	MergePassP50Ns  int64 `json:"merge_pass_p50_ns"`
+	MergePassP95Ns  int64 `json:"merge_pass_p95_ns"`
+	MergePassP99Ns  int64 `json:"merge_pass_p99_ns"`
+	SpillFlushP50Ns int64 `json:"spill_flush_p50_ns"`
+	SpillFlushP95Ns int64 `json:"spill_flush_p95_ns"`
+	SpillFlushP99Ns int64 `json:"spill_flush_p99_ns"`
+
+	Telemetry telemetry.Snap `json:"telemetry"`
 
 	measured bool
 }
@@ -204,6 +234,10 @@ func main() {
 
 	if metrics.measured && *benchJSON != "" {
 		metrics.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		metrics.IngestApplyP50Ns, metrics.IngestApplyP95Ns, metrics.IngestApplyP99Ns = pcts("realtime.apply.batch.ns")
+		metrics.WALAppendP50Ns, metrics.WALAppendP95Ns, metrics.WALAppendP99Ns = pcts("realtime.wal.append.ns")
+		metrics.QueryPathSumP50Ns, metrics.QueryPathSumP95Ns, metrics.QueryPathSumP99Ns = pcts("realtime.query.pathsum.ns")
+		metrics.Telemetry = telemetry.Snapshot()
 		data, err := json.MarshalIndent(&metrics, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -215,6 +249,9 @@ func main() {
 	}
 	if dfMetrics.measured && *benchJSONDataflow != "" {
 		dfMetrics.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		dfMetrics.MergePassP50Ns, dfMetrics.MergePassP95Ns, dfMetrics.MergePassP99Ns = pcts("dataflow.stage.merge.ns")
+		dfMetrics.SpillFlushP50Ns, dfMetrics.SpillFlushP95Ns, dfMetrics.SpillFlushP99Ns = pcts("dataflow.stage.spill.ns")
+		dfMetrics.Telemetry = telemetry.Snapshot()
 		data, err := json.MarshalIndent(&dfMetrics, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -229,6 +266,13 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchrunner:", err)
 	os.Exit(1)
+}
+
+// pcts reads the p50/p95/p99 summary of one telemetry histogram; zeros if
+// no experiment that feeds it ran.
+func pcts(name string) (p50, p95, p99 int64) {
+	s := telemetry.GetHistogram(name).Summary()
+	return s.P50, s.P95, s.P99
 }
 
 func e1(e *env) {

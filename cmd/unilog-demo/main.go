@@ -6,25 +6,38 @@
 // BirdBrain dashboard. Faults are injected mid-run to demonstrate §2's
 // robustness story.
 //
+// The pipeline's own telemetry (internal/telemetry) is live for the whole
+// run: -http serves the /debug/unilog endpoint (expvar-style text, or
+// JSON with ?format=json) while the day replays, -telemetry-every logs a
+// one-line summary of changed series on that cadence, and -hold keeps the
+// process (and the endpoint) up after the run finishes so a scraper can
+// read the final counters — which is exactly what the CI metrics-smoke
+// step does.
+//
 // Usage:
 //
-//	unilog-demo [-users N] [-seed S] [-faults=false]
+//	unilog-demo [-users N] [-seed S] [-faults=false] [-http addr] [-hold d]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
+	"unilog/internal/analytics"
 	"unilog/internal/birdbrain"
 	"unilog/internal/catalog"
+	"unilog/internal/dataflow"
 	"unilog/internal/events"
 	"unilog/internal/hdfs"
 	"unilog/internal/logmover"
 	"unilog/internal/realtime"
 	"unilog/internal/scribe"
 	"unilog/internal/session"
+	"unilog/internal/telemetry"
 	"unilog/internal/warehouse"
 	"unilog/internal/workload"
 	"unilog/internal/zk"
@@ -38,7 +51,23 @@ func main() {
 	faults := flag.Bool("faults", true, "inject an aggregator restart and a staging outage")
 	live := flag.Bool("live", true, "print realtime counters mid-run")
 	crash := flag.Bool("crash", true, "kill and recover the realtime counters mid-run (WAL + snapshot durability)")
+	httpAddr := flag.String("http", "", "serve the /debug/unilog telemetry endpoint on this address (e.g. 127.0.0.1:8080)")
+	hold := flag.Duration("hold", 0, "keep the process (and telemetry endpoint) up this long after the run")
+	sumEvery := flag.Duration("telemetry-every", 0, "log a one-line telemetry summary on this cadence (0 disables)")
 	flag.Parse()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		check(err)
+		mux := http.NewServeMux()
+		mux.Handle("/debug/unilog", telemetry.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("telemetry: serving http://%s/debug/unilog\n", ln.Addr())
+	}
+	var sumLog *telemetry.SummaryLogger
+	if *sumEvery > 0 {
+		sumLog = telemetry.Default.StartSummaryLogger(os.Stdout, *sumEvery)
+	}
 
 	cfg := workload.DefaultConfig(day)
 	cfg.Users = *users
@@ -69,6 +98,7 @@ func main() {
 	rtCfg := realtime.Config{Shards: 4}
 	rt, err := realtime.Open(walDir, rtCfg)
 	check(err)
+	rt.Publish(nil)
 	defer func() { rt.Close() }()
 	retap := func() {
 		for _, dc := range dcs {
@@ -108,6 +138,7 @@ func main() {
 			fmt.Printf("  hour 14: realtime counters killed without graceful close (%d events in memory)\n", before)
 			rt, err = realtime.Open(walDir, rtCfg)
 			check(err)
+			rt.Publish(nil) // repoint the stats gauges at the recovered instance
 			retap()
 			lambda = birdbrain.NewLambda(wh, rt, clock.Now)
 			fmt.Printf("  hour 14: recovered from snapshot + WAL tail: %d of %d events survive (exact: %v)\n",
@@ -199,6 +230,18 @@ func main() {
 	check(err)
 	summary.Render(os.Stdout)
 
+	// Re-run the dashboard rollup under a deliberately tight memory
+	// budget: the group-by spills sorted runs and the merge-reduce streams
+	// them back, exercising the external dataflow path end to end so the
+	// dataflow.spill.* telemetry series reflect a real out-of-core job.
+	spillJob := dataflow.NewJob("demo-rollups-budgeted", wh)
+	spillJob.MemoryBudget = 32 << 10
+	budgeted, err := analytics.Rollups(spillJob, day)
+	check(err)
+	js := spillJob.Stats()
+	fmt.Printf("\nbudgeted rollup (32 KiB): %d rows via %d spill runs, %d spilled bytes, merge fan-in %d\n",
+		len(budgeted), js.SpillRuns, js.SpilledBytes, js.PeakRunFanIn)
+
 	// --- Lambda reconciliation: the streaming and batch paths must agree. ---
 	rt.Sync()
 	rts := rt.Stats()
@@ -216,6 +259,15 @@ func main() {
 	check(err)
 	fmt.Printf("lambda handover: %s = %d from %s after midnight (realtime served %d — jump-free: %v)\n",
 		metric, sealed, src, wasLive, sealed == wasLive)
+
+	if sumLog != nil {
+		sumLog.Stop()
+	}
+	fmt.Println("\n" + telemetry.Default.Summary())
+	if *hold > 0 {
+		fmt.Printf("holding %s: telemetry endpoint stays up for scraping\n", *hold)
+		time.Sleep(*hold)
+	}
 }
 
 func mustDC(name string, clock zk.Clock, aggs, daemons int, seed int64) *scribe.Datacenter {

@@ -71,6 +71,28 @@
 // remembers "today so far" instead of waiting a day for the warehouse
 // rollup, and still reconciles exactly against the batch path.
 //
+// Every subsystem reports into internal/telemetry, a dependency-free
+// metrics registry: atomic counters and gauges, log-linear histograms
+// (Observe is allocation-free; quantiles are accurate to one bucket
+// width, ~6%), gauge funcs for wiring existing Stats fields through
+// without duplication, and spans that time pipeline stages into
+// histograms (realtime.recovery -> .snapshot/.wal children). Metric
+// names follow subsystem.metric.unit — realtime.ingest.events,
+// dataflow.spill.bytes, realtime.wal.fsync.ns — and instrumentation
+// sits only at batch/flush/split/pass granularity, so the hot paths
+// stay allocation-free with telemetry on (asserted by benchmarks). To
+// add an instrument: declare a package-level handle via
+// telemetry.GetCounter/GetGauge/GetHistogram (or RegisterGaugeFunc for
+// computed values) and update it at a coarse boundary. Everything is
+// exposed three ways: telemetry.Snapshot() returns the registry as a
+// JSON-ready value, telemetry.Handler() serves it at /debug/unilog
+// (expvar-style text, or JSON with ?format=json — cmd/unilog-demo
+// -http serves it live and CI smoke-tests it), and StartSummaryLogger
+// emits a periodic one-line delta of series that changed. benchrunner
+// embeds the full snapshot plus p50/p95/p99 latency series in every
+// BENCH_*.json, and cmd/benchcompare gates those direction-aware
+// (throughput lower = regressed, latency higher = regressed).
+//
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and the examples/ directory
 // for runnable entry points.

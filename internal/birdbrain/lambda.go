@@ -135,9 +135,11 @@ func (l *Lambda) sealedRollups(day time.Time) (map[analytics.RollupKey]int64, er
 		l.tick++
 		e.lastUsed = l.tick
 		l.mu.Unlock()
+		tmCacheHits.Inc()
 		return e.rollups, nil
 	}
 	l.mu.Unlock()
+	tmCacheMisses.Inc()
 	j := dataflow.NewJob("birdbrain-rollups", l.fs)
 	r, err := analytics.Rollups(j, day)
 	if err != nil {
@@ -172,6 +174,7 @@ func (l *Lambda) sealedRollups(day time.Time) (map[analytics.RollupKey]int64, er
 // of a (possibly rolled-up) event name on one day, summed over countries
 // and login status — from whichever path owns that day.
 func (l *Lambda) EventTotal(day time.Time, level events.RollupLevel, name string) (int64, Source, error) {
+	defer tmEventTotalNs.ObserveSince(time.Now())
 	day = day.UTC().Truncate(24 * time.Hour)
 	l.maybePrewarm(l.now().UTC().Truncate(24*time.Hour), day)
 	if l.today(day) {
@@ -188,6 +191,7 @@ func (l *Lambda) EventTotal(day time.Time, level events.RollupLevel, name string
 // ClientTotals breaks one day's events down by client — the first level
 // of the §3 hierarchy — from whichever path owns the day.
 func (l *Lambda) ClientTotals(day time.Time) (map[string]int64, Source, error) {
+	defer tmClientTotalsNs.ObserveSince(time.Now())
 	day = day.UTC().Truncate(24 * time.Hour)
 	l.maybePrewarm(l.now().UTC().Truncate(24*time.Hour), day)
 	out := make(map[string]int64)

@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"unilog/internal/hdfs"
 )
@@ -372,6 +373,7 @@ func (s *splitIter) Next() (Tuple, error) {
 		s.splits = s.splits[1:]
 		s.job.stats.MapTasks++
 		s.job.stats.FilesRead++
+		t0 := time.Now()
 		before := s.job.FS.Snapshot()
 		s.cur = s.cur[:0]
 		err := s.format.ReadSplit(s.job.FS, sp, func(t Tuple) error {
@@ -381,6 +383,8 @@ func (s *splitIter) Next() (Tuple, error) {
 		after := s.job.FS.Snapshot()
 		s.job.stats.BytesRead += after.BytesRead - before.BytesRead
 		s.job.stats.BlocksRead += after.BlocksRead - before.BlocksRead
+		tmScanBytes.Add(after.BytesRead - before.BytesRead)
+		tmScanSplitNs.ObserveSince(t0)
 		if err != nil {
 			s.cur, s.i = nil, 0
 			s.err = err

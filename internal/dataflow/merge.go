@@ -130,6 +130,7 @@ func (st *spillTable) mergeAll() (*mergeIter, error) {
 	if fanIn > st.job.stats.PeakRunFanIn {
 		st.job.stats.PeakRunFanIn = fanIn
 	}
+	tmMergeFanInMax.SetMax(int64(fanIn))
 	// Prime every cursor, dropping the (theoretical) empty ones, then order
 	// the heap.
 	kept := m.h[:0]

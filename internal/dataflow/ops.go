@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // Filter keeps tuples accepted by pred. It is map-side (no shuffle) and
@@ -343,6 +344,8 @@ func (g *Grouped) Close() error { return g.st.Close() }
 // under NumGroups, EachGroup, and Aggregate.
 func mergePass[S any](g *Grouped, newState func(first Tuple) S, fold func(S, Tuple) S, emit func(s S) error) (int, error) {
 	g.job.stats.MergePasses++
+	tmMergePasses.Inc()
+	defer tmMergePassNs.ObserveSince(time.Now())
 	m, err := g.st.mergeAll()
 	if err != nil {
 		return 0, err
@@ -702,6 +705,7 @@ type joinState struct {
 
 func (s *joinState) open() (Iterator, error) {
 	s.job.stats.MergePasses++
+	tmMergePasses.Inc()
 	lm, err := s.lt.mergeAll()
 	if err != nil {
 		return nil, err
@@ -889,6 +893,7 @@ func (d *Dataset) Distinct() *Dataset {
 		}
 		d.job.stats.ReduceTasks++ // base wave; topped up at end of merge
 		d.job.stats.MergePasses++
+		tmMergePasses.Inc()
 		m, err := st.mergeAll()
 		if err != nil {
 			st.Close()
@@ -991,6 +996,7 @@ func (d *Dataset) OrderBy(col string, ascending bool) (*Dataset, error) {
 	job := d.job
 	return &Dataset{job: job, schema: d.schema, cleanup: cleanup, open: func() (Iterator, error) {
 		job.stats.MergePasses++
+		tmMergePasses.Inc()
 		m, err := st.mergeAll()
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"os"
 	"sort"
+	"time"
 
 	"unilog/internal/recordio"
 )
@@ -164,11 +165,18 @@ func (st *spillTable) add(t Tuple) error {
 // files and sorts the residues for merging. On error the table has been
 // cleaned up.
 func (st *spillTable) fill(d *Dataset) error {
+	t0 := time.Now()
+	before := st.job.stats.ShuffleBytes
 	if err := d.Each(st.add); err != nil {
 		st.Close()
 		return err
 	}
-	return st.finish()
+	err := st.finish()
+	// The shuffle stage is accounted here, once per table fill, from the
+	// same Stats fields add() charges per tuple — no per-tuple telemetry.
+	tmShuffleBytes.Add(st.job.stats.ShuffleBytes - before)
+	tmShuffleNs.ObserveSince(t0)
+	return err
 }
 
 // sortPart orders a partition buffer by (key, order column, sequence) —
@@ -205,6 +213,7 @@ func (st *spillTable) spillLargest() error {
 	if p == nil {
 		return nil
 	}
+	t0 := time.Now()
 	if p.f == nil {
 		f, err := os.CreateTemp(st.spillDir(), "unilog-spill-"+st.job.Name+"-*.crc")
 		if err != nil {
@@ -234,6 +243,10 @@ func (st *spillTable) spillLargest() error {
 	st.job.stats.SpillRuns++
 	st.job.stats.SpilledRecords += int64(len(p.mem))
 	st.job.stats.SpilledBytes += p.w.Bytes() - before
+	tmSpillRuns.Inc()
+	tmSpillRecords.Add(int64(len(p.mem)))
+	tmSpillBytes.Add(p.w.Bytes() - before)
+	tmSpillFlushNs.ObserveSince(t0)
 	st.buffered -= p.memBytes
 	p.mem = nil // really release: the budget exists to bound live tuples
 	p.keyArena = nil

@@ -1,0 +1,25 @@
+package dataflow
+
+import (
+	"unilog/internal/telemetry"
+)
+
+// Telemetry instruments for the batch vertical. These are process-global
+// totals across every Job; per-job numbers stay in Job.Stats, and the
+// counters here are fed from the same coarse sites that update those
+// fields (per split, per spill flush, per merge pass) — never per tuple,
+// so the streaming inner loops stay allocation- and contention-free.
+var (
+	tmScanBytes     = telemetry.GetCounter("dataflow.scan.bytes")
+	tmShuffleBytes  = telemetry.GetCounter("dataflow.shuffle.bytes")
+	tmSpillBytes    = telemetry.GetCounter("dataflow.spill.bytes")
+	tmSpillRecords  = telemetry.GetCounter("dataflow.spill.records")
+	tmSpillRuns     = telemetry.GetCounter("dataflow.spill.runs")
+	tmMergePasses   = telemetry.GetCounter("dataflow.merge.passes")
+	tmMergeFanInMax = telemetry.GetGauge("dataflow.merge.run_fanin.peak")
+
+	tmScanSplitNs  = telemetry.GetHistogram("dataflow.stage.scan.ns")
+	tmShuffleNs    = telemetry.GetHistogram("dataflow.stage.shuffle.ns")
+	tmSpillFlushNs = telemetry.GetHistogram("dataflow.stage.spill.ns")
+	tmMergePassNs  = telemetry.GetHistogram("dataflow.stage.merge.ns")
+)

@@ -213,6 +213,7 @@ func (s *Scheduler) runDue() {
 	sort.SliceStable(candidates, func(a, b int) bool {
 		return candidates[a].period.Before(candidates[b].period)
 	})
+	tmQueueDepth.Set(int64(len(candidates)))
 	pending := candidates
 	for {
 		progress := false
@@ -234,6 +235,7 @@ func (s *Scheduler) runDue() {
 	for _, c := range pending {
 		s.traces = append(s.traces, Trace{Job: c.job.Name, Period: c.period, Started: s.now, Status: StatusBlocked})
 	}
+	tmQueueBlocked.Set(int64(len(pending)))
 }
 
 // attempt runs one (job, period) if its gates pass, returning the outcome.
@@ -246,13 +248,18 @@ func (s *Scheduler) attempt(j *Job, p time.Time) Status {
 	if !s.depsSatisfied(j, p) || (j.Ready != nil && !j.Ready(p)) {
 		return StatusBlocked
 	}
+	// The period became runnable when it ended (p + Every); the gap to the
+	// virtual now is the schedule-to-start lag.
+	tmScheduleLagMs.Observe(s.now.Sub(p.Add(j.Every)).Milliseconds())
 	tr := Trace{Job: j.Name, Period: p, Started: s.now}
 	if err := j.Run(p); err != nil {
 		tr.Status = StatusFailed
 		tr.Err = err.Error()
+		tmJobsFailed.Inc()
 	} else {
 		tr.Status = StatusSucceeded
 		s.succeeded[j.Name][p.Unix()] = true
+		tmJobsSucceeded.Inc()
 	}
 	s.traces = append(s.traces, tr)
 	return tr.Status

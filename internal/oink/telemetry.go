@@ -1,0 +1,19 @@
+package oink
+
+import (
+	"unilog/internal/telemetry"
+)
+
+// Telemetry instruments for the scheduler. Time here is the scheduler's
+// virtual clock, so the schedule-to-start lag histogram is in
+// milliseconds of simulated time: how long after a period became
+// runnable (period end) its job actually started — dependency stalls and
+// backlog catch-up show up as a fat tail.
+var (
+	tmJobsSucceeded = telemetry.GetCounter("oink.jobs.succeeded")
+	tmJobsFailed    = telemetry.GetCounter("oink.jobs.failed")
+	tmQueueDepth    = telemetry.GetGauge("oink.queue.depth")
+	tmQueueBlocked  = telemetry.GetGauge("oink.queue.blocked")
+
+	tmScheduleLagMs = telemetry.GetHistogram("oink.schedule.lag.ms")
+)

@@ -1,6 +1,8 @@
 package realtime
 
 import (
+	"time"
+
 	"unilog/internal/events"
 	"unilog/internal/scribe"
 )
@@ -10,6 +12,7 @@ import (
 // client_events into the counters; entries of other categories pass
 // through uncounted. Safe for concurrent use by many aggregators.
 func (c *Counter) TapBatch(batch []scribe.Entry) {
+	defer tmTapBatchNs.ObserveSince(time.Now())
 	b := c.NewBatcher()
 	for i := range batch {
 		if batch[i].Category != events.Category {

@@ -51,6 +51,7 @@ func (c *Counter) forEachBucket(from, to time.Time, fn func(*bucket)) {
 // PathSum is the point lookup: the total count of a hierarchy path —
 // any prefix of an event name, or a full name — over [from, to).
 func (c *Counter) PathSum(path string, from, to time.Time) int64 {
+	defer tmQueryPathSumNs.ObserveSince(time.Now())
 	id, ok := c.tab.pathOf(path)
 	if !ok {
 		return 0
@@ -65,6 +66,7 @@ func (c *Counter) PathSum(path string, from, to time.Time) int64 {
 // Series returns per-minute counts of a path over [from, to), index 0
 // holding from's minute. The window is capped at the retention length.
 func (c *Counter) Series(path string, from, to time.Time) []int64 {
+	defer tmQuerySeriesNs.ObserveSince(time.Now())
 	fm, tm := minuteRange(from, to)
 	if tm-fm > int64(c.buckets) {
 		tm = fm + int64(c.buckets)
@@ -94,6 +96,7 @@ type PathCount struct {
 // TopK("", k, ...) ranks clients, TopK("web", k, ...) ranks web pages,
 // and so on down the namespace. Ties break by path, ascending.
 func (c *Counter) TopK(parent string, k int, from, to time.Time) []PathCount {
+	defer tmQueryTopKNs.ObserveSince(time.Now())
 	if k <= 0 {
 		return nil
 	}
@@ -132,6 +135,7 @@ func (c *Counter) TopK(parent string, k int, from, to time.Time) []PathCount {
 // into one table, keyed identically to analytics.Rollups. The merge runs
 // in ID space; each distinct cell resolves to its string key exactly once.
 func (c *Counter) RollupSnapshot(from, to time.Time) map[analytics.RollupKey]int64 {
+	defer tmQueryRollupNs.ObserveSince(time.Now())
 	acc := make(map[rollupCell]int64)
 	c.forEachBucket(from, to, func(b *bucket) {
 		for cell, n := range b.rollup {
@@ -153,6 +157,7 @@ func (c *Counter) RollupSnapshot(from, to time.Time) map[analytics.RollupKey]int
 // RollupTotal sums one rolled-up name across countries and login status
 // over [from, to) — the live equivalent of analytics.RollupTotal.
 func (c *Counter) RollupTotal(level events.RollupLevel, name string, from, to time.Time) int64 {
+	defer tmQueryRollupNs.ObserveSince(time.Now())
 	id, ok := c.tab.pathOf(name)
 	if !ok {
 		return 0

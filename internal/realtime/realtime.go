@@ -495,6 +495,7 @@ func (c *Counter) drain(s *shard) {
 }
 
 func (c *Counter) apply(s *shard, batch []obs) {
+	t0 := time.Now()
 	for i := range batch {
 		st := batch[i].sym.stripe
 		s.scratch[st] = append(s.scratch[st], batch[i])
@@ -516,6 +517,9 @@ func (c *Counter) apply(s *shard, batch []obs) {
 		s.scratch[st] = group[:0]
 	}
 	c.observed.Add(applied)
+	tmIngestEvents.Add(applied)
+	tmIngestBatches.Inc()
+	tmApplyBatchNs.ObserveSince(t0)
 }
 
 // applyOne increments one observation's 6 prefix counters and 5 rollup

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"unilog/internal/recordio"
+	"unilog/internal/telemetry"
 )
 
 // Open starts a durable counter rooted at dir, recovering whatever a
@@ -53,6 +54,8 @@ func Open(dir string, cfg Config) (*Counter, error) {
 	c := allocCounter(cfg)
 	c.durable = true
 
+	span := telemetry.StartSpan("realtime.recovery")
+
 	snaps, segs, maxSnapSeq, err := scanDir(dir)
 	if err != nil {
 		return nil, err
@@ -60,8 +63,9 @@ func Open(dir string, cfg Config) (*Counter, error) {
 	c.snapSeq = maxSnapSeq
 
 	var header snapHeader
+	snapSpan := span.Child("snapshot")
 	for _, s := range snaps { // newest first
-		h, buckets, err := loadSnapshot(filepath.Join(dir, s.name))
+		h, dict, buckets, err := loadSnapshot(filepath.Join(dir, s.name))
 		if err != nil {
 			continue // superseded at the next snapshot; recovery moves on
 		}
@@ -70,15 +74,23 @@ func Open(dir string, cfg Config) (*Counter, error) {
 		c.observed.Store(h.observed)
 		c.maxMinute.Store(h.maxMinute)
 		c.restoreStats(h.stats)
+		// One batch intern of the file's dictionary builds the old-ID →
+		// new-ID remap; every v2 bucket cell then loads by array index.
+		rm := idRemap{
+			paths:     c.tab.internPaths(dict.paths),
+			countries: c.tab.internCountries(dict.countries),
+		}
 		for i := range buckets {
-			c.loadBucket(&buckets[i])
+			c.loadBucket(&buckets[i], &rm)
 		}
 		break
 	}
+	snapSpan.End()
 
 	// Replay each logged shard's surviving segments, oldest first,
 	// re-digesting every record so routing follows the current
 	// configuration even if the log was written under a different one.
+	walSpan := span.Child("wal")
 	for shard, files := range segs {
 		sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
 		from := int64(0)
@@ -97,6 +109,7 @@ func Open(dir string, cfg Config) (*Counter, error) {
 			}
 		}
 	}
+	walSpan.End()
 
 	// Append into fresh segments strictly after anything on disk or
 	// recorded in the snapshot header.
@@ -117,6 +130,7 @@ func Open(dir string, cfg Config) (*Counter, error) {
 		s.wal = w
 	}
 
+	span.End()
 	c.start()
 	return c, nil
 }
@@ -176,43 +190,43 @@ func scanDir(dir string) (snaps []dirEntry, segs map[int][]dirEntry, maxSnapSeq 
 // frame before any of it is applied — a snapshot is all-or-nothing. v2
 // files carry a dictionary record between the header and the buckets; v1
 // files go straight to string-keyed buckets.
-func loadSnapshot(path string) (snapHeader, []snapBucket, error) {
+func loadSnapshot(path string) (snapHeader, snapDict, []snapBucket, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return snapHeader{}, nil, err
+		return snapHeader{}, snapDict{}, nil, err
 	}
 	defer f.Close()
 	r := recordio.NewCRCReader(f)
 	rec, err := r.Next()
 	if err != nil {
-		return snapHeader{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), errOr(err))
+		return snapHeader{}, snapDict{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), errOr(err))
 	}
 	header, err := decodeSnapHeader(rec)
 	if err != nil {
-		return snapHeader{}, nil, err
+		return snapHeader{}, snapDict{}, nil, err
 	}
 	var dict snapDict
 	if header.version >= snapRecordVersion {
 		rec, err := r.Next()
 		if err != nil {
-			return snapHeader{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), errOr(err))
+			return snapHeader{}, snapDict{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), errOr(err))
 		}
 		if dict, err = decodeSnapDict(rec); err != nil {
-			return snapHeader{}, nil, err
+			return snapHeader{}, snapDict{}, nil, err
 		}
 	}
 	var buckets []snapBucket
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {
-			return header, buckets, nil
+			return header, dict, buckets, nil
 		}
 		if err != nil {
-			return snapHeader{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), err)
+			return snapHeader{}, snapDict{}, nil, fmt.Errorf("realtime: snapshot %s: %w", filepath.Base(path), err)
 		}
 		b, err := decodeBucket(rec, header.version, &dict)
 		if err != nil {
-			return snapHeader{}, nil, err
+			return snapHeader{}, snapDict{}, nil, err
 		}
 		buckets = append(buckets, b)
 	}
@@ -226,13 +240,25 @@ func errOr(err error) error {
 	return err
 }
 
-// loadBucket merges one snapshot bucket into the stripes, re-interning
-// every key into this counter's symbol table (snapshot IDs were already
-// resolved to strings at decode). Shard and stripe indices are taken
-// modulo the current configuration, so a snapshot from a
-// differently-sized counter still loads — totals are distributive across
-// placement, and collisions merge.
-func (c *Counter) loadBucket(sb *snapBucket) {
+// idRemap translates one snapshot file's dictionary IDs into the
+// recovering counter's symbol-table IDs: index by old ID, read new ID.
+// Built once per file by batch-interning the dictionary (internPaths /
+// internCountries), it replaces the per-cell string round-trip the load
+// path used to pay — decodeBucket's range checks guarantee every v2 cell
+// ID indexes within these slices.
+type idRemap struct {
+	paths     []uint32
+	countries []uint32
+}
+
+// loadBucket merges one snapshot bucket into the stripes. v2 cells
+// arrive ID-keyed and translate through rm with two array reads; v1
+// cells arrive string-keyed and re-intern into this counter's symbol
+// table per key. Shard and stripe indices are taken modulo the current
+// configuration, so a snapshot from a differently-sized counter still
+// loads — totals are distributive across placement, and collisions
+// merge.
+func (c *Counter) loadBucket(sb *snapBucket, rm *idRemap) {
 	if sb.minute <= c.maxMinute.Load()-int64(c.buckets) {
 		return // behind the retention horizon
 	}
@@ -242,14 +268,25 @@ func (c *Counter) loadBucket(sb *snapBucket) {
 	switch {
 	case b.prefix == nil || b.minute < sb.minute:
 		b.minute = sb.minute
-		b.prefix = make(map[uint32]int64, len(sb.prefix))
-		b.rollup = make(map[rollupCell]int64, len(sb.rollup))
+		b.prefix = make(map[uint32]int64, len(sb.prefix)+len(sb.prefixID))
+		b.rollup = make(map[rollupCell]int64, len(sb.rollup)+len(sb.rollupID))
 	case b.minute == sb.minute:
 		// Merge below.
 	default:
 		// The slot already holds a newer minute; this bucket is behind
 		// the horizon by ring geometry.
 		return
+	}
+	for id, v := range sb.prefixID {
+		b.prefix[rm.paths[id]] += v
+	}
+	for cell, v := range sb.rollupID {
+		b.rollup[rollupCell{
+			name:     rm.paths[cell.name],
+			country:  rm.countries[cell.country],
+			level:    cell.level,
+			loggedIn: cell.loggedIn,
+		}] += v
 	}
 	for k, v := range sb.prefix {
 		b.prefix[c.tab.internPath(k)] += v

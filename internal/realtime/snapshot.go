@@ -197,6 +197,7 @@ func (c *Counter) captureShardStopped(s *shard) shardState {
 // writeSnapshot persists the captured states as snap-<snapSeq+1>.snap and
 // prunes everything it supersedes. Callers hold snapMu.
 func (c *Counter) writeSnapshot(states []shardState) error {
+	defer tmSnapshotNs.ObserveSince(time.Now())
 	// The header's next-sequence list must cover not only the live shards
 	// but any lingering segment files from a previous, larger
 	// configuration: their content was replayed at Open and is therefore
@@ -493,20 +494,29 @@ func encodeBucket(buf []byte, shard, stripe int, b *bucket) []byte {
 	return buf
 }
 
-// snapBucket is a decoded bucket record, resolved back to strings — the
-// common currency of the v1 and v2 load paths. loadBucket re-interns the
-// keys into the recovering counter's own symbol table, which is how a
-// snapshot survives shard/stripe/ID-assignment differences.
+// snapBucket is a decoded bucket record. v2 buckets stay in ID space —
+// cells keyed by the snapshot file's dictionary IDs, translated into the
+// recovering counter's own IDs by loadBucket through a remap table built
+// once per file (no per-cell string hashing). v1 buckets, which predate
+// the dictionary, decode to string-keyed cells and re-intern per key.
+// Either way, keys end up in the recovering counter's symbol table, which
+// is how a snapshot survives shard/stripe/ID-assignment differences.
 type snapBucket struct {
 	shard, stripe int
 	minute        int64
-	prefix        map[string]int64
-	rollup        map[analytics.RollupKey]int64
+	// v2: dictionary-ID-keyed cells (rollupCell fields hold file IDs).
+	prefixID map[uint32]int64
+	rollupID map[rollupCell]int64
+	// v1: string-keyed cells.
+	prefix map[string]int64
+	rollup map[analytics.RollupKey]int64
 }
 
-// decodeBucket parses a bucket record of either version; v2 records
-// resolve their IDs through the file's dictionary. Bounds checks ride on
-// the shared recordio.Cursor; dictionary-range checks stay local.
+// decodeBucket parses a bucket record of either version. v2 IDs are
+// range-checked against the file's dictionary here — so the remap lookup
+// at load time cannot go out of bounds — but not resolved to strings.
+// Bounds checks ride on the shared recordio.Cursor; dictionary-range
+// checks stay local.
 func decodeBucket(rec []byte, version byte, dict *snapDict) (snapBucket, error) {
 	var b snapBucket
 	corrupt := func(what string) (snapBucket, error) {
@@ -516,51 +526,63 @@ func decodeBucket(rec []byte, version byte, dict *snapDict) (snapBucket, error) 
 		return corrupt("tag")
 	}
 	c := recordio.NewCursor(rec[1:])
-	badID := false
-	path := func(what string) string {
-		if version == snapRecordV1 {
-			return c.String(what)
-		}
-		id := c.Uvarint(what)
-		if !c.Ok() || id >= uint64(len(dict.paths)) {
-			badID = true
-			return ""
-		}
-		return dict.paths[id]
-	}
-	countryStr := func(what string) string {
-		if version == snapRecordV1 {
-			return c.String(what)
-		}
-		id := c.Uvarint(what)
-		if !c.Ok() || id >= uint64(len(dict.countries)) {
-			badID = true
-			return ""
-		}
-		return dict.countries[id]
-	}
 	b.shard = int(c.Uvarint("coordinates"))
 	b.stripe = int(c.Uvarint("coordinates"))
 	b.minute = int64(c.Uvarint("coordinates"))
+	badID := false
 	np := c.Count("prefix count")
-	b.prefix = make(map[string]int64, np)
-	for i := 0; i < np && c.Ok() && !badID; i++ {
-		k := path("prefix key")
-		v := c.Uvarint("prefix value")
-		if c.Ok() && !badID {
-			b.prefix[k] += int64(v)
+	if version == snapRecordV1 {
+		b.prefix = make(map[string]int64, np)
+		for i := 0; i < np && c.Ok(); i++ {
+			k := c.String("prefix key")
+			v := c.Uvarint("prefix value")
+			if c.Ok() {
+				b.prefix[k] += int64(v)
+			}
+		}
+	} else {
+		b.prefixID = make(map[uint32]int64, np)
+		for i := 0; i < np && c.Ok() && !badID; i++ {
+			id := c.Uvarint("prefix key")
+			v := c.Uvarint("prefix value")
+			if id >= uint64(len(dict.paths)) {
+				badID = true
+			} else if c.Ok() {
+				b.prefixID[uint32(id)] += int64(v)
+			}
 		}
 	}
 	nr := c.Count("rollup count")
-	b.rollup = make(map[analytics.RollupKey]int64, nr)
-	for i := 0; i < nr && c.Ok() && !badID; i++ {
-		level := events.RollupLevel(c.Byte("rollup level"))
-		name := path("rollup name")
-		country := countryStr("rollup country")
-		loggedIn := c.Bool("rollup login bit")
-		v := c.Uvarint("rollup value")
-		if c.Ok() && !badID {
-			b.rollup[analytics.RollupKey{Level: level, Name: name, Country: country, LoggedIn: loggedIn}] += int64(v)
+	if version == snapRecordV1 {
+		b.rollup = make(map[analytics.RollupKey]int64, nr)
+		for i := 0; i < nr && c.Ok(); i++ {
+			level := events.RollupLevel(c.Byte("rollup level"))
+			name := c.String("rollup name")
+			country := c.String("rollup country")
+			loggedIn := c.Bool("rollup login bit")
+			v := c.Uvarint("rollup value")
+			if c.Ok() {
+				b.rollup[analytics.RollupKey{Level: level, Name: name, Country: country, LoggedIn: loggedIn}] += int64(v)
+			}
+		}
+	} else {
+		b.rollupID = make(map[rollupCell]int64, nr)
+		for i := 0; i < nr && c.Ok() && !badID; i++ {
+			level := c.Byte("rollup level")
+			name := c.Uvarint("rollup name")
+			country := c.Uvarint("rollup country")
+			loggedIn := c.Bool("rollup login bit")
+			v := c.Uvarint("rollup value")
+			if name >= uint64(len(dict.paths)) || country >= uint64(len(dict.countries)) {
+				badID = true
+			} else if c.Ok() {
+				b.rollupID[rollupCell{
+					name:     uint32(name),
+					country:  uint32(country),
+					level:    level,
+					loggedIn: loggedIn,
+				}] += int64(v)
+			}
 		}
 	}
 	if err := c.Err(); err != nil {

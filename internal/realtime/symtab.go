@@ -203,6 +203,31 @@ func (t *symtab) internPath(s string) uint32 {
 	return t.internPathLocked(s)
 }
 
+// internPaths interns a whole dictionary of counter keys under one write
+// lock, returning old-ID (slice index) → new-ID. This is the snapshot
+// remap builder: every bucket cell in the file then translates with one
+// array index instead of a string hash and per-key lock.
+func (t *symtab) internPaths(ss []string) []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint32, len(ss))
+	for i, s := range ss {
+		out[i] = t.internPathLocked(s)
+	}
+	return out
+}
+
+// internCountries is internPaths for the country table.
+func (t *symtab) internCountries(ss []string) []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint32, len(ss))
+	for i, s := range ss {
+		out[i] = t.countryLocked(s)
+	}
+	return out
+}
+
 // country interns a country code outside the ingest path.
 func (t *symtab) country(s string) uint32 {
 	t.mu.Lock()

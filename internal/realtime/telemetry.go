@@ -1,0 +1,56 @@
+package realtime
+
+import (
+	"unilog/internal/telemetry"
+)
+
+// Telemetry instruments for the realtime vertical, resolved once at init
+// so the ingest legs (tap → batch → stripe apply → WAL append/fsync)
+// record through pre-fetched atomic handles — no lookups, no allocation
+// on the hot path. Counters and histograms here are process-global
+// totals across every Counter instance; per-instance Stats fields are
+// wired through as gauges by Publish instead of being duplicated.
+var (
+	tmIngestEvents  = telemetry.GetCounter("realtime.ingest.events")
+	tmIngestBatches = telemetry.GetCounter("realtime.ingest.batches")
+	tmWALBytes      = telemetry.GetCounter("realtime.wal.bytes")
+
+	tmTapBatchNs   = telemetry.GetHistogram("realtime.tap.batch.ns")
+	tmApplyBatchNs = telemetry.GetHistogram("realtime.apply.batch.ns")
+	tmWALAppendNs  = telemetry.GetHistogram("realtime.wal.append.ns")
+	tmWALFsyncNs   = telemetry.GetHistogram("realtime.wal.fsync.ns")
+	tmSnapshotNs   = telemetry.GetHistogram("realtime.snapshot.write.ns")
+
+	tmQueryPathSumNs = telemetry.GetHistogram("realtime.query.pathsum.ns")
+	tmQuerySeriesNs  = telemetry.GetHistogram("realtime.query.series.ns")
+	tmQueryTopKNs    = telemetry.GetHistogram("realtime.query.topk.ns")
+	tmQueryRollupNs  = telemetry.GetHistogram("realtime.query.rollup.ns")
+)
+
+// Publish wires this counter's live Stats fields and queue state into
+// reg as snapshot-time gauges (nil means telemetry.Default). Gauges read
+// the same atomics Stats() reads — nothing is double-counted. Publish is
+// last-wins per name: after a crash/recover cycle, calling it on the
+// recovered counter repoints the gauges at the live instance.
+func (c *Counter) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	reg.GaugeFunc("realtime.observed.events", func() int64 { return c.observed.Load() })
+	reg.GaugeFunc("realtime.queue.depth", func() int64 {
+		var n int64
+		for _, s := range c.shards {
+			n += int64(len(s.ch))
+		}
+		return n
+	})
+	reg.GaugeFunc("realtime.queue.full_waits", func() int64 { return c.queueFull.Load() })
+	reg.GaugeFunc("realtime.tap.entries", func() int64 { return c.tapEntries.Load() })
+	reg.GaugeFunc("realtime.tap.decode_errors", func() int64 { return c.decodeErrors.Load() })
+	reg.GaugeFunc("realtime.dropped_old.events", func() int64 { return c.droppedOld.Load() })
+	reg.GaugeFunc("realtime.wal.batches", func() int64 { return c.walBatches.Load() })
+	reg.GaugeFunc("realtime.wal.errors", func() int64 { return c.walErrors.Load() })
+	reg.GaugeFunc("realtime.wal.fsyncs", func() int64 { return c.fsyncs.Load() })
+	reg.GaugeFunc("realtime.snapshot.count", func() int64 { return c.snapshots.Load() })
+	reg.GaugeFunc("realtime.snapshot.errors", func() int64 { return c.snapErrors.Load() })
+}

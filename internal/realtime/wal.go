@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"unilog/internal/recordio"
 )
@@ -162,7 +163,10 @@ func (w *walWriter) append(batch []obs, fsyncEvery int, tab *symtab) (int64, boo
 	if w.sinceSync < fsyncEvery {
 		return w.cw.Bytes() - before, false, nil
 	}
-	if err := w.f.Sync(); err != nil {
+	t0 := time.Now()
+	err := w.f.Sync()
+	tmWALFsyncNs.ObserveSince(t0)
+	if err != nil {
 		// sinceSync stays at the threshold: the next append retries.
 		return w.cw.Bytes() - before, false, fmt.Errorf("%w: %v", errFsync, err)
 	}
@@ -209,13 +213,16 @@ func (w *walWriter) close() error {
 // the log and will replay after a kill) alongside a WALError for the
 // weakened durability.
 func (c *Counter) walAppend(s *shard, batch []obs) {
+	t0 := time.Now()
 	n, synced, err := s.wal.append(batch, c.cfg.FsyncEvery, c.tab)
+	tmWALAppendNs.ObserveSince(t0)
 	if err != nil && !errors.Is(err, errFsync) {
 		c.walErrors.Add(1)
 		return
 	}
 	c.walBatches.Add(1)
 	c.walBytes.Add(n)
+	tmWALBytes.Add(n)
 	if err != nil {
 		c.walErrors.Add(1)
 		return

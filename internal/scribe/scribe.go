@@ -189,6 +189,7 @@ func (a *Aggregator) Append(batch []Entry) error {
 	// Even on a mid-batch error the entries collected so far were
 	// committed to their streams, so the tap must still observe them.
 	if tap != nil && len(tapped) > 0 {
+		tmTapEntries.Add(int64(len(tapped)))
 		tap(tapped)
 	}
 	return err
@@ -205,6 +206,8 @@ func (a *Aggregator) appendLocked(batch []Entry) (func(batch []Entry), []Entry, 
 	}
 	a.heartbeatLocked()
 	a.stats.BatchesReceived++
+	received := a.stats.MessagesReceived
+	defer func() { tmAggMessages.Add(a.stats.MessagesReceived - received) }()
 	var tapped []Entry
 	now := a.clock.Now().UTC().Truncate(time.Hour)
 	for _, e := range batch {
@@ -254,6 +257,7 @@ func (a *Aggregator) rollStreamLocked(category string, s *categoryStream) {
 		// does, treat the stream's messages as dropped rather than corrupt.
 		a.stats.MessagesDropped += s.count
 		a.stats.PendingMessages -= s.count
+		tmAggDropped.Add(s.count)
 		delete(a.streams, category)
 		return
 	}
@@ -271,10 +275,14 @@ func (a *Aggregator) rollStreamLocked(category string, s *categoryStream) {
 func (a *Aggregator) retryPendingLocked() {
 	for len(a.pending) > 0 {
 		f := a.pending[0]
+		t0 := time.Now()
 		if err := a.staging.WriteFile(f.path, f.data); err != nil {
 			a.stats.FlushFailures++
+			tmFlushFailures.Inc()
 			return
 		}
+		tmFlushNs.ObserveSince(t0)
+		tmFilesWritten.Inc()
 		a.stats.FilesWritten++
 		a.stats.PendingFiles--
 		a.pending = a.pending[1:]
@@ -318,10 +326,12 @@ func (a *Aggregator) Crash() {
 	for cat, s := range a.streams {
 		a.stats.MessagesDropped += s.count
 		a.stats.PendingMessages -= s.count
+		tmAggDropped.Add(s.count)
 		delete(a.streams, cat)
 	}
 	for _, f := range a.pending {
 		a.stats.MessagesDropped += f.count
+		tmAggDropped.Add(f.count)
 	}
 	a.stats.PendingFiles = 0
 	a.pending = nil
@@ -424,9 +434,11 @@ func (d *Daemon) Log(category string, message []byte) {
 	copy(msg, message)
 	d.spool = append(d.spool, Entry{Category: category, Message: msg})
 	d.stats.Accepted++
+	tmDaemonAccept.Inc()
 	d.stats.Spooled = int64(len(d.spool))
 	if d.stats.Spooled > d.stats.SpoolHighWater {
 		d.stats.SpoolHighWater = d.stats.Spooled
+		tmSpoolHigh.SetMax(d.stats.Spooled)
 	}
 	flush := len(d.spool) >= d.BatchSize
 	d.mu.Unlock()
@@ -456,6 +468,7 @@ func (d *Daemon) Flush() error {
 		batch := d.spool
 		if err := d.net.Send(d.current, batch); err != nil {
 			d.stats.SendFailures++
+			tmSendFailures.Inc()
 			d.current = "" // force rediscovery
 			continue
 		}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snap) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the snapshot in expvar-style sorted "name value"
+// lines; histograms expand to one line per summary field.
+func (s Snap) WriteText(w io.Writer) {
+	keys := make([]string, 0, len(s.Series))
+	for k := range s.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, s.Series[k])
+	}
+	hkeys := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := s.Histograms[k]
+		fmt.Fprintf(w, "%s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n",
+			k, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99)
+	}
+}
+
+// Handler serves the registry at its mount point (conventionally
+// /debug/unilog): expvar-style text by default, indented JSON when the
+// request carries ?format=json or an application/json Accept header.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := s.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.WriteText(w)
+	})
+}
+
+// Handler serves the Default registry.
+func Handler() http.Handler { return Default.Handler() }

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// summaryMaxEntries bounds one summary line: beyond this many changed
+// series the line ends with a "+N more" marker instead of growing
+// unreadably wide.
+const summaryMaxEntries = 16
+
+// Summary renders one line of the registry's current state: every
+// nonzero series, sorted, plus p99s for every non-empty ".ns" histogram,
+// capped at summaryMaxEntries entries. This is the line the periodic
+// logger emits and what a command prints as its parting shot.
+func (r *Registry) Summary() string {
+	return summarize(r.Snapshot(), Snap{})
+}
+
+// summarize renders the series of cur that changed relative to prev
+// (prev zero-valued means "everything nonzero"). Durations (".ns"
+// histograms) render their p99 with time.Duration formatting.
+func summarize(cur, prev Snap) string {
+	var parts []string
+	keys := make([]string, 0, len(cur.Series))
+	for k := range cur.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := cur.Series[k]
+		if v == prev.Series[k] {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	hkeys := make([]string, 0, len(cur.Histograms))
+	for k := range cur.Histograms {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := cur.Histograms[k]
+		if h.Count == 0 || h.Count == prev.Histograms[k].Count {
+			continue
+		}
+		if strings.HasSuffix(k, ".ns") {
+			parts = append(parts, fmt.Sprintf("%s.p99=%s", strings.TrimSuffix(k, ".ns"), time.Duration(h.P99)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s.p99=%d", k, h.P99))
+		}
+	}
+	if len(parts) == 0 {
+		return "telemetry: idle"
+	}
+	extra := ""
+	if len(parts) > summaryMaxEntries {
+		extra = fmt.Sprintf(" +%d more", len(parts)-summaryMaxEntries)
+		parts = parts[:summaryMaxEntries]
+	}
+	return "telemetry: " + strings.Join(parts, " ") + extra
+}
+
+// SummaryLogger emits one summary line per tick covering the series that
+// changed since the previous tick — quiet when the pipeline is quiet.
+type SummaryLogger struct {
+	r     *Registry
+	w     io.Writer
+	stop  chan struct{}
+	done  chan struct{}
+	mu    sync.Mutex // serializes emit against Stop's final flush
+	prev  Snap
+	ticks int
+}
+
+// StartSummaryLogger starts a goroutine logging a one-line summary to w
+// every interval. Stop it with Stop, which emits a final line covering
+// anything that changed since the last tick.
+func (r *Registry) StartSummaryLogger(w io.Writer, every time.Duration) *SummaryLogger {
+	l := &SummaryLogger{
+		r:    r,
+		w:    w,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		prev: r.Snapshot(),
+	}
+	go func() {
+		defer close(l.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				l.emit()
+			case <-l.stop:
+				return
+			}
+		}
+	}()
+	return l
+}
+
+func (l *SummaryLogger) emit() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.r.Snapshot()
+	line := summarize(cur, l.prev)
+	l.prev = cur
+	l.ticks++
+	if line != "telemetry: idle" {
+		fmt.Fprintln(l.w, line)
+	}
+}
+
+// Stop halts the ticker, emits one final delta line, and waits for the
+// logging goroutine to exit.
+func (l *SummaryLogger) Stop() {
+	close(l.stop)
+	<-l.done
+	l.emit()
+}

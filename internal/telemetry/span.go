@@ -1,0 +1,46 @@
+package telemetry
+
+import "time"
+
+// Span times one pipeline stage. Starting a span resolves its histogram
+// ("<name>.ns") once; End is two time calls and an atomic add, so spans
+// are cheap enough to wrap every batch apply or merge pass. Span is a
+// value type — no allocation, nothing to release beyond calling End.
+//
+// Stages nest by name: a child span appends ".<stage>" to its parent's
+// name, so a recovery that loads a snapshot then replays the WAL records
+// into realtime.recovery.ns, realtime.recovery.snapshot.ns, and
+// realtime.recovery.wal.ns.
+type Span struct {
+	h     *Histogram
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span on this registry; its duration will be recorded
+// into the "<name>.ns" histogram when End is called.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{h: r.Histogram(name + ".ns"), r: r, name: name, start: time.Now()}
+}
+
+// StartSpan opens a span on the Default registry.
+func StartSpan(name string) Span { return Default.StartSpan(name) }
+
+// Child opens a sub-stage span named "<parent>.<stage>", started now.
+func (s Span) Child(stage string) Span {
+	return s.r.StartSpan(s.name + "." + stage)
+}
+
+// Name returns the span's stage name (without the ".ns" suffix).
+func (s Span) Name() string { return s.name }
+
+// End records the elapsed time and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if d < 0 {
+		d = 0
+	}
+	s.h.Observe(int64(d))
+	return d
+}

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers register/increment/snapshot from many
+// goroutines; run under -race -shuffle=on this is the data-race gate for
+// the whole registry.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	names := []string{"a.x.events", "b.y.bytes", "c.z.ns"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := names[i%len(names)]
+				r.Counter(n).Inc()
+				r.Gauge(n + ".gauge").SetMax(int64(i))
+				r.Histogram(n + ".hist").Observe(int64(i))
+				if i%64 == 0 {
+					r.GaugeFunc("fn."+n, func() int64 { return int64(w) })
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for _, n := range names {
+		total += s.Series[n]
+	}
+	if want := int64(workers * iters); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	var htotal int64
+	for _, n := range names {
+		htotal += s.Histograms[n+".hist"].Count
+	}
+	if want := int64(workers * iters); htotal != want {
+		t.Fatalf("histogram total = %d, want %d", htotal, want)
+	}
+}
+
+// TestCounterIdentity verifies get-or-create returns the same instrument
+// for the same name.
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Add(5)
+	if got := r.Counter("x").Value(); got != 5 {
+		t.Fatalf("second lookup saw %d, want 5", got)
+	}
+	if r.Counter("x") != c1 {
+		t.Fatal("same name returned distinct counters")
+	}
+}
+
+// TestGaugeFuncLastWins verifies re-registration replaces the function —
+// the contract a recovered subsystem relies on to re-publish.
+func TestGaugeFuncLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", func() int64 { return 1 })
+	r.GaugeFunc("g", func() int64 { return 2 })
+	if got := r.Snapshot().Series["g"]; got != 2 {
+		t.Fatalf("gauge func = %d, want 2 (last registration)", got)
+	}
+}
+
+// TestHistogramBuckets is the bucket-boundary property test: every
+// recorded value must land in the bucket whose bounds contain it, and
+// bounds must tile the axis without gaps.
+func TestHistogramBuckets(t *testing.T) {
+	// Bounds tile: bucket i's hi is bucket i+1's lo.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := bucketBounds(i)
+		lo, _ := bucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi=%d) and %d (lo=%d)", i, hi, i+1, lo)
+		}
+	}
+	// Deterministic sweep over boundaries and random values: the index's
+	// bounds must contain the value.
+	rng := rand.New(rand.NewSource(1))
+	check := func(v int64) {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := bucketBounds(i)
+		// The top bucket's hi saturates at MaxInt64, which makes its
+		// range inclusive on the right.
+		if v < lo || (v >= hi && hi != math.MaxInt64) {
+			t.Fatalf("value %d mapped to bucket %d [%d,%d)", v, i, lo, hi)
+		}
+	}
+	for e := 0; e < 63; e++ {
+		p := int64(1) << e
+		for _, v := range []int64{p - 1, p, p + 1} {
+			if v >= 0 {
+				check(v)
+			}
+		}
+	}
+	for n := 0; n < 10000; n++ {
+		check(rng.Int63n(1 << uint(4+rng.Intn(59))))
+	}
+	check(math.MaxInt64)
+}
+
+// TestHistogramQuantile records a known distribution and checks the
+// quantile estimate lands within one bucket width of the exact order
+// statistic.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		// Log-uniform-ish latencies from 100ns to ~100ms.
+		vals[i] = int64(100 * math.Pow(10, rng.Float64()*6))
+		h.Observe(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		rank := int(math.Ceil(q*float64(len(vals)))) - 1
+		exact := vals[rank]
+		got := h.Quantile(q)
+		lo, hi := bucketBounds(bucketIndex(exact))
+		width := hi - lo
+		if got < exact-width || got > exact+width {
+			t.Fatalf("q%.2f: estimate %d not within one bucket width (%d) of exact %d", q, got, width, exact)
+		}
+	}
+	if h.Summary().Min != vals[0] || h.Summary().Max != vals[len(vals)-1] {
+		t.Fatalf("min/max = %d/%d, want %d/%d", h.Summary().Min, h.Summary().Max, vals[0], vals[len(vals)-1])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram()
+	s := h.Summary()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("empty histogram summary = %+v", s)
+	}
+}
+
+// TestSpanNesting verifies child spans compose dotted stage names and
+// every level records into its own histogram.
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("job.run")
+	scan := root.Child("scan")
+	if scan.Name() != "job.run.scan" {
+		t.Fatalf("child name = %q", scan.Name())
+	}
+	inner := scan.Child("split")
+	time.Sleep(time.Millisecond)
+	if d := inner.End(); d <= 0 {
+		t.Fatalf("inner duration = %v", d)
+	}
+	scan.End()
+	root.End()
+	s := r.Snapshot()
+	for _, name := range []string{"job.run.ns", "job.run.scan.ns", "job.run.scan.split.ns"} {
+		h, ok := s.Histograms[name]
+		if !ok || h.Count != 1 {
+			t.Fatalf("histogram %s: ok=%v count=%d", name, ok, h.Count)
+		}
+	}
+	// Nesting implies containment: the parent's time covers the child's.
+	if s.Histograms["job.run.ns"].Max < s.Histograms["job.run.scan.split.ns"].Max {
+		t.Fatal("parent span shorter than nested child")
+	}
+}
+
+// TestHandler exercises both endpoint formats.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("realtime.ingest.events").Add(42)
+	r.Histogram("realtime.apply.batch.ns").Observe(1000)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snap
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode JSON: %v", err)
+	}
+	res.Body.Close()
+	if snap.Series["realtime.ingest.events"] != 42 {
+		t.Fatalf("series = %+v", snap.Series)
+	}
+	if snap.Histograms["realtime.apply.batch.ns"].Count != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+
+	res, err = srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "realtime.ingest.events 42") {
+		t.Fatalf("text output missing series:\n%s", body)
+	}
+}
+
+// TestSummaryLogger checks the delta behavior: only changed series show
+// up, and an idle tick logs nothing.
+func TestSummaryLogger(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b.events").Add(3)
+	var mu sync.Mutex
+	var sb strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	l := r.StartSummaryLogger(w, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	r.Counter("a.b.events").Add(4)
+	l.Stop()
+	mu.Lock()
+	out := sb.String()
+	mu.Unlock()
+	if !strings.Contains(out, "a.b.events=7") {
+		t.Fatalf("summary output missing delta line:\n%q", out)
+	}
+	// The line for the first tick reflects the counter at 3 (changed from
+	// the start-time snapshot taken... at 3), so the only guaranteed line
+	// is the final one; just ensure no "idle" lines leaked.
+	if strings.Contains(out, "idle") {
+		t.Fatalf("idle line emitted:\n%q", out)
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.y.events").Add(1)
+	r.Gauge("x.y.depth").Set(0) // zero gauges stay off the line
+	r.Histogram("x.y.ns").Observe(2000)
+	line := r.Summary()
+	if !strings.Contains(line, "x.y.events=1") || strings.Contains(line, "x.y.depth") {
+		t.Fatalf("summary line = %q", line)
+	}
+	if !strings.Contains(line, "x.y.p99=") {
+		t.Fatalf("summary line missing histogram p99: %q", line)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
