@@ -15,19 +15,38 @@
 set -euo pipefail
 
 PORT="${METRICS_SMOKE_PORT:-18472}"
+POLL_SECONDS="${METRICS_SMOKE_TIMEOUT:-120}"
 URL="http://127.0.0.1:${PORT}/debug/unilog?format=json"
+
+# DEMO_PID is set before the demo starts so the trap is safe under set -u
+# on every exit path, including failures before the launch.
+DEMO_PID=""
 OUT="$(mktemp -d)"
-trap 'kill "$DEMO_PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT
+cleanup() {
+  if [ -n "$DEMO_PID" ]; then
+    kill "$DEMO_PID" 2>/dev/null || true
+    wait "$DEMO_PID" 2>/dev/null || true
+  fi
+  rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+# Build first, run the binary directly: killing a `go run` wrapper can
+# orphan the compiled child, which would then hold the port for the whole
+# -hold window and wedge any retry.
+echo "metrics-smoke: building unilog-demo"
+go build -o "$OUT/unilog-demo" ./cmd/unilog-demo
 
 echo "metrics-smoke: starting unilog-demo with telemetry on :${PORT}"
-go run ./cmd/unilog-demo -users 20 -live=false \
+"$OUT/unilog-demo" -users 20 -live=false \
   -http "127.0.0.1:${PORT}" -hold 90s >"$OUT/demo.log" 2>&1 &
 DEMO_PID=$!
 
 # Poll until the endpoint answers with nonzero values for both series, or
-# time out. The demo takes a few seconds to build its day of traffic and
-# run the budgeted rollup; 120 polls x 1s is generous for a cold CI box.
-for i in $(seq 1 120); do
+# time out with a clear error. The demo takes a few seconds to build its
+# day of traffic and run the budgeted rollup; POLL_SECONDS x 1s is
+# generous for a cold CI box.
+for i in $(seq 1 "$POLL_SECONDS"); do
   if ! kill -0 "$DEMO_PID" 2>/dev/null; then
     echo "metrics-smoke: demo exited before the endpoint was scraped" >&2
     cat "$OUT/demo.log" >&2
@@ -46,7 +65,7 @@ for i in $(seq 1 120); do
   sleep 1
 done
 
-echo "metrics-smoke: timed out waiting for nonzero telemetry at $URL" >&2
+echo "metrics-smoke: timed out after ${POLL_SECONDS}s waiting for nonzero telemetry at $URL" >&2
 echo "--- last scrape (if any) ---" >&2
 cat "$OUT/snap.json" >&2 2>/dev/null || true
 echo "--- demo log ---" >&2

@@ -18,9 +18,16 @@
 // one) instead of failing the job, so adding or dropping a metric never
 // requires a lockstep baseline update.
 //
+// An argument may also be a directory — an experiment-grid output from
+// `benchrunner -grid` — in which case every *.json cell inside it is
+// compared against the same-named cell under <baseline-dir>/<dirname>.
+// Cells present on only one side are reported as new or removed cells,
+// never errors, so growing or shrinking the scenario matrix does not
+// require a lockstep baseline update either.
+//
 // Usage:
 //
-//	benchcompare [-baseline-dir ci/baseline] [-max-regress 0.30] [-max-latency-regress 2.0] FILE...
+//	benchcompare [-baseline-dir ci/baseline] [-max-regress 0.30] [-max-latency-regress 2.0] FILE|DIR...
 //
 // Baselines regenerate with the same command CI runs:
 //
@@ -38,6 +45,12 @@ import (
 	"strings"
 )
 
+// gates carries the regression thresholds through the compare calls.
+type gates struct {
+	maxRegress    float64
+	maxLatRegress float64
+}
+
 func main() {
 	baselineDir := flag.String("baseline-dir", "ci/baseline", "directory holding committed baseline JSON files")
 	maxRegress := flag.Float64("max-regress", 0.30, "maximum allowed fractional throughput regression (_per_sec keys, higher is better)")
@@ -47,61 +60,152 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark files given")
 		os.Exit(2)
 	}
+	g := gates{maxRegress: *maxRegress, maxLatRegress: *maxLatRegress}
 
 	failed := false
 	for _, path := range flag.Args() {
-		cur, err := load(path)
+		info, err := os.Stat(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 			os.Exit(2)
 		}
-		basePath := filepath.Join(*baselineDir, filepath.Base(path))
-		base, err := load(basePath)
+		var bad bool
+		if info.IsDir() {
+			bad, err = compareGridDir(path, filepath.Join(*baselineDir, filepath.Base(path)), g)
+		} else {
+			bad, err = compareFile(path, filepath.Join(*baselineDir, filepath.Base(path)), g)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Printf("## %s vs %s (max regression: throughput %.0f%%, latency %.0f%%)\n",
-			path, basePath, *maxRegress*100, *maxLatRegress*100)
-		fmt.Printf("%-32s %14s %14s %9s\n", "metric", "baseline", "current", "delta")
-		seen := map[string]bool{}
-		for _, key := range gatedKeys(cur) {
-			seen[key] = true
-			curV := cur[key].(float64)
-			baseV, ok := base[key].(float64)
-			if !ok || baseV <= 0 {
-				// A metric the baseline predates: report it, don't gate on it.
-				fmt.Printf("%-32s %14s %14.0f %9s\n", key, "(none)", curV, "new")
-				continue
-			}
-			delta := curV/baseV - 1
-			verdict := "ok"
-			if lowerIsBetter(key) {
-				if curV > baseV*(1+*maxLatRegress) {
-					verdict = "REGRESSED"
-					failed = true
-				}
-			} else if curV < baseV*(1-*maxRegress) {
-				verdict = "REGRESSED"
-				failed = true
-			}
-			fmt.Printf("%-32s %14.0f %14.0f %+8.1f%% %s\n", key, baseV, curV, delta*100, verdict)
-		}
-		for _, key := range gatedKeys(base) {
-			if seen[key] {
-				continue
-			}
-			// A baseline metric the current run no longer emits: a retired
-			// experiment, not a regression.
-			fmt.Printf("%-32s %14.0f %14s %9s\n", key, base[key].(float64), "(none)", "removed")
-		}
-		fmt.Println()
+		failed = failed || bad
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchcompare: metrics regressed beyond the allowed bounds versus the committed baseline\n")
 		os.Exit(1)
 	}
 	fmt.Println("benchcompare: all gated metrics within bounds")
+}
+
+// compareFile gates one current JSON file against its committed baseline,
+// reporting whether anything regressed.
+func compareFile(path, basePath string, g gates) (failed bool, err error) {
+	cur, err := load(path)
+	if err != nil {
+		return false, err
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Printf("## %s vs %s (max regression: throughput %.0f%%, latency %.0f%%)\n",
+		path, basePath, g.maxRegress*100, g.maxLatRegress*100)
+	fmt.Printf("%-32s %14s %14s %9s\n", "metric", "baseline", "current", "delta")
+	seen := map[string]bool{}
+	for _, key := range gatedKeys(cur) {
+		seen[key] = true
+		curV := cur[key].(float64)
+		baseV, ok := base[key].(float64)
+		if !ok || baseV <= 0 {
+			// A metric the baseline predates: report it, don't gate on it.
+			fmt.Printf("%-32s %14s %14.0f %9s\n", key, "(none)", curV, "new")
+			continue
+		}
+		delta := curV/baseV - 1
+		verdict := "ok"
+		if lowerIsBetter(key) {
+			if curV > baseV*(1+g.maxLatRegress) {
+				verdict = "REGRESSED"
+				failed = true
+			}
+		} else if curV < baseV*(1-g.maxRegress) {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+8.1f%% %s\n", key, baseV, curV, delta*100, verdict)
+	}
+	for _, key := range gatedKeys(base) {
+		if seen[key] {
+			continue
+		}
+		// A baseline metric the current run no longer emits: a retired
+		// experiment, not a regression.
+		fmt.Printf("%-32s %14.0f %14s %9s\n", key, base[key].(float64), "(none)", "removed")
+	}
+	fmt.Println()
+	return failed, nil
+}
+
+// compareGridDir diffs a grid output directory cell by cell against the
+// same-named directory under the baseline. Cells on only one side are
+// informational — a grown matrix reports new cells, a shrunk one reports
+// removed cells — and only cells present on both sides gate.
+func compareGridDir(dir, baseDir string, g gates) (failed bool, err error) {
+	curCells, err := listCells(dir)
+	if err != nil {
+		return false, err
+	}
+	baseCells, err := listCells(baseDir)
+	if err != nil && !os.IsNotExist(err) {
+		return false, err
+	}
+	fmt.Printf("# grid %s vs %s — %d current cells, %d baseline cells\n\n",
+		dir, baseDir, len(curCells), len(baseCells))
+
+	union := map[string]bool{}
+	for _, c := range curCells {
+		union[c] = true
+	}
+	for _, c := range baseCells {
+		union[c] = true
+	}
+	names := make([]string, 0, len(union))
+	for c := range union {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+
+	curSet := toSet(curCells)
+	baseSet := toSet(baseCells)
+	for _, name := range names {
+		switch {
+		case curSet[name] && baseSet[name]:
+			bad, err := compareFile(filepath.Join(dir, name), filepath.Join(baseDir, name), g)
+			if err != nil {
+				return failed, err
+			}
+			failed = failed || bad
+		case curSet[name]:
+			fmt.Printf("## %s: new cell (no baseline) — informational\n\n", name)
+		default:
+			fmt.Printf("## %s: removed cell (baseline only) — informational\n\n", name)
+		}
+	}
+	return failed, nil
+}
+
+// listCells returns the basenames of the *.json cells in dir.
+func listCells(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+func toSet(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
 }
 
 func load(path string) (map[string]any, error) {

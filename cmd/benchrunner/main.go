@@ -5,10 +5,17 @@
 // Usage:
 //
 //	benchrunner [-users N] [-loggedout N] [-seed S] [-only e1,e4]
+//	benchrunner -grid ci/scenarios/smoke.json [-grid-out DIR]
 //
 // All experiments share one generated day of traffic with planted ground
 // truth, a warehouse populated through the direct writer, and a session
 // store built by the two-pass daily job.
+//
+// With -grid, benchrunner instead runs a scenario experiment grid: every
+// (scenario × config) cell in the grid file executes a declarative
+// workload spec (internal/scenario) through the full pipeline and writes
+// one machine-readable JSON per cell; the run exits nonzero if any
+// cell's spec-declared invariants fail.
 package main
 
 import (
@@ -156,7 +163,17 @@ func main() {
 		"write machine-readable realtime metrics (e14/e15) to this file; empty disables")
 	benchJSONDataflow := flag.String("benchjson-dataflow", "BENCH_dataflow.json",
 		"write machine-readable dataflow metrics (e16/e17) to this file; empty disables")
+	grid := flag.String("grid", "",
+		"run the scenario experiment grid in this JSON file (see ci/scenarios/) and exit")
+	gridOut := flag.String("grid-out", "", "override the grid's output_dir")
 	flag.Parse()
+
+	if *grid != "" {
+		if err := runGrid(*grid, *gridOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := workload.DefaultConfig(day)
 	cfg.Users = *users

@@ -93,6 +93,24 @@
 // BENCH_*.json, and cmd/benchcompare gates those direction-aware
 // (throughput lower = regressed, latency higher = regressed).
 //
+// The traffic shapes the paper's infrastructure existed to survive are
+// data, not code: internal/scenario turns a declarative JSON workload
+// spec — named client classes with rate fractions and poisson / gamma /
+// uniform arrival processes, time-windowed flash-crowd multipliers on a
+// namespace subtree, per-region outage windows whose daemon spools
+// replay as backfill, per-session clock skew, a deliberately slow
+// realtime consumer, one seed — into a composable event-stream source
+// over the workload generator (Stream transforms stack like middleware),
+// executes it through the full multi-region pipeline with the faults
+// injected, and evaluates the spec's declared invariants:
+// reconcile-exact after backfill, exactly-once delivery, required spill
+// or backpressure telemetry, event-volume floors. benchrunner -grid runs
+// a (scenario x config) experiment matrix from an experiments.json,
+// emitting one machine-readable JSON per cell (telemetry snapshot plus
+// latency percentiles, same shape as the BENCH files); benchcompare
+// diffs whole grid directories cell by cell; and CI's scenario-matrix
+// job runs the committed grid under ci/scenarios/ on every push.
+//
 // See DESIGN.md for the system inventory and per-experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and the examples/ directory
 // for runnable entry points.

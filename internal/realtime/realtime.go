@@ -65,6 +65,16 @@ type Config struct {
 	// MaxBatch caps observations per enqueued batch. Default 512.
 	MaxBatch int
 
+	// ApplyDelay, when positive, makes each drain goroutine sleep this
+	// long before applying every batch — a fault-injection hook that
+	// turns the counter into a deliberately slow consumer. With a small
+	// QueueDepth the shard queues fill, producers block in send, and the
+	// backpressure becomes visible in Stats.QueueFull and the
+	// "realtime.queue.depth" / "realtime.queue.full_waits" telemetry
+	// gauges. The scenario harness (internal/scenario) drives it from
+	// slow-consumer workload specs; production configs leave it zero.
+	ApplyDelay time.Duration
+
 	// WALDir, when non-empty, makes the counter durable: every drained
 	// batch is appended to a per-shard write-ahead log under this
 	// directory before it is applied, and a snapshotter periodically
@@ -469,6 +479,9 @@ func (c *Counter) drain(s *shard) {
 	defer c.wg.Done()
 	for msg := range s.ch {
 		if msg.batch != nil {
+			if c.cfg.ApplyDelay > 0 {
+				time.Sleep(c.cfg.ApplyDelay)
+			}
 			if s.wal != nil {
 				c.walAppend(s, msg.batch)
 			}

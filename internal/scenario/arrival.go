@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// sessionStarts draws n session start offsets in [0, window) for one
+// client class: n inter-arrival gaps from the class's process, summed
+// and rescaled so the last start lands at window·n/(n+1). The rescale
+// keeps every scenario inside its day regardless of the draw, while
+// preserving the process's shape — a gamma burst stays a burst, it is
+// just measured in window-fractions instead of absolute seconds.
+// Everything flows from rng, so one seed reproduces one schedule.
+func sessionStarts(a Arrival, n int, window time.Duration, rng *rand.Rand) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	gaps := make([]float64, n)
+	for i := range gaps {
+		gaps[i] = interArrival(a, rng)
+	}
+	starts := make([]time.Duration, n)
+	cum := 0.0
+	for i, g := range gaps {
+		cum += g
+		starts[i] = time.Duration(cum) // placeholder, rescaled below
+	}
+	span := float64(window) * float64(n) / float64(n+1)
+	scale := span / cum
+	cum = 0.0
+	for i, g := range gaps {
+		cum += g
+		starts[i] = time.Duration(cum * scale)
+	}
+	return starts
+}
+
+// interArrival draws one unit-rate gap from the process. The absolute
+// rate is irrelevant — sessionStarts rescales — only the shape of the
+// distribution matters.
+func interArrival(a Arrival, rng *rand.Rand) float64 {
+	switch a.Process {
+	case ArrivalGamma:
+		// Inter-arrival CV of c comes from a gamma with shape k = 1/c²
+		// (CV of gamma(k, θ) is 1/√k). CV > 1 clumps arrivals into
+		// bursts with long silences; CV < 1 regularizes them.
+		k := 1 / (a.CV * a.CV)
+		return gammaSample(k, rng)
+	case ArrivalUniform:
+		return rng.Float64()
+	default: // poisson: exponential gaps
+		return rng.ExpFloat64()
+	}
+}
+
+// gammaSample draws from gamma(shape k, scale 1) via Marsaglia–Tsang,
+// with the standard boost for k < 1.
+func gammaSample(k float64, rng *rand.Rand) float64 {
+	if k < 1 {
+		// gamma(k) = gamma(k+1) · U^{1/k}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(k+1, rng) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

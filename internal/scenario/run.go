@@ -1,0 +1,405 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/logmover"
+	"unilog/internal/realtime"
+	"unilog/internal/scribe"
+	"unilog/internal/telemetry"
+	"unilog/internal/warehouse"
+	"unilog/internal/zk"
+)
+
+// RunConfig is one grid configuration axis: the knobs an experiment grid
+// varies against the scenarios.
+type RunConfig struct {
+	// Name labels the config in cell filenames and reports.
+	Name string `json:"name"`
+	// Shards is the realtime counter's shard count; 0 takes the realtime
+	// default.
+	Shards int `json:"shards,omitempty"`
+	// MemoryBudgetBytes bounds the cell's batch rollup job; 0 runs it
+	// in-memory.
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+}
+
+// InvariantCheck is one evaluated assertion from Spec.Invariants.
+type InvariantCheck struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// Result is one cell of the experiment grid: everything one scenario run
+// under one config produced, in the flat machine-readable shape the
+// BENCH files use — float keys ending in _per_sec (higher is better) and
+// _ns (lower is better) are gated by cmd/benchcompare, Telemetry is the
+// full registry snapshot for forensics, and Invariants carries the
+// spec's per-cell verdicts.
+type Result struct {
+	Scenario    string `json:"scenario"`
+	Config      string `json:"config"`
+	Repeat      int    `json:"repeat"`
+	Seed        int64  `json:"seed"`
+	GeneratedAt string `json:"generated_at"`
+
+	Events      int64 `json:"events"`
+	BaseEvents  int64 `json:"base_events"`
+	CrowdEvents int64 `json:"crowd_events"`
+	Sessions    int   `json:"sessions"`
+
+	IngestEventsPerSec float64 `json:"ingest_events_per_sec"`
+	InWarehouse        int64   `json:"in_warehouse"`
+	ExactlyOnce        bool    `json:"exactly_once"`
+
+	SendFailures   int64 `json:"send_failures"`
+	Rediscoveries  int64 `json:"rediscoveries"`
+	SpoolHighWater int64 `json:"spool_high_water"`
+	SpooledAtEnd   int64 `json:"spooled_at_end"`
+
+	QueueFullWaits int64 `json:"queue_full_waits"`
+	DroppedOld     int64 `json:"dropped_old"`
+
+	ReconcileOK        bool `json:"reconcile_ok"`
+	ReconcileBatchRows int  `json:"reconcile_batch_rows"`
+	ReconcileDiffs     int  `json:"reconcile_diffs"`
+
+	RollupRows         int     `json:"rollup_rows"`
+	RollupEventsPerSec float64 `json:"rollup_events_per_sec"`
+	SpilledBytes       int64   `json:"spilled_bytes"`
+	SpillRuns          int     `json:"spill_runs"`
+
+	ApplyBatchP50Ns int64 `json:"apply_batch_p50_ns"`
+	ApplyBatchP95Ns int64 `json:"apply_batch_p95_ns"`
+	ApplyBatchP99Ns int64 `json:"apply_batch_p99_ns"`
+	TapBatchP50Ns   int64 `json:"tap_batch_p50_ns"`
+	TapBatchP95Ns   int64 `json:"tap_batch_p95_ns"`
+	TapBatchP99Ns   int64 `json:"tap_batch_p99_ns"`
+	MergePassP50Ns  int64 `json:"merge_pass_p50_ns"`
+	MergePassP95Ns  int64 `json:"merge_pass_p95_ns"`
+	MergePassP99Ns  int64 `json:"merge_pass_p99_ns"`
+
+	Telemetry  telemetry.Snap   `json:"telemetry"`
+	Invariants []InvariantCheck `json:"invariants"`
+	OK         bool             `json:"ok"`
+}
+
+// daemonsPerRegion and aggsPerRegion size each region's Scribe topology.
+// Small on purpose: the harness exercises shapes, not scale.
+const (
+	daemonsPerRegion = 3
+	aggsPerRegion    = 2
+)
+
+// Run executes one scenario under one config: the spec's event stream
+// feeds a multi-region Scribe topology (with the realtime counter
+// tapping every aggregator), the manual clock advances hour by hour
+// sealing and moving as it goes, outage windows take regions dark and
+// replay their spools, and the cell ends with the exactly-once count,
+// the lambda reconciliation, a budgeted rollup leg, and the spec's
+// invariant verdicts.
+//
+// Run resets the process-global telemetry registry so the cell's
+// Telemetry snapshot and percentiles cover this cell alone; do not run
+// cells concurrently in one process.
+func Run(spec *Spec, rc RunConfig) (*Result, error) {
+	telemetry.Reset()
+	res := &Result{
+		Scenario:    spec.Name,
+		Config:      rc.Name,
+		Repeat:      1,
+		Seed:        spec.Seed,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Sessions:    spec.TotalSessions,
+	}
+
+	stream, err := spec.EventStream()
+	if err != nil {
+		return nil, err
+	}
+
+	day := spec.DayStart()
+	clock := zk.NewManualClock(day)
+	wh := hdfs.New(0)
+
+	type region struct {
+		name string
+		dc   *scribe.Datacenter
+		dark bool
+	}
+	regions := make([]*region, len(spec.Regions))
+	var sources []logmover.Source
+	for i, name := range spec.Regions {
+		staging := hdfs.New(0)
+		dc, err := scribe.NewDatacenter(name, staging, clock, aggsPerRegion, daemonsPerRegion,
+			spec.Seed+int64(i)*101)
+		if err != nil {
+			return nil, err
+		}
+		r := &region{name: name, dc: dc}
+		// The outage switch: while the region is dark every send to its
+		// aggregators fails at the "network", so daemons spool locally and
+		// replay once the window closes — the backfill under test.
+		dc.Net.FailSend = func(string) error {
+			if r.dark {
+				return fmt.Errorf("scenario %s: region %s dark", spec.Name, r.name)
+			}
+			return nil
+		}
+		regions[i] = r
+		sources = append(sources, logmover.Source{Datacenter: name, FS: staging})
+	}
+	mover := logmover.New(wh, sources...)
+
+	counterCfg := realtime.Config{Shards: rc.Shards}
+	if sc := spec.SlowConsumer; sc != nil {
+		counterCfg.ApplyDelay = time.Duration(sc.ApplyDelayMs) * time.Millisecond
+		counterCfg.QueueDepth = sc.QueueDepth
+	}
+	counter := realtime.New(counterCfg)
+	defer counter.Close()
+	counter.Publish(nil)
+	for _, r := range regions {
+		for _, a := range r.dc.Aggregators {
+			a.Tap = counter.TapBatch
+		}
+	}
+
+	cats := []string{events.Category}
+	dayMs := day.UnixMilli()
+	curHour := 0
+
+	// sealThrough seals every hour in [from, to) on every region and moves
+	// what sealed. A dark region cannot flush its daemons, so its seal
+	// fails and the hour simply waits — the final pass below re-seals
+	// everything once every spool has replayed.
+	sealThrough := func(from, to int) error {
+		for h := from; h < to; h++ {
+			hour := day.Add(time.Duration(h) * time.Hour)
+			for _, r := range regions {
+				if err := r.dc.SealHour(cats, hour); err != nil && r.dark {
+					continue // spooled entries replay after the outage
+				} else if err != nil {
+					return err
+				}
+			}
+		}
+		_, err := mover.MoveAllSealed()
+		return err
+	}
+
+	setDark := func(minute int) {
+		for _, r := range regions {
+			dark := false
+			for _, o := range spec.Outages {
+				if o.Region == r.name && minute >= o.StartMinute && minute < o.EndMinute {
+					dark = true
+				}
+			}
+			if r.dark && !dark {
+				// The window closed: replay the spools now rather than
+				// waiting for the next auto-flush, so the backfill lands
+				// promptly in the current (correct-day) hour.
+				r.dark = false
+				for _, d := range r.dc.Daemons {
+					d.Flush() //nolint:errcheck // spool retried on later flushes
+				}
+			}
+			r.dark = dark
+		}
+	}
+
+	t0 := time.Now()
+	err = stream(func(e *events.ClientEvent) error {
+		minute := int((e.Timestamp - dayMs) / 60_000)
+		if minute < 0 {
+			minute = 0
+		}
+		if minute > 23*60+59 {
+			minute = 23*60 + 59
+		}
+		// The manual clock tracks event time so aggregators bucket staging
+		// files into the event's (arrival) hour; each hour crossed is
+		// sealed and moved behind the clock.
+		if h := minute / 60; h > curHour {
+			clock.Advance(time.Duration(h-curHour) * time.Hour)
+			if err := sealThrough(curHour, h); err != nil {
+				return err
+			}
+			curHour = h
+		}
+		setDark(minute)
+
+		ri := int(hash64(e.SessionID) % uint64(len(regions)))
+		di := int((hash64(e.SessionID) >> 32) % uint64(daemonsPerRegion))
+		regions[ri].dc.Daemons[di].Log(events.Category, e.Marshal())
+		res.Events++
+		if e.Details["crowd"] == "1" {
+			res.CrowdEvents++
+		} else {
+			res.BaseEvents++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// End of day: every outage window has closed (validation bounds them
+	// inside the duration), so clear the dark flags, drain every spool and
+	// aggregator into the still-current day, then seal all 24 hours and
+	// move the remainder. The clock stays inside the day so late flushes
+	// cannot leak into tomorrow's directories.
+	for _, r := range regions {
+		r.dark = false
+	}
+	for _, r := range regions {
+		if err := r.dc.FlushAll(); err != nil {
+			return nil, fmt.Errorf("scenario %s: final flush %s: %w", spec.Name, r.name, err)
+		}
+	}
+	if err := sealThrough(0, 24); err != nil {
+		return nil, err
+	}
+	feedDur := time.Since(t0)
+	if res.Events > 0 && feedDur > 0 {
+		res.IngestEventsPerSec = float64(res.Events) / feedDur.Seconds()
+	}
+
+	for _, r := range regions {
+		for _, d := range r.dc.Daemons {
+			s := d.Stats()
+			res.SendFailures += s.SendFailures
+			res.Rediscoveries += s.Rediscoveries
+			res.SpooledAtEnd += s.Spooled
+			if s.SpoolHighWater > res.SpoolHighWater {
+				res.SpoolHighWater = s.SpoolHighWater
+			}
+		}
+	}
+
+	if err := warehouse.ScanDay(wh, events.Category, day, func(*events.ClientEvent) error {
+		res.InWarehouse++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.ExactlyOnce = res.InWarehouse == res.Events
+
+	counter.Sync()
+	cstats := counter.Stats()
+	res.QueueFullWaits = cstats.QueueFull
+	res.DroppedOld = cstats.DroppedOld
+
+	report, err := realtime.ReconcileWith(wh, day, counter)
+	if err != nil {
+		return nil, err
+	}
+	res.ReconcileOK = report.OK()
+	res.ReconcileBatchRows = report.BatchRows
+	res.ReconcileDiffs = report.MissingN + report.ExtraN + report.MismatchN
+
+	// The budgeted rollup leg: the same day again through the out-of-core
+	// dataflow engine under the config's memory budget, so grid configs
+	// can trade memory for spill and the cell records the difference.
+	spillDir, err := os.MkdirTemp("", "scenario-spill-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+	j := dataflow.NewJob("scenario-rollup", wh)
+	j.MemoryBudget = rc.MemoryBudgetBytes
+	j.SpillDir = spillDir
+	rt0 := time.Now()
+	rollups, err := analytics.Rollups(j, day)
+	if err != nil {
+		return nil, err
+	}
+	rollupDur := time.Since(rt0)
+	res.RollupRows = len(rollups)
+	if res.Events > 0 && rollupDur > 0 {
+		res.RollupEventsPerSec = float64(res.Events) / rollupDur.Seconds()
+	}
+	js := j.Stats()
+	res.SpilledBytes = js.SpilledBytes
+	res.SpillRuns = js.SpillRuns
+
+	res.ApplyBatchP50Ns, res.ApplyBatchP95Ns, res.ApplyBatchP99Ns = pcts("realtime.apply.batch.ns")
+	res.TapBatchP50Ns, res.TapBatchP95Ns, res.TapBatchP99Ns = pcts("realtime.tap.batch.ns")
+	res.MergePassP50Ns, res.MergePassP95Ns, res.MergePassP99Ns = pcts("dataflow.stage.merge.ns")
+	res.Telemetry = telemetry.Snapshot()
+
+	res.evaluateInvariants(spec)
+	return res, nil
+}
+
+// pcts reads one histogram's p50/p95/p99 from the default registry.
+func pcts(name string) (p50, p95, p99 int64) {
+	s := telemetry.GetHistogram(name).Summary()
+	return s.P50, s.P95, s.P99
+}
+
+// hash64 is FNV-1a over the session id; low bits pick the region, high
+// bits the daemon, so routing is stable per session and uncorrelated
+// between the two choices.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// evaluateInvariants fills Invariants and OK from the spec's assertions.
+func (res *Result) evaluateInvariants(spec *Spec) {
+	inv := spec.Invariants
+	add := func(name string, ok bool, detail string) {
+		res.Invariants = append(res.Invariants, InvariantCheck{Name: name, OK: ok, Detail: detail})
+	}
+	if inv.ReconcileExact {
+		add("reconcile_exact", res.ReconcileOK,
+			fmt.Sprintf("%d batch rows, %d diffs", res.ReconcileBatchRows, res.ReconcileDiffs))
+	}
+	if inv.ExactlyOnce {
+		add("exactly_once", res.ExactlyOnce,
+			fmt.Sprintf("accepted %d, warehouse %d", res.Events, res.InWarehouse))
+	}
+	if inv.RequireBackfill {
+		ok := res.SendFailures > 0 && res.SpooledAtEnd == 0 && res.ExactlyOnce
+		add("require_backfill", ok,
+			fmt.Sprintf("%d send failures, %d spooled at end, exactly_once=%v",
+				res.SendFailures, res.SpooledAtEnd, res.ExactlyOnce))
+	}
+	if inv.RequireSpill {
+		add("require_spill", res.SpilledBytes > 0,
+			fmt.Sprintf("%d spilled bytes, %d runs", res.SpilledBytes, res.SpillRuns))
+	}
+	if inv.MinEvents > 0 {
+		add("min_events", res.Events >= inv.MinEvents,
+			fmt.Sprintf("want >= %d, got %d", inv.MinEvents, res.Events))
+	}
+	if inv.MinCrowdEvents > 0 {
+		add("min_crowd_events", res.CrowdEvents >= inv.MinCrowdEvents,
+			fmt.Sprintf("want >= %d, got %d", inv.MinCrowdEvents, res.CrowdEvents))
+	}
+	if inv.MinSendFailures > 0 {
+		add("min_send_failures", res.SendFailures >= inv.MinSendFailures,
+			fmt.Sprintf("want >= %d, got %d", inv.MinSendFailures, res.SendFailures))
+	}
+	if inv.MinQueueFullWaits > 0 {
+		add("min_queue_full_waits", res.QueueFullWaits >= inv.MinQueueFullWaits,
+			fmt.Sprintf("want >= %d, got %d", inv.MinQueueFullWaits, res.QueueFullWaits))
+	}
+	res.OK = true
+	for _, c := range res.Invariants {
+		if !c.OK {
+			res.OK = false
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const validSpec = `{
+  "name": "t",
+  "clients": [
+    {"id": "web", "rate_fraction": 0.7, "arrival": {"process": "poisson"}},
+    {"id": "mobile", "rate_fraction": 0.3, "arrival": {"process": "gamma", "cv": 2}}
+  ]
+}`
+
+func TestParseValidSpecDefaults(t *testing.T) {
+	s, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Seed != 2012 || s.Day != "2012-08-21" || s.TotalSessions != 200 {
+		t.Fatalf("defaults not applied: seed=%d day=%q sessions=%d", s.Seed, s.Day, s.TotalSessions)
+	}
+	if s.DurationMinutes != 22*60 {
+		t.Fatalf("duration default = %d", s.DurationMinutes)
+	}
+	if len(s.Regions) != 2 {
+		t.Fatalf("regions default = %v", s.Regions)
+	}
+	if s.DayStart().IsZero() {
+		t.Fatal("day not parsed")
+	}
+}
+
+// TestParseTypedErrors is the golden-spec table: each malformed spec must
+// fail with its typed error, reachable via errors.Is, so harnesses can
+// tell a spec mistake from an execution failure without string matching.
+func TestParseTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want error
+	}{
+		{
+			name: "unknown top-level key",
+			json: `{"name": "t", "clientz": [], "clients": [{"id": "a", "rate_fraction": 1}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "missing name",
+			json: `{"clients": [{"id": "a", "rate_fraction": 1}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "bad day",
+			json: `{"name": "t", "day": "21/08/2012", "clients": [{"id": "a", "rate_fraction": 1}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "fractions sum below one",
+			json: `{"name": "t", "clients": [
+				{"id": "a", "rate_fraction": 0.5}, {"id": "b", "rate_fraction": 0.3}]}`,
+			want: ErrBadFractions,
+		},
+		{
+			name: "fractions sum above one",
+			json: `{"name": "t", "clients": [
+				{"id": "a", "rate_fraction": 0.8}, {"id": "b", "rate_fraction": 0.8}]}`,
+			want: ErrBadFractions,
+		},
+		{
+			name: "unknown arrival process",
+			json: `{"name": "t", "clients": [
+				{"id": "a", "rate_fraction": 1, "arrival": {"process": "pareto"}}]}`,
+			want: ErrUnknownArrival,
+		},
+		{
+			name: "duplicate class id",
+			json: `{"name": "t", "clients": [
+				{"id": "a", "rate_fraction": 0.5}, {"id": "a", "rate_fraction": 0.5}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "zero rate fraction",
+			json: `{"name": "t", "clients": [{"id": "a", "rate_fraction": 0}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "flash crowd window reversed",
+			json: `{"name": "t", "clients": [{"id": "a", "rate_fraction": 1}],
+				"flash_crowds": [{"subtree": "web", "start_minute": 100, "end_minute": 50, "multiplier": 10}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "flash crowd multiplier too small",
+			json: `{"name": "t", "clients": [{"id": "a", "rate_fraction": 1}],
+				"flash_crowds": [{"subtree": "web", "start_minute": 0, "end_minute": 60, "multiplier": 1}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "outage region not declared",
+			json: `{"name": "t", "clients": [{"id": "a", "rate_fraction": 1}],
+				"outages": [{"region": "mars", "start_minute": 0, "end_minute": 60}]}`,
+			want: ErrBadField,
+		},
+		{
+			name: "slow consumer without delay",
+			json: `{"name": "t", "clients": [{"id": "a", "rate_fraction": 1}],
+				"slow_consumer": {"apply_delay_ms": 0}}`,
+			want: ErrBadField,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatal("Parse accepted a malformed spec")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnknownNestedKey(t *testing.T) {
+	bad := strings.Replace(validSpec, `"cv": 2`, `"cv": 2, "burstiness": 9`, 1)
+	_, err := Parse([]byte(bad))
+	if !errors.Is(err, ErrBadField) {
+		t.Fatalf("nested unknown key: error %v, want ErrBadField", err)
+	}
+}
+
+func TestGammaCVDefault(t *testing.T) {
+	s, err := Parse([]byte(`{"name": "t", "clients": [
+		{"id": "a", "rate_fraction": 1, "arrival": {"process": "gamma"}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Clients[0].Arrival.CV; got != 2 {
+		t.Fatalf("gamma cv = %g, want 2", got)
+	}
+}

@@ -99,6 +99,18 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 // Count returns the number of recorded values.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// reset zeroes the histogram in place (see Registry.Reset). Not
+// synchronized against concurrent Observe calls.
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 // Quantile estimates the q-th quantile (0 < q <= 1) as the midpoint of
 // the bucket holding that rank, so the estimate is within one bucket
 // width of the exact order statistic. Returns 0 when empty.

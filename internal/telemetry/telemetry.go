@@ -234,3 +234,32 @@ func (r *Registry) Snapshot() Snap {
 
 // Snapshot captures the Default registry.
 func Snapshot() Snap { return Default.Snapshot() }
+
+// Reset zeroes every counter, gauge, and histogram in place. Instruments
+// stay registered and previously fetched handles stay valid — the maps
+// are not cleared, the values are — which is what lets hot paths keep
+// their init-time handles across a reset. Gauge funcs are left
+// untouched: they read live subsystem state, and a subsystem that
+// restarts re-registers over its predecessor (last wins).
+//
+// Reset exists for harnesses that run experiment cells back to back in
+// one process (the scenario grid runner) and want each cell's snapshot
+// to start from zero. It is not synchronized against concurrent
+// recording: increments racing the reset may survive it, so quiesce the
+// pipeline first.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// Reset zeroes the Default registry's instruments.
+func Reset() { Default.Reset() }

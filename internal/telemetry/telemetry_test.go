@@ -275,3 +275,45 @@ func TestSummaryLine(t *testing.T) {
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestRegistryReset: Reset must zero every instrument in place — handles
+// fetched before the reset keep working, instruments stay registered, and
+// gauge funcs survive — because subsystems cache handles at package init
+// and the scenario harness resets between experiment cells.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.events")
+	g := r.Gauge("x.depth")
+	h := r.Histogram("x.ns")
+	r.GaugeFunc("x.live", func() int64 { return 7 })
+	c.Add(5)
+	g.Set(3)
+	h.Observe(100)
+
+	r.Reset()
+
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("reset left values: counter=%d gauge=%d hist=%d", c.Value(), g.Value(), h.Count())
+	}
+	s := h.Summary()
+	if s.Min != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Fatalf("histogram summary not zeroed: %+v", s)
+	}
+
+	// The old handles must still be the registered instruments.
+	c.Inc()
+	h.Observe(50)
+	snap := r.Snapshot()
+	if snap.Series["x.events"] != 1 {
+		t.Fatalf("pre-reset counter handle disconnected: %+v", snap.Series)
+	}
+	if snap.Series["x.live"] != 7 {
+		t.Fatalf("gauge func lost by reset: %+v", snap.Series)
+	}
+	if got := snap.Histograms["x.ns"].Count; got != 1 {
+		t.Fatalf("pre-reset histogram handle disconnected: count=%d", got)
+	}
+	if r.Histogram("x.ns") != h {
+		t.Fatal("reset replaced the histogram instance")
+	}
+}
