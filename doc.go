@@ -71,6 +71,29 @@
 // remembers "today so far" instead of waiting a day for the warehouse
 // rollup, and still reconciles exactly against the batch path.
 //
+// internal/cluster scales that single counter out: N in-process
+// realtime.Counter nodes behind a consistent-hash router (a two-level
+// Dynamo-style map — event name to one of P fixed partitions, partition
+// to R distinct nodes on a virtual-point ring, computed once at startup
+// so crashes divert writes to hints rather than re-route the ring).
+// Every event lands on all R replicas through per-node send queues that
+// retry with capped exponential backoff; a heartbeat/suspicion failure
+// detector (alive -> suspect -> dead on a zk.Clock, so scenarios run it
+// deterministically) stops the retry tax for dead nodes, whose writes
+// divert to hinted handoff and replay in order once the node returns —
+// each node's own WAL/snapshot recovery remains the intra-node story,
+// and the two together make a mid-day crash + restart converge back to
+// exact counts. On the read side birdbrain.Scatter fans PathSum / TopK /
+// Series / RollupSnapshot across one live replica per partition, merges
+// the disjoint partials, and degrades instead of failing: a query served
+// around a dead replica is marked Degraded (Failovers counts the fallen
+// primaries), and only a partition with no live replica at all makes the
+// answer Partial. The node-crash scenario cell asserts the whole story
+// in CI: crash one node of a 3-node R=2 cluster mid-day, queries keep
+// answering (degraded) during the outage, and after restart + handoff
+// replay the scatter-gathered day reconciles exactly against the batch
+// rollups.
+//
 // Every subsystem reports into internal/telemetry, a dependency-free
 // metrics registry: atomic counters and gauges, log-linear histograms
 // (Observe is allocation-free; quantiles are accurate to one bucket

@@ -1,0 +1,214 @@
+package birdbrain
+
+import (
+	"sort"
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/cluster"
+	"unilog/internal/dataflow"
+	"unilog/internal/hdfs"
+	"unilog/internal/realtime"
+)
+
+// Scatter serves BirdBrain counting queries from a replicated cluster
+// instead of one counter: every verb fans over the namespace
+// partitions, asks ONE replica per partition (primary first, failing
+// over down the replica list), and merges the disjoint partials into
+// the cluster-wide answer. Because partitions split the namespace by
+// whole event name, the merge is exact — a sum of sums for PathSum and
+// Series, a union-then-rank for TopK — whenever every partition
+// answers.
+//
+// Degradation is explicit rather than silent. A query that had to fail
+// over (a replica was dead or errored mid-query) still returns the
+// exact answer from the surviving replicas but is marked Degraded; a
+// query that found some partition with no live replica at all returns
+// the partial sum it could compute, marked Partial (and Degraded).
+// Callers — and the scenario harness's invariants — decide what a
+// partial answer is worth; the telemetry counters track how often each
+// happens.
+type Scatter struct {
+	c *cluster.Cluster
+}
+
+// NewScatter builds a scatter-gather query layer over the cluster.
+func NewScatter(c *cluster.Cluster) *Scatter { return &Scatter{c: c} }
+
+// QueryMeta reports how a scatter query was assembled.
+type QueryMeta struct {
+	// Partitions is the fan-out width; Answered counts partitions that
+	// produced a partial (Answered < Partitions means a partial result).
+	Partitions int
+	Answered   int
+	// Failovers counts partitions answered by a non-primary replica.
+	Failovers int
+	// Degraded is true when any partition failed over or any replica
+	// refused to answer; the result is still exact if !Partial.
+	Degraded bool
+	// Partial is true when some partition had no live replica; counts
+	// from its slice of the namespace are missing from the result.
+	Partial bool
+}
+
+// merge folds a per-partition outcome into the meta.
+func (m *QueryMeta) merge(answered bool, attempts int) {
+	m.Partitions++
+	if answered {
+		m.Answered++
+		if attempts > 0 {
+			m.Failovers++
+			m.Degraded = true
+		}
+	} else {
+		m.Partial = true
+		m.Degraded = true
+	}
+}
+
+// finish publishes the query's telemetry once the fan is merged.
+func (m *QueryMeta) finish() {
+	tmScatterQueries.Inc()
+	if m.Degraded {
+		tmScatterDegraded.Inc()
+	}
+	if m.Partial {
+		tmScatterPartial.Inc()
+	}
+	tmScatterFailovers.Add(int64(m.Failovers))
+}
+
+// fan visits every partition on its first answering replica. visit
+// must return nil on success; replicas are tried primary-first, and a
+// detector-dead replica is still attempted — in-process it fails fast,
+// and attempting keeps answers available when the detector lags a
+// restart.
+func (s *Scatter) fan(visit func(p int, n *cluster.Node) error) QueryMeta {
+	var meta QueryMeta
+	for p := 0; p < s.c.Partitions(); p++ {
+		answered := false
+		attempts := 0
+		for _, id := range s.c.ReplicasOf(p) {
+			if err := visit(p, s.c.Node(id)); err == nil {
+				answered = true
+				break
+			}
+			attempts++
+		}
+		meta.merge(answered, attempts)
+	}
+	meta.finish()
+	return meta
+}
+
+// PathSum sums a hierarchy path over [from, to) across the cluster.
+func (s *Scatter) PathSum(path string, from, to time.Time) (int64, QueryMeta) {
+	defer tmScatterPathSumNs.ObserveSince(time.Now())
+	s.c.Sync()
+	var total int64
+	meta := s.fan(func(p int, n *cluster.Node) error {
+		v, err := n.PathSum(p, path, from, to)
+		if err != nil {
+			return err
+		}
+		total += v
+		return nil
+	})
+	return total, meta
+}
+
+// Series sums per-minute counts of a path over [from, to) across the
+// cluster; index 0 holds from's minute.
+func (s *Scatter) Series(path string, from, to time.Time) ([]int64, QueryMeta) {
+	defer tmScatterSeriesNs.ObserveSince(time.Now())
+	s.c.Sync()
+	var out []int64
+	meta := s.fan(func(p int, n *cluster.Node) error {
+		v, err := n.Series(p, path, from, to)
+		if err != nil {
+			return err
+		}
+		if len(v) > len(out) {
+			grown := make([]int64, len(v))
+			copy(grown, out)
+			out = grown
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+		return nil
+	})
+	return out, meta
+}
+
+// TopK ranks the children of a hierarchy path by count over [from, to)
+// across the cluster. Each partition contributes its full child counts
+// (a child heavy overall may be light on any one partition's slice),
+// the union is ranked once, ties breaking by path ascending exactly as
+// realtime.Counter.TopK does.
+func (s *Scatter) TopK(parent string, k int, from, to time.Time) ([]realtime.PathCount, QueryMeta) {
+	defer tmScatterTopKNs.ObserveSince(time.Now())
+	s.c.Sync()
+	acc := make(map[string]int64)
+	meta := s.fan(func(p int, n *cluster.Node) error {
+		partial, err := n.ChildCounts(p, parent, from, to)
+		if err != nil {
+			return err
+		}
+		for _, pc := range partial {
+			acc[pc.Path] += pc.Count
+		}
+		return nil
+	})
+	if k <= 0 || len(acc) == 0 {
+		return nil, meta
+	}
+	ranked := make([]realtime.PathCount, 0, len(acc))
+	for path, count := range acc {
+		ranked = append(ranked, realtime.PathCount{Path: path, Count: count})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Count != ranked[j].Count {
+			return ranked[i].Count > ranked[j].Count
+		}
+		return ranked[i].Path < ranked[j].Path
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked, meta
+}
+
+// RollupSnapshot merges the §3.2 rollup rows of every partition over
+// [from, to) into one cluster-wide table, keyed like analytics.Rollups.
+func (s *Scatter) RollupSnapshot(from, to time.Time) (map[analytics.RollupKey]int64, QueryMeta) {
+	s.c.Sync()
+	out := make(map[analytics.RollupKey]int64)
+	meta := s.fan(func(p int, n *cluster.Node) error {
+		partial, err := n.Rollups(p, from, to)
+		if err != nil {
+			return err
+		}
+		for k, v := range partial {
+			out[k] += v
+		}
+		return nil
+	})
+	return out, meta
+}
+
+// Reconcile is the cluster's lambda-architecture check: the batch
+// rollup job over the warehouse day versus the scatter-gathered
+// streaming table. Exactness requires a full fan — a Partial merge is
+// missing partitions and reports the meta so the caller can tell an
+// honest divergence from an outage.
+func (s *Scatter) Reconcile(fs *hdfs.FS, day time.Time) (*realtime.Report, QueryMeta, error) {
+	day = day.UTC().Truncate(24 * time.Hour)
+	j := dataflow.NewJob("scatter-reconcile", fs)
+	batch, err := analytics.Rollups(j, day)
+	if err != nil {
+		return nil, QueryMeta{}, err
+	}
+	stream, meta := s.RollupSnapshot(day, day.Add(24*time.Hour))
+	return realtime.DiffRollups(day, batch, stream), meta, nil
+}

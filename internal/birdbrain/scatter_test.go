@@ -1,0 +1,152 @@
+package birdbrain
+
+import (
+	"testing"
+	"time"
+
+	"unilog/internal/cluster"
+	"unilog/internal/events"
+	"unilog/internal/geo"
+	"unilog/internal/realtime"
+	"unilog/internal/zk"
+)
+
+var scatterT0 = time.Date(2012, 8, 21, 14, 0, 0, 0, time.UTC)
+
+func scatterEv(name string, at time.Time, user int64) *events.ClientEvent {
+	return &events.ClientEvent{
+		Initiator: events.InitiatorClientUser,
+		Name:      events.MustParseName(name),
+		UserID:    user,
+		SessionID: "sess",
+		IP:        geo.IPFor("us", user),
+		Timestamp: at.UnixMilli(),
+	}
+}
+
+var scatterNames = []string{
+	"web:home:mentions:stream:avatar:profile_click",
+	"web:home:timeline:stream:tweet:impression",
+	"web:profile:header:card:follow:click",
+	"iphone:home:timeline:stream:tweet:impression",
+	"iphone:search:results:cell:tweet:open",
+	"android:home:timeline:stream:tweet:favorite",
+}
+
+// A scatter over a healthy cluster must agree exactly with a single
+// reference counter on every verb, with clean meta.
+func TestScatterMatchesReference(t *testing.T) {
+	clk := zk.NewManualClock(scatterT0)
+	c, err := cluster.New(cluster.Config{Nodes: 3, ReplicationFactor: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ref := realtime.New(realtime.Config{Shards: 2})
+	defer ref.Close()
+
+	for i, name := range scatterNames {
+		for j := 0; j <= i*3; j++ {
+			e := scatterEv(name, scatterT0.Add(time.Duration(j)*time.Minute), int64(j))
+			c.Ingest(e)
+			ref.Ingest(e)
+		}
+	}
+	c.Tick()
+	ref.Sync()
+	s := NewScatter(c)
+	from, to := scatterT0, scatterT0.Add(time.Hour)
+
+	for _, path := range append([]string{"web", "iphone", "android", "web:home"}, scatterNames...) {
+		got, meta := s.PathSum(path, from, to)
+		if want := ref.PathSum(path, from, to); got != want {
+			t.Errorf("PathSum(%q) = %d, want %d", path, got, want)
+		}
+		if meta.Degraded || meta.Partial || meta.Answered != meta.Partitions {
+			t.Errorf("PathSum(%q) meta = %+v, want clean full fan", path, meta)
+		}
+	}
+
+	gotSeries, _ := s.Series("web", from, to)
+	wantSeries := ref.Series("web", from, to)
+	if len(gotSeries) != len(wantSeries) {
+		t.Fatalf("Series length %d, want %d", len(gotSeries), len(wantSeries))
+	}
+	for i := range wantSeries {
+		if gotSeries[i] != wantSeries[i] {
+			t.Errorf("Series[%d] = %d, want %d", i, gotSeries[i], wantSeries[i])
+		}
+	}
+
+	gotTop, _ := s.TopK("", 3, from, to)
+	wantTop := ref.TopK("", 3, from, to)
+	if len(gotTop) != len(wantTop) {
+		t.Fatalf("TopK = %v, want %v", gotTop, wantTop)
+	}
+	for i := range wantTop {
+		if gotTop[i] != wantTop[i] {
+			t.Errorf("TopK[%d] = %v, want %v", i, gotTop[i], wantTop[i])
+		}
+	}
+}
+
+// With one node of an R=2 cluster down, every partition still has a
+// live replica: queries stay exact but must be marked degraded. With
+// two of three down, partitions whose whole replica set is dead drop
+// out: the result must be marked partial.
+func TestScatterDegradedAndPartial(t *testing.T) {
+	clk := zk.NewManualClock(scatterT0)
+	c, err := cluster.New(cluster.Config{Nodes: 3, ReplicationFactor: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ref := realtime.New(realtime.Config{Shards: 2})
+	defer ref.Close()
+
+	for _, name := range scatterNames {
+		for j := 0; j < 40; j++ {
+			e := scatterEv(name, scatterT0, int64(j))
+			c.Ingest(e)
+			ref.Ingest(e)
+		}
+	}
+	c.Tick()
+	ref.Sync()
+	s := NewScatter(c)
+	from, to := scatterT0, scatterT0.Add(time.Hour)
+
+	c.Crash(1)
+	got, meta := s.PathSum("web", from, to)
+	if want := ref.PathSum("web", from, to); got != want {
+		t.Errorf("one node down: PathSum(web) = %d, want %d", got, want)
+	}
+	if !meta.Degraded || meta.Partial {
+		t.Errorf("one node down: meta = %+v, want degraded, not partial", meta)
+	}
+	if meta.Failovers == 0 {
+		t.Errorf("one node down: no failovers recorded in %+v", meta)
+	}
+
+	c.Crash(2)
+	_, meta = s.PathSum("web", from, to)
+	if !meta.Partial || !meta.Degraded {
+		t.Errorf("two nodes down: meta = %+v, want partial+degraded", meta)
+	}
+	if meta.Answered == 0 {
+		t.Errorf("two nodes down: nothing answered, node 0's partitions should still serve")
+	}
+
+	// Both back: clean again (memory nodes restart empty, but the fan
+	// itself must report a full healthy merge).
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	_, meta = s.PathSum("web", from, to)
+	if meta.Degraded || meta.Partial {
+		t.Errorf("after restart: meta = %+v, want clean", meta)
+	}
+}

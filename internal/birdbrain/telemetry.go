@@ -15,6 +15,20 @@ var (
 	tmClientTotalsNs = telemetry.GetHistogram("birdbrain.query.client_totals.ns")
 )
 
+// Scatter-gather instruments: every fanned query ticks queries; the
+// degraded/partial counters are the observable trace of answers served
+// around a dead replica (the scenario harness asserts on them).
+var (
+	tmScatterQueries   = telemetry.GetCounter("birdbrain.scatter.queries")
+	tmScatterDegraded  = telemetry.GetCounter("birdbrain.scatter.degraded")
+	tmScatterPartial   = telemetry.GetCounter("birdbrain.scatter.partial")
+	tmScatterFailovers = telemetry.GetCounter("birdbrain.scatter.failovers")
+
+	tmScatterPathSumNs = telemetry.GetHistogram("birdbrain.scatter.path_sum.ns")
+	tmScatterSeriesNs  = telemetry.GetHistogram("birdbrain.scatter.series.ns")
+	tmScatterTopKNs    = telemetry.GetHistogram("birdbrain.scatter.top_k.ns")
+)
+
 func init() {
 	telemetry.RegisterGaugeFunc("birdbrain.cache.hit_ratio.pct", func() int64 {
 		h, m := tmCacheHits.Value(), tmCacheMisses.Value()

@@ -1,0 +1,500 @@
+// Package cluster lifts the realtime counter service from one process
+// holding the whole namespace to a replicated multi-node group — the
+// architecture the paper's §6 real-time direction (Rainbird behind
+// BirdBrain) needs once "millions of users" stops being a figure of
+// speech: no single node can hold every counter, and losing a machine
+// must not lose the numbers.
+//
+// Topology. The event namespace is carved into a fixed set of
+// partitions: an event's interned name hashes to a partition, and a
+// consistent-hash ring of the nodes (each contributing several virtual
+// points) places every partition on ReplicationFactor distinct nodes,
+// primary first. Each node hosts one realtime.Counter per partition it
+// replicates, so a partition's counts live complete and self-contained
+// on R machines — which is exactly what makes scatter-gather reads
+// exact: a query picks ONE live replica per partition and sums the
+// partials, never double-counting a replicated write. Per-node
+// durability is untouched realtime machinery: with Config.Dir set, each
+// partition counter is a realtime.Open WAL+snapshot store, and a node
+// restart replays its own logs before the cluster's hinted handoff
+// tops it up.
+//
+// Writes. Ingest (or the scribe TapBatch) routes every accepted event
+// to all R replicas of its partition through per-node send queues. A
+// delivery that fails — the node crashed but the failure detector has
+// not noticed yet — retries with capped exponential backoff
+// (RetryBase doubling up to RetryCap); once a node has been failing
+// for HintAfter, or the detector declares it dead, the queue stops
+// retrying and the undelivered events become *hints*: buffered per
+// target node in the hinted-handoff table, replayed into the node as
+// soon as the detector sees it alive again. Surviving replicas take
+// every write in the meantime, so the counters a reader can reach stay
+// exact through the outage, and the recovered node converges to them
+// after WAL recovery plus hint replay — Reconcile-exact end to end.
+//
+// Failure detection. Nodes do not gossip over a network; the cluster
+// is an in-process simulation and heartbeats are delivered on Tick:
+// every live node refreshes its heartbeat, and a node's silence ages it
+// alive → suspect (SuspectAfter) → dead (DeadAfter). Time comes from a
+// zk.Clock, so scenarios drive the whole failure schedule — crash,
+// suspicion, death, restart, revival, hint replay — deterministically
+// off a zk.ManualClock.
+//
+// Reads. The scatter-gather layer lives in birdbrain (Scatter): it fans
+// PathSum/Series/TopK over the partitions, prefers the primary replica,
+// fails over to the others when one is dead or errors mid-query, and
+// marks the merged response degraded (a fallback or dead replica was
+// involved) or partial (some partition had no live replica at all) in
+// both the result metadata and telemetry.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/realtime"
+	"unilog/internal/scribe"
+	"unilog/internal/telemetry"
+	"unilog/internal/zk"
+)
+
+// Config sizes the cluster. Zero values take the defaults below.
+type Config struct {
+	// Nodes is the number of counter nodes. Default 3.
+	Nodes int
+	// ReplicationFactor is how many distinct nodes hold each partition.
+	// Default 2, clamped to Nodes.
+	ReplicationFactor int
+	// Partitions is the fixed number of namespace partitions hashed over
+	// the ring. More partitions smooth placement and shrink the data a
+	// single node loss leaves under-replicated. Default 16.
+	Partitions int
+	// VirtualPoints is how many ring points each node contributes;
+	// placement evens out as it grows. Default 8.
+	VirtualPoints int
+
+	// HeartbeatEvery is the nominal heartbeat cadence; Tick delivers one
+	// heartbeat per live node, so call Tick at least this often (scenario
+	// harnesses tick every simulated minute and size the windows below
+	// accordingly). Default 1s.
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the heartbeat silence after which a node turns
+	// suspect. Default 3 × HeartbeatEvery.
+	SuspectAfter time.Duration
+	// DeadAfter is the silence after which a suspect node is declared
+	// dead: its queue stops retrying and new writes hint immediately.
+	// Default 3 × SuspectAfter.
+	DeadAfter time.Duration
+
+	// RetryBase is the first retry backoff after a failed delivery; each
+	// further failure doubles it up to RetryCap. Defaults 500ms and 8s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// HintAfter is how long a node may keep failing deliveries before the
+	// queue gives up retrying and hands its backlog to hinted handoff.
+	// Default 2m.
+	HintAfter time.Duration
+
+	// Dir, when non-empty, makes every node durable: node i's partition p
+	// counter recovers from Dir/node<i>/p<p> via the realtime WAL and
+	// snapshot machinery. Empty means memory-only nodes — a crash loses
+	// the node's counts (restart comes back empty), which is honest but
+	// fails reconciliation; use it only for tests without crashes.
+	Dir string
+	// Node configures each per-partition counter. Cluster nodes default
+	// smaller than a standalone counter (Shards 1, Stripes 4, QueueDepth
+	// 32, MaxBatch 256) because a node hosts one counter per replicated
+	// partition.
+	Node realtime.Config
+	// Clock drives heartbeats, backoff, and hint timeouts. Default
+	// zk.SystemClock; scenarios inject the shared zk.ManualClock.
+	Clock zk.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.ReplicationFactor > c.Nodes {
+		c.ReplicationFactor = c.Nodes
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 16
+	}
+	if c.VirtualPoints <= 0 {
+		c.VirtualPoints = 8
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.HeartbeatEvery
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3 * c.SuspectAfter
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 500 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 8 * time.Second
+	}
+	if c.HintAfter <= 0 {
+		c.HintAfter = 2 * time.Minute
+	}
+	if c.Node.Shards <= 0 {
+		c.Node.Shards = 1
+	}
+	if c.Node.Stripes <= 0 {
+		c.Node.Stripes = 4
+	}
+	if c.Node.QueueDepth <= 0 {
+		c.Node.QueueDepth = 32
+	}
+	if c.Node.MaxBatch <= 0 {
+		c.Node.MaxBatch = 256
+	}
+	if c.Clock == nil {
+		c.Clock = zk.SystemClock{}
+	}
+	return c
+}
+
+// Stats is a snapshot of cluster-level activity. Counter aggregates the
+// realtime Stats of every live partition counter across all nodes.
+type Stats struct {
+	Nodes       int
+	Partitions  int
+	Replication int
+
+	// Ingested counts events accepted for routing; DecodeErrors counts
+	// tap entries that failed Thrift decoding.
+	Ingested     int64
+	DecodeErrors int64
+	// Delivered counts per-replica event deliveries that reached a node
+	// (hint replays included); SendAttempts/SendRetries/SendFailures
+	// count queue delivery attempts, backoff retries, and failed
+	// attempts.
+	Delivered    int64
+	SendAttempts int64
+	SendRetries  int64
+	SendFailures int64
+	// Hinted / Replayed / ReplayFailures count events buffered into and
+	// replayed out of the hinted-handoff table; HandoffPending is the
+	// current backlog, HandoffHighWater the largest backlog seen.
+	Hinted           int64
+	Replayed         int64
+	ReplayFailures   int64
+	HandoffPending   int64
+	HandoffHighWater int64
+	// Failure-detector transition counts.
+	Suspects int64
+	Deaths   int64
+	Revivals int64
+	// Crash/restart counts across all nodes.
+	NodeCrashes  int64
+	NodeRestarts int64
+
+	Counter realtime.Stats
+}
+
+// Cluster is a replicated group of realtime counter nodes behind one
+// ingestion router. Create with New, feed it via Ingest or TapBatch,
+// drive time with Tick, and read it through birdbrain.Scatter (or the
+// per-node query methods in query.go).
+type Cluster struct {
+	cfg     Config
+	clock   zk.Clock
+	ring    *ring
+	nodes   []*Node
+	det     *detector
+	queues  []*sendQueue
+	handoff *handoff
+
+	ingested   atomic.Int64
+	decodeErrs atomic.Int64
+}
+
+// New builds and starts a cluster. With cfg.Dir set the nodes recover
+// whatever a previous incarnation left in their directories, exactly as
+// realtime.Open does per counter.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		ring:    newRing(cfg.Nodes, cfg.VirtualPoints, cfg.Partitions, cfg.ReplicationFactor),
+		handoff: newHandoff(cfg.Nodes),
+	}
+	for id := 0; id < cfg.Nodes; id++ {
+		dir := ""
+		if cfg.Dir != "" {
+			dir = filepath.Join(cfg.Dir, fmt.Sprintf("node%d", id))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+		}
+		n, err := newNode(id, c.ring.hostedBy(id), dir, cfg.Node)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+		c.queues = append(c.queues, newSendQueue(n, cfg.RetryBase, cfg.RetryCap, cfg.HintAfter))
+	}
+	c.det = newDetector(cfg.Nodes, cfg.SuspectAfter, cfg.DeadAfter, c.clock.Now())
+	return c, nil
+}
+
+// NumNodes reports the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Partitions reports the partition count.
+func (c *Cluster) Partitions() int { return c.cfg.Partitions }
+
+// Replication reports the replication factor.
+func (c *Cluster) Replication() int { return c.cfg.ReplicationFactor }
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// ReplicasOf returns the ids of the nodes replicating partition p,
+// primary first.
+func (c *Cluster) ReplicasOf(p int) []int { return c.ring.replicas[p] }
+
+// PartitionOf returns the partition an event name routes to.
+func (c *Cluster) PartitionOf(name string) int { return c.ring.partitionOf(name) }
+
+// NodeStatus reports the failure detector's current view of a node.
+func (c *Cluster) NodeStatus(id int) Status { return c.det.statusOf(id) }
+
+// Ingest routes one decoded event to every replica of its partition.
+func (c *Cluster) Ingest(e *events.ClientEvent) {
+	now := c.clock.Now()
+	p := c.ring.partitionOfName(e.Name)
+	c.ingested.Add(1)
+	tmClusterIngest.Inc()
+	batch := []routed{{p: p, e: *e}}
+	for _, id := range c.ring.replicas[p] {
+		c.route(id, batch, now)
+	}
+}
+
+// TapBatch observes one batch of Scribe entries; assign it to
+// scribe.Aggregator.Tap exactly like realtime.Counter.TapBatch. Events
+// are grouped per target node so a staging flush costs one queue
+// interaction per replica node, not per event.
+func (c *Cluster) TapBatch(batch []scribe.Entry) {
+	now := c.clock.Now()
+	perNode := make([][]routed, len(c.nodes))
+	for i := range batch {
+		if batch[i].Category != events.Category {
+			continue
+		}
+		var e events.ClientEvent
+		if err := e.Unmarshal(batch[i].Message); err != nil {
+			c.decodeErrs.Add(1)
+			tmClusterDecodeErrs.Inc()
+			continue
+		}
+		p := c.ring.partitionOfName(e.Name)
+		c.ingested.Add(1)
+		tmClusterIngest.Inc()
+		r := routed{p: p, e: e}
+		for _, id := range c.ring.replicas[p] {
+			perNode[id] = append(perNode[id], r)
+		}
+	}
+	for id, b := range perNode {
+		if len(b) > 0 {
+			c.route(id, b, now)
+		}
+	}
+}
+
+// route hands one node's batch to its send queue — or straight to
+// hinted handoff when the failure detector already declared the node
+// dead, so a known-dead node costs no retry cycles.
+func (c *Cluster) route(id int, batch []routed, now time.Time) {
+	if c.det.statusOf(id) == StatusDead {
+		c.handoff.add(id, batch)
+		return
+	}
+	c.queues[id].send(batch, now, c.handoff)
+}
+
+// Tick advances the cluster's failure machinery to the clock's now:
+// live nodes heartbeat, the detector re-ages every node (suspect →
+// dead → alive transitions land here), queues whose backoff window
+// elapsed retry, queues for dead nodes evict their backlog to handoff,
+// and nodes detected alive again get their hints replayed. Call it on
+// every scenario time step; a production loop would run it on a ticker
+// at HeartbeatEvery.
+func (c *Cluster) Tick() {
+	now := c.clock.Now()
+	for _, n := range c.nodes {
+		if !n.isCrashed() {
+			c.det.heartbeat(n.id, now)
+		}
+	}
+	c.det.refresh(now)
+	for id, q := range c.queues {
+		if c.det.statusOf(id) == StatusDead {
+			q.evict(c.handoff)
+		} else {
+			q.pump(now, c.handoff)
+		}
+	}
+	for id, n := range c.nodes {
+		if c.det.statusOf(id) != StatusAlive {
+			continue
+		}
+		if c.handoff.pending(id) > 0 {
+			if err := c.handoff.replay(n); err == nil {
+				c.queues[id].reset()
+			}
+		} else if c.queues[id].isHinting() {
+			// Alive with no hint debt: stop routing new writes through
+			// the handoff table (the replay that cleared the debt may
+			// have reset already; an evict with an empty backlog would
+			// otherwise hint forever).
+			c.queues[id].reset()
+		}
+	}
+}
+
+// Crash kills one node the way a machine loss would: its counters stop
+// (WALs keep what the fsync cadence made durable), deliveries start
+// failing, and — once the detector notices — writes hint instead.
+func (c *Cluster) Crash(id int) {
+	c.nodes[id].crash()
+	tmClusterCrashes.Inc()
+}
+
+// Restart brings a crashed node back: durable nodes recover their
+// counters from WAL+snapshot first. The node heartbeats again on the
+// next Tick, and its hints replay when the detector sees it alive.
+func (c *Cluster) Restart(id int) error {
+	if err := c.nodes[id].restart(); err != nil {
+		return err
+	}
+	tmClusterRestarts.Inc()
+	return nil
+}
+
+// Drained reports whether every send queue and the hinted-handoff
+// table are empty — the condition under which every routed event has
+// reached all R of its replicas.
+func (c *Cluster) Drained() bool {
+	for _, q := range c.queues {
+		if q.pendingLen() > 0 {
+			return false
+		}
+	}
+	return c.handoff.totalPending() == 0
+}
+
+// Sync blocks until every delivered observation is applied on every
+// live node — the cluster-wide read-your-writes barrier. It does not
+// flush send queues or hints; see Drained and Tick for those.
+func (c *Cluster) Sync() {
+	for _, n := range c.nodes {
+		n.sync()
+	}
+}
+
+// Close shuts every node down (final snapshots on durable nodes).
+// Undelivered queue entries and unreplayed hints are dropped; callers
+// that need exactness drain first (Tick until Drained).
+func (c *Cluster) Close() error {
+	var err error
+	for _, n := range c.nodes {
+		if cerr := n.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Stats returns a cluster-level activity snapshot.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Nodes:       len(c.nodes),
+		Partitions:  c.cfg.Partitions,
+		Replication: c.cfg.ReplicationFactor,
+	}
+	s.Ingested = c.ingested.Load()
+	s.DecodeErrors = c.decodeErrs.Load()
+	for _, q := range c.queues {
+		qs := q.statsSnap()
+		s.Delivered += qs.delivered
+		s.SendAttempts += qs.attempts
+		s.SendRetries += qs.retries
+		s.SendFailures += qs.failures
+	}
+	hs := c.handoff.statsSnap()
+	s.Hinted = hs.hinted
+	s.Replayed = hs.replayed
+	s.ReplayFailures = hs.replayFailures
+	s.HandoffPending = int64(c.handoff.totalPending())
+	s.HandoffHighWater = hs.highWater
+	s.Delivered += hs.replayed
+	s.Suspects, s.Deaths, s.Revivals = c.det.transitions()
+	for _, n := range c.nodes {
+		s.NodeCrashes += n.crashes.Load()
+		s.NodeRestarts += n.restarts.Load()
+		s.Counter = sumStats(s.Counter, n.counterStats())
+	}
+	return s
+}
+
+// Publish wires the cluster's live backlog and membership view into reg
+// as snapshot-time gauges (nil means telemetry.Default).
+func (c *Cluster) Publish(reg *telemetry.Registry) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	reg.GaugeFunc("cluster.handoff.pending", func() int64 {
+		return int64(c.handoff.totalPending())
+	})
+	reg.GaugeFunc("cluster.nodes.alive", func() int64 {
+		var n int64
+		for id := range c.nodes {
+			if c.det.statusOf(id) == StatusAlive {
+				n++
+			}
+		}
+		return n
+	})
+	reg.GaugeFunc("cluster.queues.pending", func() int64 {
+		var n int64
+		for _, q := range c.queues {
+			n += int64(q.pendingLen())
+		}
+		return n
+	})
+}
+
+// sumStats adds the monotonic fields of two realtime Stats snapshots.
+func sumStats(a, b realtime.Stats) realtime.Stats {
+	a.Observed += b.Observed
+	a.TapEntries += b.TapEntries
+	a.DecodeErrors += b.DecodeErrors
+	a.Invalid += b.Invalid
+	a.DroppedOld += b.DroppedOld
+	a.Evicted += b.Evicted
+	a.QueueFull += b.QueueFull
+	a.WALBatches += b.WALBatches
+	a.WALBytes += b.WALBytes
+	a.WALErrors += b.WALErrors
+	a.Fsyncs += b.Fsyncs
+	a.Snapshots += b.Snapshots
+	a.SnapshotErrors += b.SnapshotErrors
+	return a
+}

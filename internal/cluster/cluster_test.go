@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"unilog/internal/events"
+	"unilog/internal/geo"
+	"unilog/internal/realtime"
+	"unilog/internal/zk"
+)
+
+var t0 = time.Date(2012, 8, 21, 14, 0, 0, 0, time.UTC)
+
+func ev(name string, at time.Time, user int64, country string) *events.ClientEvent {
+	return &events.ClientEvent{
+		Initiator: events.InitiatorClientUser,
+		Name:      events.MustParseName(name),
+		UserID:    user,
+		SessionID: "sess",
+		IP:        geo.IPFor(country, user),
+		Timestamp: at.UnixMilli(),
+	}
+}
+
+// testNames spreads over enough distinct full names that every test
+// exercises multiple partitions.
+var testNames = []string{
+	"web:home:mentions:stream:avatar:profile_click",
+	"web:home:timeline:stream:tweet:impression",
+	"web:profile:header:card:follow:click",
+	"iphone:home:timeline:stream:tweet:impression",
+	"iphone:search:results:cell:tweet:open",
+	"android:home:timeline:stream:tweet:favorite",
+	"android:dm:thread:composer:send:click",
+	"web:search:results:stream:tweet:impression",
+}
+
+func testCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestRingPlacement(t *testing.T) {
+	r := newRing(5, 8, 32, 3)
+	counts := make([]int, 5)
+	for p := 0; p < 32; p++ {
+		set := r.replicas[p]
+		if len(set) != 3 {
+			t.Fatalf("partition %d has %d replicas, want 3", p, len(set))
+		}
+		seen := map[int]bool{}
+		for _, id := range set {
+			if seen[id] {
+				t.Fatalf("partition %d repeats node %d", p, id)
+			}
+			seen[id] = true
+			counts[id]++
+		}
+	}
+	for id, n := range counts {
+		if n == 0 {
+			t.Errorf("node %d hosts no partitions", id)
+		}
+		if got := len(r.hostedBy(id)); got != n {
+			t.Errorf("hostedBy(%d) = %d partitions, replica sets say %d", id, got, n)
+		}
+	}
+}
+
+func TestPartitionOfNameMatchesString(t *testing.T) {
+	r := newRing(3, 8, 16, 2)
+	for _, s := range testNames {
+		n := events.MustParseName(s)
+		if got, want := r.partitionOfName(n), r.partitionOf(n.String()); got != want {
+			t.Errorf("partitionOfName(%q) = %d, partitionOf = %d", s, got, want)
+		}
+	}
+}
+
+// The detector must walk a silent node alive → suspect → dead on the
+// configured silence thresholds and snap it back to alive on the first
+// heartbeat, counting each transition once.
+func TestDetectorTransitions(t *testing.T) {
+	start := t0
+	d := newDetector(2, 30*time.Second, 2*time.Minute, start)
+
+	step := func(at time.Duration, beatNode1 bool) {
+		now := start.Add(at)
+		d.heartbeat(0, now)
+		if beatNode1 {
+			d.heartbeat(1, now)
+		}
+		d.refresh(now)
+	}
+
+	step(10*time.Second, true)
+	if got := d.statusOf(1); got != StatusAlive {
+		t.Fatalf("fresh node: status %v, want alive", got)
+	}
+	// Node 1 goes silent; below SuspectAfter it stays alive.
+	step(35*time.Second, false)
+	if got := d.statusOf(1); got != StatusAlive {
+		t.Fatalf("25s silent: status %v, want alive", got)
+	}
+	step(70*time.Second, false)
+	if got := d.statusOf(1); got != StatusSuspect {
+		t.Fatalf("60s silent: status %v, want suspect", got)
+	}
+	step(2*time.Minute+20*time.Second, false)
+	if got := d.statusOf(1); got != StatusDead {
+		t.Fatalf("130s silent: status %v, want dead", got)
+	}
+	// First heartbeat revives it.
+	step(3*time.Minute, true)
+	if got := d.statusOf(1); got != StatusAlive {
+		t.Fatalf("after heartbeat: status %v, want alive", got)
+	}
+	su, de, re := d.transitions()
+	if su != 1 || de != 1 || re != 1 {
+		t.Errorf("transitions = %d suspects, %d deaths, %d revivals; want 1 each", su, de, re)
+	}
+	// Node 0 heartbeat every step: no transitions attributable to it.
+	if got := d.statusOf(0); got != StatusAlive {
+		t.Errorf("steady node: status %v, want alive", got)
+	}
+}
+
+// Backoff must double per consecutive failure from RetryBase and clamp
+// at RetryCap, and the queue must refuse attempts inside the window.
+func TestBackoffTiming(t *testing.T) {
+	n, err := newNode(0, []int{0}, "", realtime.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.crash() // every deliver fails
+	base, cap := 500*time.Millisecond, 8*time.Second
+	q := newSendQueue(n, base, cap, time.Hour)
+
+	for f, want := range map[int]time.Duration{
+		1: 500 * time.Millisecond,
+		2: time.Second,
+		3: 2 * time.Second,
+		4: 4 * time.Second,
+		5: 8 * time.Second,
+		6: 8 * time.Second, // capped
+		9: 8 * time.Second,
+	} {
+		if got := q.backoff(f); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", f, got, want)
+		}
+	}
+
+	h := newHandoff(1)
+	now := t0
+	q.send([]routed{{p: 0, e: *ev(testNames[0], t0, 1, "us")}}, now, h)
+	if q.statsSnap().attempts != 1 || q.statsSnap().failures != 1 {
+		t.Fatalf("after send: %+v, want 1 attempt 1 failure", q.statsSnap())
+	}
+	// Inside the 500ms window: pump must not attempt.
+	q.pump(now.Add(400*time.Millisecond), h)
+	if got := q.statsSnap().attempts; got != 1 {
+		t.Fatalf("pump inside backoff attempted (attempts=%d)", got)
+	}
+	// Past the window: one retry, which fails and doubles the window.
+	q.pump(now.Add(600*time.Millisecond), h)
+	s := q.statsSnap()
+	if s.attempts != 2 || s.retries != 1 {
+		t.Fatalf("pump past backoff: %+v, want 2 attempts 1 retry", s)
+	}
+	// The second failure's window is 1s from the retry; 1.5s later it
+	// reopens. Restart the node so the attempt lands.
+	if err := n.restart(); err != nil {
+		t.Fatal(err)
+	}
+	q.pump(now.Add(1700*time.Millisecond), h)
+	s = q.statsSnap()
+	if s.delivered != 1 || q.pendingLen() != 0 {
+		t.Fatalf("after recovery pump: %+v pending=%d, want delivered", s, q.pendingLen())
+	}
+}
+
+// A queue whose node keeps failing past HintAfter must surrender its
+// backlog to hinted handoff and route subsequent sends straight there.
+func TestQueueHintTimeout(t *testing.T) {
+	n, err := newNode(0, []int{0}, "", realtime.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.crash()
+	q := newSendQueue(n, 500*time.Millisecond, 8*time.Second, 2*time.Minute)
+	h := newHandoff(1)
+
+	now := t0
+	q.send([]routed{{p: 0, e: *ev(testNames[0], t0, 1, "us")}}, now, h)
+	for i := 1; i <= 20 && h.pending(0) == 0; i++ {
+		q.pump(now.Add(time.Duration(i)*10*time.Second), h)
+	}
+	if got := h.pending(0); got != 1 {
+		t.Fatalf("handoff pending = %d, want 1 after HintAfter elapsed", got)
+	}
+	// Hinting mode: new sends bypass the queue.
+	q.send([]routed{{p: 0, e: *ev(testNames[1], t0, 2, "us")}}, now.Add(5*time.Minute), h)
+	if got := h.pending(0); got != 2 {
+		t.Fatalf("handoff pending = %d, want 2 (send while hinting)", got)
+	}
+	if q.pendingLen() != 0 {
+		t.Fatalf("queue pending = %d, want 0 while hinting", q.pendingLen())
+	}
+}
+
+func TestClusterBasicIngestAndStats(t *testing.T) {
+	clk := zk.NewManualClock(t0)
+	c := testCluster(t, Config{Nodes: 3, ReplicationFactor: 2, Clock: clk})
+	const perName = 50
+	for _, name := range testNames {
+		for i := 0; i < perName; i++ {
+			c.Ingest(ev(name, t0.Add(time.Duration(i)*time.Second), int64(i), "us"))
+		}
+	}
+	c.Tick()
+	c.Sync()
+	if !c.Drained() {
+		t.Fatal("healthy cluster not drained after Tick")
+	}
+	s := c.Stats()
+	wantIngest := int64(len(testNames) * perName)
+	if s.Ingested != wantIngest {
+		t.Errorf("Ingested = %d, want %d", s.Ingested, wantIngest)
+	}
+	if want := wantIngest * int64(c.Replication()); s.Delivered != want {
+		t.Errorf("Delivered = %d, want %d (R× ingested)", s.Delivered, want)
+	}
+	if s.Counter.Observed != wantIngest*int64(c.Replication()) {
+		t.Errorf("Counter.Observed = %d, want %d", s.Counter.Observed, wantIngest*int64(c.Replication()))
+	}
+	if s.Hinted != 0 || s.SendFailures != 0 {
+		t.Errorf("healthy cluster hinted %d / failed %d deliveries", s.Hinted, s.SendFailures)
+	}
+}
+
+// A durable R=2 cluster under a random crash/restart schedule must
+// converge, after hint replay, to exactly the counts a single reference
+// counter holds — the property the whole replication design exists for.
+func TestClusterCrashRestartConvergence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			clk := zk.NewManualClock(t0)
+			c := testCluster(t, Config{
+				Nodes:             3,
+				ReplicationFactor: 2,
+				Clock:             clk,
+				Dir:               t.TempDir(),
+				HeartbeatEvery:    time.Minute,
+				SuspectAfter:      150 * time.Second,
+				DeadAfter:         300 * time.Second,
+				RetryBase:         500 * time.Millisecond,
+				RetryCap:          30 * time.Second,
+				HintAfter:         2 * time.Minute,
+				Node:              realtime.Config{Retention: 26 * time.Hour, FsyncEvery: 1},
+			})
+			ref := realtime.New(realtime.Config{Shards: 2, Retention: 26 * time.Hour})
+			defer ref.Close()
+
+			// 60 simulated minutes; each minute a burst of events, a Tick,
+			// and maybe a membership fault.
+			crashed := make(map[int]bool)
+			for min := 0; min < 60; min++ {
+				at := t0.Add(time.Duration(min) * time.Minute)
+				for i := 0; i < 20; i++ {
+					name := testNames[rng.Intn(len(testNames))]
+					e := ev(name, at, int64(rng.Intn(1000)), "us")
+					c.Ingest(e)
+					ref.Ingest(e)
+				}
+				switch r := rng.Float64(); {
+				case r < 0.10:
+					id := rng.Intn(c.NumNodes())
+					if !crashed[id] && len(crashed) == 0 { // at most one down at a time: R=2 tolerates one
+						c.Crash(id)
+						crashed[id] = true
+					}
+				case r < 0.30:
+					for id := range crashed {
+						if err := c.Restart(id); err != nil {
+							t.Fatalf("restart %d: %v", id, err)
+						}
+						delete(crashed, id)
+					}
+				}
+				clk.Advance(time.Minute)
+				c.Tick()
+			}
+			for id := range crashed {
+				if err := c.Restart(id); err != nil {
+					t.Fatalf("final restart %d: %v", id, err)
+				}
+			}
+			// Let detection, backoff, and hint replay settle.
+			for i := 0; i < 64 && !c.Drained(); i++ {
+				clk.Advance(time.Minute)
+				c.Tick()
+			}
+			if !c.Drained() {
+				t.Fatalf("cluster failed to drain; stats %+v", c.Stats())
+			}
+			c.Sync()
+			ref.Sync()
+
+			from, to := t0.Add(-time.Hour), t0.Add(2*time.Hour)
+			for _, name := range testNames {
+				// Every node must agree with the reference on every partition
+				// it hosts — replicas converged, not just one.
+				p := c.PartitionOf(name)
+				want := ref.PathSum(name, from, to)
+				for _, id := range c.ReplicasOf(p) {
+					got, err := c.Node(id).PathSum(p, name, from, to)
+					if err != nil {
+						t.Fatalf("node %d PathSum(%q): %v", id, name, err)
+					}
+					if got != want {
+						t.Errorf("node %d %q = %d, want %d (stats %+v)", id, name, got, want, c.Stats())
+					}
+				}
+			}
+		})
+	}
+}

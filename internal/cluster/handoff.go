@@ -1,0 +1,101 @@
+package cluster
+
+import "sync"
+
+// handoff is the hinted-handoff table: writes that could not reach a
+// replica wait here, keyed by target node, until the failure detector
+// sees that node alive again and Tick replays them. Hints are the
+// cluster-level half of recovery — a restarted durable node first
+// replays its own WAL (everything it accepted before the crash), then
+// the hints (everything it missed while down), and the two sets are
+// disjoint because a delivery either committed before the crash or
+// failed into this table.
+type handoff struct {
+	mu     sync.Mutex
+	byNode [][]routed
+	total  int
+
+	hinted         int64
+	replayed       int64
+	replayFailures int64
+	highWater      int64
+}
+
+type handoffStats struct {
+	hinted         int64
+	replayed       int64
+	replayFailures int64
+	highWater      int64
+}
+
+func newHandoff(nodes int) *handoff {
+	return &handoff{byNode: make([][]routed, nodes)}
+}
+
+// add buffers a batch of hints for node id.
+func (h *handoff) add(id int, batch []routed) {
+	if len(batch) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.byNode[id] = append(h.byNode[id], batch...)
+	h.total += len(batch)
+	h.hinted += int64(len(batch))
+	if int64(h.total) > h.highWater {
+		h.highWater = int64(h.total)
+	}
+	h.mu.Unlock()
+	tmClusterHinted.Add(int64(len(batch)))
+}
+
+// replay delivers every hint buffered for n. On failure (the node died
+// again between detection and replay) the hints go back in the table
+// for the next round.
+func (h *handoff) replay(n *Node) error {
+	h.mu.Lock()
+	batch := h.byNode[n.id]
+	h.byNode[n.id] = nil
+	h.total -= len(batch)
+	h.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := n.deliver(batch); err != nil {
+		h.mu.Lock()
+		h.byNode[n.id] = append(batch, h.byNode[n.id]...)
+		h.total += len(batch)
+		h.replayFailures++
+		h.mu.Unlock()
+		return err
+	}
+	h.mu.Lock()
+	h.replayed += int64(len(batch))
+	h.mu.Unlock()
+	tmClusterReplayed.Add(int64(len(batch)))
+	return nil
+}
+
+// pending reports the hint count buffered for node id.
+func (h *handoff) pending(id int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.byNode[id])
+}
+
+// totalPending reports the hint count across all nodes.
+func (h *handoff) totalPending() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+func (h *handoff) statsSnap() handoffStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return handoffStats{
+		hinted:         h.hinted,
+		replayed:       h.replayed,
+		replayFailures: h.replayFailures,
+		highWater:      h.highWater,
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"time"
+
+	"unilog/internal/analytics"
+	"unilog/internal/realtime"
+)
+
+// Per-node, per-partition query surface. Partitions hold disjoint name
+// sets, so a cluster-wide answer is the sum of one live replica's
+// partial per partition; the scatter-gather merge lives in
+// birdbrain.Scatter. Every method fails with ErrNodeDown on a crashed
+// node — a crashed counter's memory may still be readable in-process,
+// but a dead machine's would not be, and the failover path only gets
+// exercised if we refuse to answer.
+
+// PathSum returns the node's count for a hierarchy path within one
+// partition over [from, to).
+func (n *Node) PathSum(p int, path string, from, to time.Time) (int64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c, err := n.queryCounter(p)
+	if err != nil {
+		return 0, err
+	}
+	return c.PathSum(path, from, to), nil
+}
+
+// Series returns the node's per-minute counts for a path within one
+// partition over [from, to).
+func (n *Node) Series(p int, path string, from, to time.Time) ([]int64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c, err := n.queryCounter(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Series(path, from, to), nil
+}
+
+// ChildCounts returns the node's full per-child counts under parent
+// within one partition over [from, to) — unranked and uncut, because a
+// cluster-wide top-k can only be ranked after merging every partition's
+// children (a name small on this partition's slice of the namespace
+// may be absent from it entirely, not small globally; partitions hold
+// whole names, so no name is split, but the union is what ranks).
+func (n *Node) ChildCounts(p int, parent string, from, to time.Time) ([]realtime.PathCount, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c, err := n.queryCounter(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.TopK(parent, allChildren, from, to), nil
+}
+
+// Rollups returns the node's §3.2 rollup rows for one partition over
+// [from, to), keyed like analytics.Rollups.
+func (n *Node) Rollups(p int, from, to time.Time) (map[analytics.RollupKey]int64, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c, err := n.queryCounter(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.RollupSnapshot(from, to), nil
+}
+
+// allChildren asks TopK for an effectively unbounded k.
+const allChildren = 1 << 30
+
+// queryCounter resolves partition p's counter; the caller holds RLock.
+func (n *Node) queryCounter(p int) (*realtime.Counter, error) {
+	if n.crashed {
+		return nil, ErrNodeDown
+	}
+	c := n.counters[p]
+	if c == nil {
+		return nil, ErrNotReplica
+	}
+	return c, nil
+}

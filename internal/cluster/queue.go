@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// sendQueue is the per-node write path: it buffers routed events for
+// one node and delivers them, retrying failures with capped exponential
+// backoff. A node that keeps failing past hintAfter — or that the
+// failure detector declares dead, via evict — stops costing retries:
+// the backlog moves to hinted handoff and new sends follow it there
+// until the node proves itself again (reset, called after a successful
+// hint replay).
+type sendQueue struct {
+	mu        sync.Mutex
+	node      *Node
+	base      time.Duration // first retry delay; doubles per failure
+	cap       time.Duration // backoff ceiling
+	hintAfter time.Duration // continuous-failure budget before hinting
+
+	pending     []routed
+	failures    int       // consecutive failed attempts
+	firstFail   time.Time // start of the current failure streak
+	nextAttempt time.Time // backoff gate; zero means attempt immediately
+	hinting     bool      // true once the queue has given up on retries
+
+	stats sendStats
+}
+
+type sendStats struct {
+	enqueued  int64
+	delivered int64
+	attempts  int64
+	retries   int64
+	failures  int64
+	hinted    int64
+	highWater int64
+}
+
+func newSendQueue(n *Node, base, cap, hintAfter time.Duration) *sendQueue {
+	return &sendQueue{node: n, base: base, cap: cap, hintAfter: hintAfter}
+}
+
+// backoff returns the delay after the f-th consecutive failure:
+// min(base·2^(f-1), cap).
+func (q *sendQueue) backoff(f int) time.Duration {
+	d := q.base
+	for i := 1; i < f; i++ {
+		d *= 2
+		if d >= q.cap {
+			return q.cap
+		}
+	}
+	if d > q.cap {
+		d = q.cap
+	}
+	return d
+}
+
+// send enqueues a batch and attempts delivery unless a backoff window
+// is open (then the batch waits for pump) or the queue is hinting (then
+// the batch goes straight to handoff).
+func (q *sendQueue) send(batch []routed, now time.Time, h *handoff) {
+	q.mu.Lock()
+	if q.hinting {
+		q.stats.hinted += int64(len(batch))
+		q.mu.Unlock()
+		h.add(q.node.id, batch)
+		return
+	}
+	q.stats.enqueued += int64(len(batch))
+	q.pending = append(q.pending, batch...)
+	if n := int64(len(q.pending)); n > q.stats.highWater {
+		q.stats.highWater = n
+	}
+	if now.Before(q.nextAttempt) {
+		q.mu.Unlock()
+		return
+	}
+	q.attemptLocked(now, h)
+	q.mu.Unlock()
+}
+
+// pump retries pending deliveries whose backoff window has elapsed.
+// Called from Cluster.Tick for every node not currently considered
+// dead.
+func (q *sendQueue) pump(now time.Time, h *handoff) {
+	q.mu.Lock()
+	if len(q.pending) == 0 || q.hinting || now.Before(q.nextAttempt) {
+		q.mu.Unlock()
+		return
+	}
+	if q.failures > 0 {
+		q.stats.retries++
+		tmClusterRetries.Inc()
+	}
+	q.attemptLocked(now, h)
+	q.mu.Unlock()
+}
+
+// attemptLocked tries to deliver the whole backlog once. On success the
+// queue resets its failure streak; on failure it opens the next backoff
+// window, and once the streak is older than hintAfter it surrenders the
+// backlog to hinted handoff and enters hinting mode.
+func (q *sendQueue) attemptLocked(now time.Time, h *handoff) {
+	q.stats.attempts++
+	if err := q.node.deliver(q.pending); err == nil {
+		q.stats.delivered += int64(len(q.pending))
+		q.pending = nil
+		q.failures = 0
+		q.nextAttempt = time.Time{}
+		return
+	}
+	if q.failures == 0 {
+		q.firstFail = now
+	}
+	q.failures++
+	q.stats.failures++
+	tmClusterSendFails.Inc()
+	q.nextAttempt = now.Add(q.backoff(q.failures))
+	if now.Sub(q.firstFail) >= q.hintAfter {
+		q.surrenderLocked(h)
+	}
+}
+
+// evict force-hints the backlog without an attempt — Tick calls it when
+// the failure detector declares the node dead, so a known-dead node
+// costs zero delivery attempts.
+func (q *sendQueue) evict(h *handoff) {
+	q.mu.Lock()
+	q.surrenderLocked(h)
+	q.hinting = true
+	q.mu.Unlock()
+}
+
+// surrenderLocked moves the backlog to handoff and enters hinting mode.
+func (q *sendQueue) surrenderLocked(h *handoff) {
+	if len(q.pending) > 0 {
+		q.stats.hinted += int64(len(q.pending))
+		h.add(q.node.id, q.pending)
+		q.pending = nil
+	}
+	q.hinting = true
+	q.failures = 0
+	q.nextAttempt = time.Time{}
+}
+
+// reset clears hinting and the failure streak; called after a hint
+// replay proved the node is taking writes again.
+func (q *sendQueue) reset() {
+	q.mu.Lock()
+	q.hinting = false
+	q.failures = 0
+	q.nextAttempt = time.Time{}
+	q.mu.Unlock()
+}
+
+// isHinting reports whether the queue has given up on direct delivery.
+func (q *sendQueue) isHinting() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hinting
+}
+
+// pendingLen reports the queued (not yet delivered, not yet hinted)
+// event count.
+func (q *sendQueue) pendingLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+func (q *sendQueue) statsSnap() sendStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}

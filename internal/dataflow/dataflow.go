@@ -113,6 +113,8 @@ type Stats struct {
 	MergePasses       int   // streaming merge-reduce passes executed
 	MergeRuns         int   // run cursors (spilled runs + sorted residues) consumed by merges
 	PeakRunFanIn      int   // widest single k-way merge: peak reduce memory is one buffered tuple per run at this width
+	CascadePasses     int   // cascade waves run to bring the run count under Job.MaxMergeFanIn
+	CascadeRuns       int   // intermediate wider runs written by cascade passes
 }
 
 // ClusterSeconds estimates cluster occupancy from task startup overheads —
@@ -135,6 +137,14 @@ type Job struct {
 	MemoryBudget int64
 	// SpillDir is where spill files are created; empty means os.TempDir().
 	SpillDir string
+	// MaxMergeFanIn caps how many run cursors a single streaming merge
+	// holds open at once; <= 0 means DefaultMaxMergeFanIn. When a tiny
+	// MemoryBudget accumulates more sorted runs than the cap, the reduce
+	// side first runs cascaded merge passes — batches of runs merged into
+	// single wider runs staged on disk — until one merge fits, trading
+	// extra sequential I/O for bounded reduce memory, as external sorts
+	// always have.
+	MaxMergeFanIn int
 	// SpillPartitions is the hash-partition fan-out of the external
 	// operators; <= 0 means DefaultSpillPartitions. Peak reduce-side
 	// memory is roughly the input size divided by this.

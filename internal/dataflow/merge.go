@@ -1,11 +1,13 @@
 package dataflow
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"unilog/internal/recordio"
 )
@@ -97,14 +99,23 @@ func (c *memRun) key() []byte  { return c.p.key(&c.p.mem[c.i]) }
 func (c *memRun) seq() uint64  { return c.p.mem[c.i].seq }
 func (c *memRun) tuple() Tuple { return c.p.mem[c.i].t }
 
+// DefaultMaxMergeFanIn is the run-cursor cap of a single streaming merge
+// when Job.MaxMergeFanIn is unset.
+const DefaultMaxMergeFanIn = 64
+
 // mergeAll opens one streaming merge over every run of every partition.
 // Hash partitions hold disjoint key sets, so merging all runs at once
 // yields the global (key, order, sequence) order directly — there is no
-// per-partition pass and no output re-sort. The caller owns Close; the
-// table can be merged repeatedly until it is closed.
+// per-partition pass and no output re-sort. If the accumulated run count
+// exceeds Job.MaxMergeFanIn, cascade first folds batches of runs into
+// wider ones until the final merge fits the cap. The caller owns Close;
+// the table can be merged repeatedly until it is closed.
 func (st *spillTable) mergeAll() (*mergeIter, error) {
 	if st.closed {
 		return nil, errSpillClosed
+	}
+	if err := st.cascade(); err != nil {
+		return nil, err
 	}
 	m := &mergeIter{st: st}
 	for pi := range st.parts {
@@ -125,30 +136,186 @@ func (st *spillTable) mergeAll() (*mergeIter, error) {
 			m.h = append(m.h, &memRun{p: p, i: -1})
 		}
 	}
+	if err := m.addRefs(st.merged); err != nil {
+		return nil, err
+	}
 	fanIn := len(m.h)
 	st.job.stats.MergeRuns += fanIn
 	if fanIn > st.job.stats.PeakRunFanIn {
 		st.job.stats.PeakRunFanIn = fanIn
 	}
 	tmMergeFanInMax.SetMax(int64(fanIn))
-	// Prime every cursor, dropping the (theoretical) empty ones, then order
-	// the heap.
-	kept := m.h[:0]
-	for _, c := range m.h {
-		switch err := c.advance(); {
-		case err == io.EOF:
-		case err != nil:
-			m.Close()
-			return nil, err
-		default:
-			kept = append(kept, c)
-		}
-	}
-	m.h = kept
-	for i := len(m.h)/2 - 1; i >= 0; i-- {
-		m.down(i)
+	if err := m.prime(); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// fanInCap resolves the job's merge fan-in cap (minimum 2 — a 1-way
+// "merge" could never make progress reducing the run count).
+func (st *spillTable) fanInCap() int {
+	c := st.job.MaxMergeFanIn
+	if c <= 0 {
+		c = DefaultMaxMergeFanIn
+	}
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// cascade brings the table's file-run count under the merge fan-in cap:
+// each pass folds batches of runs into single wider sorted runs staged
+// in cascade files, retiring source files as their last run is
+// consumed. Sorted-run merging is closed under the (key, order,
+// sequence) comparator, so any batch — even one spanning partitions —
+// produces a run the final merge consumes identically; the output
+// relation is byte-for-byte what a single unbounded merge would yield.
+// In-memory residues are never cascaded (they are already resident and
+// cost no reread); they reserve their cursor slots out of the cap, with
+// a floor of two slots for file runs.
+func (st *spillTable) cascade() error {
+	eff := st.fanInCap()
+	for i := range st.parts {
+		if len(st.parts[i].mem) > 0 {
+			eff--
+		}
+	}
+	if eff < 2 {
+		eff = 2
+	}
+	total := len(st.merged)
+	for i := range st.parts {
+		total += len(st.parts[i].runs)
+	}
+	if total <= eff {
+		return nil
+	}
+	// Take ownership of every partition run: from here on the runs live
+	// as runRefs and the partitions only contribute residues.
+	for i := range st.parts {
+		p := &st.parts[i]
+		for _, r := range p.runs {
+			st.merged = append(st.merged, runRef{path: p.path, off: r.off, len: r.len, records: r.records})
+		}
+		p.runs = nil
+	}
+	for len(st.merged) > eff {
+		t0 := time.Now()
+		st.job.stats.CascadePasses++
+		tmCascadePasses.Inc()
+		old := st.merged
+		next := make([]runRef, 0, (len(old)+eff-1)/eff)
+		for i := 0; i < len(old); i += eff {
+			end := i + eff
+			if end > len(old) {
+				end = len(old)
+			}
+			batch := old[i:end]
+			if len(batch) == 1 {
+				// A stray singleton carries over unchanged; a later pass or
+				// the final merge consumes it.
+				next = append(next, batch[0])
+				continue
+			}
+			out, err := st.mergeBatch(batch)
+			if err != nil {
+				// Keep both the rewritten and the unconsumed runs reachable
+				// so Close still removes every staged file.
+				st.merged = append(next, old[i:]...)
+				return err
+			}
+			st.job.stats.CascadeRuns++
+			st.job.stats.MergeRuns += len(batch)
+			if len(batch) > st.job.stats.PeakRunFanIn {
+				st.job.stats.PeakRunFanIn = len(batch)
+			}
+			tmCascadeRuns.Inc()
+			tmMergeFanInMax.SetMax(int64(len(batch)))
+			next = append(next, out)
+		}
+		st.merged = next
+		st.dropUnreferenced(old, next)
+		tmCascadeNs.ObserveSince(t0)
+	}
+	return nil
+}
+
+// mergeBatch streams one k-way merge over a batch of file runs into a
+// fresh cascade file holding a single sorted run.
+func (st *spillTable) mergeBatch(batch []runRef) (runRef, error) {
+	m := &mergeIter{st: st}
+	if err := m.addRefs(batch); err != nil {
+		return runRef{}, err
+	}
+	if err := m.prime(); err != nil {
+		return runRef{}, err
+	}
+	out, err := os.CreateTemp(st.spillDir(), "unilog-cascade-"+st.job.Name+"-*.crc")
+	if err != nil {
+		m.Close()
+		return runRef{}, fmt.Errorf("dataflow: create cascade file: %w", err)
+	}
+	fail := func(err error) (runRef, error) {
+		m.Close()
+		out.Close()
+		os.Remove(out.Name())
+		return runRef{}, err
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	w := recordio.NewCRCWriter(bw)
+	var records int64
+	for {
+		k, seq, t, err := m.nextRec()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		st.encBuf, err = appendRunRec(st.encBuf[:0], k, seq, t)
+		if err != nil {
+			return fail(err)
+		}
+		if err := w.Append(st.encBuf); err != nil {
+			return fail(fmt.Errorf("dataflow: write cascade file %s: %w", out.Name(), err))
+		}
+		records++
+	}
+	if err := m.Close(); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("dataflow: seal cascade file %s: %w", out.Name(), err))
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(out.Name())
+		return runRef{}, fmt.Errorf("dataflow: seal cascade file %s: %w", out.Name(), err)
+	}
+	return runRef{path: out.Name(), off: 0, len: w.Bytes(), records: records, temp: true}, nil
+}
+
+// dropUnreferenced removes source files whose last run was consumed by a
+// cascade pass — spill files shrink as passes retire them instead of
+// lingering at full size until Close.
+func (st *spillTable) dropUnreferenced(old, next []runRef) {
+	live := make(map[string]bool, len(next))
+	for _, r := range next {
+		live[r.path] = true
+	}
+	dropped := make(map[string]bool)
+	for _, r := range old {
+		if live[r.path] || dropped[r.path] {
+			continue
+		}
+		dropped[r.path] = true
+		os.Remove(r.path)
+		for i := range st.parts {
+			if st.parts[i].path == r.path {
+				st.parts[i].path = ""
+			}
+		}
+	}
 }
 
 // mergeIter is the k-way merge: a min-heap of run cursors. The root's
@@ -163,11 +330,61 @@ type mergeIter struct {
 	err     error
 }
 
+// addRefs opens cursors for a set of file runs, sharing one descriptor
+// per distinct file. On error the iterator has been closed.
+func (m *mergeIter) addRefs(refs []runRef) error {
+	files := make(map[string]*os.File)
+	for _, r := range refs {
+		f := files[r.path]
+		if f == nil {
+			var err error
+			f, err = os.Open(r.path)
+			if err != nil {
+				m.Close()
+				return fmt.Errorf("dataflow: reopen run file: %w", err)
+			}
+			files[r.path] = f
+			m.files = append(m.files, f)
+		}
+		sec := io.NewSectionReader(f, r.off, r.len)
+		m.h = append(m.h, &fileRun{path: r.path, r: recordio.NewCRCReader(sec), remaining: r.records})
+	}
+	return nil
+}
+
+// prime advances every cursor once, drops the (theoretical) empty ones,
+// and orders the heap. On error the iterator has been closed.
+func (m *mergeIter) prime() error {
+	kept := m.h[:0]
+	for _, c := range m.h {
+		switch err := c.advance(); {
+		case err == io.EOF:
+		case err != nil:
+			m.Close()
+			return err
+		default:
+			kept = append(kept, c)
+		}
+	}
+	m.h = kept
+	for i := len(m.h)/2 - 1; i >= 0; i-- {
+		m.down(i)
+	}
+	return nil
+}
+
 // next returns the next record in global order, io.EOF after the last. The
 // key is valid until the following call; the tuple is the caller's.
 func (m *mergeIter) next() ([]byte, Tuple, error) {
+	k, _, t, err := m.nextRec()
+	return k, t, err
+}
+
+// nextRec is next plus the record's insertion sequence — the cascade
+// rewrites runs and must preserve the sequence for downstream tiebreaks.
+func (m *mergeIter) nextRec() ([]byte, uint64, Tuple, error) {
 	if m.err != nil {
-		return nil, nil, m.err
+		return nil, 0, nil, m.err
 	}
 	if m.pending {
 		m.pending = false
@@ -182,17 +399,17 @@ func (m *mergeIter) next() ([]byte, Tuple, error) {
 			}
 		case err != nil:
 			m.err = err
-			return nil, nil, err
+			return nil, 0, nil, err
 		default:
 			m.down(0)
 		}
 	}
 	if len(m.h) == 0 {
-		return nil, nil, io.EOF
+		return nil, 0, nil, io.EOF
 	}
 	m.pending = true
 	c := m.h[0]
-	return c.key(), c.tuple(), nil
+	return c.key(), c.seq(), c.tuple(), nil
 }
 
 // less orders two cursors by (key, order column, sequence) — identical to

@@ -64,6 +64,20 @@ type spillRun struct {
 	records int64
 }
 
+// runRef is a sorted run addressed by file: either a section of a
+// partition's spill file or a whole cascade file (temp = true, owned by
+// the table and removed once consumed or on Close). The cascade in
+// merge.go moves partition runs into this form so multiple passes can
+// rewrite and retire them independently of the partitions they came
+// from.
+type runRef struct {
+	path    string
+	off     int64
+	len     int64
+	records int64
+	temp    bool
+}
+
 // spillPart is one hash partition: an in-memory buffer plus, once it has
 // overflowed, a spill file holding earlier tuples as sorted runs.
 type spillPart struct {
@@ -94,6 +108,7 @@ type spillTable struct {
 	seq      uint64
 	scratch  []byte
 	encBuf   []byte
+	merged   []runRef // file runs owned by the cascade (merge.go); empty until one runs
 	closed   bool
 }
 
@@ -312,5 +327,16 @@ func (st *spillTable) Close() error {
 		p.runs = nil
 		p.memBytes = 0
 	}
+	removed := make(map[string]bool)
+	for _, r := range st.merged {
+		if !r.temp || removed[r.path] {
+			continue
+		}
+		removed[r.path] = true
+		if rerr := os.Remove(r.path); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	st.merged = nil
 	return err
 }

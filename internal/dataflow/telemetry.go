@@ -16,10 +16,13 @@ var (
 	tmSpillRecords  = telemetry.GetCounter("dataflow.spill.records")
 	tmSpillRuns     = telemetry.GetCounter("dataflow.spill.runs")
 	tmMergePasses   = telemetry.GetCounter("dataflow.merge.passes")
+	tmCascadePasses = telemetry.GetCounter("dataflow.merge.cascade.passes")
+	tmCascadeRuns   = telemetry.GetCounter("dataflow.merge.cascade.runs")
 	tmMergeFanInMax = telemetry.GetGauge("dataflow.merge.run_fanin.peak")
 
 	tmScanSplitNs  = telemetry.GetHistogram("dataflow.stage.scan.ns")
 	tmShuffleNs    = telemetry.GetHistogram("dataflow.stage.shuffle.ns")
 	tmSpillFlushNs = telemetry.GetHistogram("dataflow.stage.spill.ns")
+	tmCascadeNs    = telemetry.GetHistogram("dataflow.stage.cascade.ns")
 	tmMergePassNs  = telemetry.GetHistogram("dataflow.stage.merge.ns")
 )

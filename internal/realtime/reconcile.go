@@ -115,6 +115,17 @@ func ReconcileWith(fs *hdfs.FS, day time.Time, c *Counter) (*Report, error) {
 	return r, nil
 }
 
+// DiffRollups diffs an arbitrary batch/stream rollup-table pair into a
+// Report — the reconcile primitive for callers that assemble the
+// streaming table themselves, like a cluster scatter-gather that merges
+// one RollupSnapshot per partition before comparing against the batch
+// job. Events is left zero; the caller knows its own ingest count.
+func DiffRollups(day time.Time, batch, stream map[analytics.RollupKey]int64) *Report {
+	r := &Report{Day: day.UTC().Truncate(24 * time.Hour)}
+	r.diff(batch, stream)
+	return r
+}
+
 // diff fills the report with the disagreement between the batch and
 // streaming rollup tables.
 func (r *Report) diff(batch, stream map[analytics.RollupKey]int64) {

@@ -77,6 +77,26 @@ type Result struct {
 	SpilledBytes       int64   `json:"spilled_bytes"`
 	SpillRuns          int     `json:"spill_runs"`
 
+	// Cluster fields, present only when the spec declares a cluster. The
+	// reconcile verdict is the scatter-gathered day versus the batch
+	// rollups; the probe counters record how reads behaved through the
+	// fault windows (degraded = answered around a dead/failing replica,
+	// partial = some partition had no live replica at all).
+	ClusterNodes          int   `json:"cluster_nodes,omitempty"`
+	ClusterReplication    int   `json:"cluster_replication,omitempty"`
+	ClusterReconcileOK    bool  `json:"cluster_reconcile_ok,omitempty"`
+	ClusterReconcileDiffs int   `json:"cluster_reconcile_diffs,omitempty"`
+	ClusterDrained        bool  `json:"cluster_drained,omitempty"`
+	HandoffHinted         int64 `json:"handoff_hinted,omitempty"`
+	HandoffReplayed       int64 `json:"handoff_replayed,omitempty"`
+	NodeCrashes           int64 `json:"node_crashes,omitempty"`
+	NodeRestarts          int64 `json:"node_restarts,omitempty"`
+	DetectorDeaths        int64 `json:"detector_deaths,omitempty"`
+	DetectorRevivals      int64 `json:"detector_revivals,omitempty"`
+	ScatterProbes         int64 `json:"scatter_probes,omitempty"`
+	DegradedQueries       int64 `json:"degraded_queries,omitempty"`
+	PartialQueries        int64 `json:"partial_queries,omitempty"`
+
 	ApplyBatchP50Ns int64 `json:"apply_batch_p50_ns"`
 	ApplyBatchP95Ns int64 `json:"apply_batch_p95_ns"`
 	ApplyBatchP99Ns int64 `json:"apply_batch_p99_ns"`
@@ -167,9 +187,27 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 	counter := realtime.New(counterCfg)
 	defer counter.Close()
 	counter.Publish(nil)
+
+	// With a cluster declared, every aggregator batch fans into both the
+	// single counter (the existing reconcile baseline) and the replicated
+	// cluster, whose own scatter-gathered reconcile lands in the cluster_*
+	// result fields.
+	var ch *clusterHarness
+	tap := counter.TapBatch
+	if spec.Cluster != nil {
+		ch, err = newClusterHarness(spec, clock)
+		if err != nil {
+			return nil, err
+		}
+		defer ch.close()
+		tap = func(batch []scribe.Entry) {
+			counter.TapBatch(batch)
+			ch.c.TapBatch(batch)
+		}
+	}
 	for _, r := range regions {
 		for _, a := range r.dc.Aggregators {
-			a.Tap = counter.TapBatch
+			a.Tap = tap
 		}
 	}
 
@@ -217,6 +255,29 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 		}
 	}
 
+	// advanceTo moves the manual clock to an event's minute. Without a
+	// cluster the clock jumps hour to hour (aggregators bucket staging by
+	// hour, nothing finer matters); with one it steps every minute so the
+	// failure detector, retry backoff, fault edges, and scatter probes
+	// all run between the hours, sealing each hour as it completes.
+	onHour := func(hr int) error {
+		if err := sealThrough(curHour, hr); err != nil {
+			return err
+		}
+		curHour = hr
+		return nil
+	}
+	advanceTo := func(minute int) error {
+		if ch != nil {
+			return ch.advanceTo(minute, onHour)
+		}
+		if h := minute / 60; h > curHour {
+			clock.Advance(time.Duration(h-curHour) * time.Hour)
+			return onHour(h)
+		}
+		return nil
+	}
+
 	t0 := time.Now()
 	err = stream(func(e *events.ClientEvent) error {
 		minute := int((e.Timestamp - dayMs) / 60_000)
@@ -229,12 +290,8 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 		// The manual clock tracks event time so aggregators bucket staging
 		// files into the event's (arrival) hour; each hour crossed is
 		// sealed and moved behind the clock.
-		if h := minute / 60; h > curHour {
-			clock.Advance(time.Duration(h-curHour) * time.Hour)
-			if err := sealThrough(curHour, h); err != nil {
-				return err
-			}
-			curHour = h
+		if err := advanceTo(minute); err != nil {
+			return err
 		}
 		setDark(minute)
 
@@ -261,6 +318,13 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 	for _, r := range regions {
 		r.dark = false
 	}
+	// The cluster first walks out the rest of the active window so every
+	// remaining crash/restart edge fires before the day is sealed.
+	if ch != nil {
+		if err := ch.advanceTo(spec.DurationMinutes, onHour); err != nil {
+			return nil, err
+		}
+	}
 	for _, r := range regions {
 		if err := r.dc.FlushAll(); err != nil {
 			return nil, fmt.Errorf("scenario %s: final flush %s: %w", spec.Name, r.name, err)
@@ -268,6 +332,13 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 	}
 	if err := sealThrough(0, 24); err != nil {
 		return nil, err
+	}
+	// Every tap input is in; let the cluster's queues and hints drain
+	// before anything reads it.
+	if ch != nil {
+		if err := ch.drain(); err != nil {
+			return nil, err
+		}
 	}
 	feedDur := time.Since(t0)
 	if res.Events > 0 && feedDur > 0 {
@@ -306,6 +377,12 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 	res.ReconcileOK = report.OK()
 	res.ReconcileBatchRows = report.BatchRows
 	res.ReconcileDiffs = report.MissingN + report.ExtraN + report.MismatchN
+
+	if ch != nil {
+		if err := ch.finish(res, wh); err != nil {
+			return nil, err
+		}
+	}
 
 	// The budgeted rollup leg: the same day again through the out-of-core
 	// dataflow engine under the config's memory budget, so grid configs
@@ -395,6 +472,19 @@ func (res *Result) evaluateInvariants(spec *Spec) {
 	if inv.MinQueueFullWaits > 0 {
 		add("min_queue_full_waits", res.QueueFullWaits >= inv.MinQueueFullWaits,
 			fmt.Sprintf("want >= %d, got %d", inv.MinQueueFullWaits, res.QueueFullWaits))
+	}
+	if inv.RequireHandoff {
+		ok := res.HandoffHinted > 0 && res.HandoffReplayed == res.HandoffHinted &&
+			res.ClusterDrained && res.ClusterReconcileOK
+		add("require_handoff", ok,
+			fmt.Sprintf("%d hinted, %d replayed, drained=%v, cluster reconcile ok=%v (%d diffs)",
+				res.HandoffHinted, res.HandoffReplayed, res.ClusterDrained,
+				res.ClusterReconcileOK, res.ClusterReconcileDiffs))
+	}
+	if inv.MinDegradedQueries > 0 {
+		add("min_degraded_queries", res.DegradedQueries >= inv.MinDegradedQueries,
+			fmt.Sprintf("want >= %d, got %d of %d probes", inv.MinDegradedQueries,
+				res.DegradedQueries, res.ScatterProbes))
 	}
 	res.OK = true
 	for _, c := range res.Invariants {

@@ -139,6 +139,31 @@ type SlowConsumer struct {
 	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
+// ClusterSpec stands up a replicated realtime cluster next to the
+// single tapped counter: every aggregator batch fans into both, the
+// cluster is scatter-gather probed through the day, and the cell gains
+// the cluster's reconcile verdict and handoff/detector counters. Node
+// indexes in NodeCrashes refer to [0, Nodes).
+type ClusterSpec struct {
+	// Nodes is the node count (2..16). ReplicationFactor defaults to 2,
+	// Partitions to 16.
+	Nodes             int `json:"nodes"`
+	ReplicationFactor int `json:"replication_factor,omitempty"`
+	Partitions        int `json:"partitions,omitempty"`
+}
+
+// NodeCrash is one cluster fault window: the node crashes at
+// CrashMinute and restarts at RestartMinute (minutes of the day, window
+// inside the scenario duration so hint replay gets to finish before the
+// day seals). With the default R=2 a single crashed node leaves every
+// partition a live replica; overlapping windows on multiple nodes can
+// take whole partitions dark and the probes then report partial.
+type NodeCrash struct {
+	Node          int `json:"node"`
+	CrashMinute   int `json:"crash_minute"`
+	RestartMinute int `json:"restart_minute"`
+}
+
 // Invariants are the per-cell assertions a scenario must satisfy; Run
 // evaluates them into Result.Invariants and Result.OK. Zero values are
 // "not asserted".
@@ -163,6 +188,14 @@ type Invariants struct {
 	MinCrowdEvents    int64 `json:"min_crowd_events,omitempty"`
 	MinSendFailures   int64 `json:"min_send_failures,omitempty"`
 	MinQueueFullWaits int64 `json:"min_queue_full_waits,omitempty"`
+	// RequireHandoff requires the cluster fault machinery to have fully
+	// engaged: writes were hinted, every hint replayed, the cluster
+	// drained, and its scatter-gathered day reconciles exactly with the
+	// batch rollups. Needs Cluster and at least one NodeCrashes window.
+	RequireHandoff bool `json:"require_handoff,omitempty"`
+	// MinDegradedQueries is a lower bound on scatter probes that were
+	// answered degraded (served around a dead or failing replica).
+	MinDegradedQueries int64 `json:"min_degraded_queries,omitempty"`
 }
 
 // Spec is one parsed scenario. Build it with Parse or Load — both
@@ -193,6 +226,8 @@ type Spec struct {
 	FlashCrowds  []FlashCrowd  `json:"flash_crowds,omitempty"`
 	Outages      []Outage      `json:"outages,omitempty"`
 	SlowConsumer *SlowConsumer `json:"slow_consumer,omitempty"`
+	Cluster      *ClusterSpec  `json:"cluster,omitempty"`
+	NodeCrashes  []NodeCrash   `json:"node_crashes,omitempty"`
 	Invariants   Invariants    `json:"invariants,omitempty"`
 
 	day time.Time // parsed Day
@@ -358,6 +393,39 @@ func (s *Spec) validate() error {
 		if sc.QueueDepth < 0 {
 			return badField("slow_consumer.queue_depth", "must be >= 0")
 		}
+	}
+	if cs := s.Cluster; cs != nil {
+		if cs.Nodes < 2 || cs.Nodes > 16 {
+			return badField("cluster.nodes", fmt.Sprintf("want 2..16, got %d", cs.Nodes))
+		}
+		if cs.ReplicationFactor == 0 {
+			cs.ReplicationFactor = 2
+		}
+		if cs.ReplicationFactor < 1 || cs.ReplicationFactor > cs.Nodes {
+			return badField("cluster.replication_factor", fmt.Sprintf("want 1..%d, got %d", cs.Nodes, cs.ReplicationFactor))
+		}
+		if cs.Partitions == 0 {
+			cs.Partitions = 16
+		}
+		if cs.Partitions < 1 || cs.Partitions > 64 {
+			return badField("cluster.partitions", fmt.Sprintf("want 1..64, got %d", cs.Partitions))
+		}
+	}
+	if len(s.NodeCrashes) > 0 && s.Cluster == nil {
+		return badField("node_crashes", "requires a cluster")
+	}
+	for i, nc := range s.NodeCrashes {
+		field := fmt.Sprintf("node_crashes[%d]", i)
+		if nc.Node < 0 || nc.Node >= s.Cluster.Nodes {
+			return badField(field+".node", fmt.Sprintf("want 0..%d, got %d", s.Cluster.Nodes-1, nc.Node))
+		}
+		if nc.CrashMinute < 0 || nc.RestartMinute <= nc.CrashMinute || nc.RestartMinute > s.DurationMinutes {
+			return badField(field, fmt.Sprintf("window [%d, %d) must be ordered and within 0..%d",
+				nc.CrashMinute, nc.RestartMinute, s.DurationMinutes))
+		}
+	}
+	if s.Invariants.RequireHandoff && (s.Cluster == nil || len(s.NodeCrashes) == 0) {
+		return badField("invariants.require_handoff", "requires cluster and node_crashes")
 	}
 	return nil
 }

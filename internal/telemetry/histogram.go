@@ -139,6 +139,33 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// BucketCount is one occupied histogram bucket: the half-open value
+// range [Lo, Hi) and how many observations landed in it.
+type BucketCount struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the occupied buckets in ascending value order. The
+// summary percentiles are midpoint estimates; the raw buckets are for
+// callers that want the distribution itself — cross-run latency-shape
+// comparison, histogram plots, or recomputing quantiles at other ranks.
+// Empty buckets are elided, so the slice is short for typical latency
+// distributions even though the backing array spans all of int64.
+func (h *Histogram) Buckets() []BucketCount {
+	var out []BucketCount
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		out = append(out, BucketCount{Lo: lo, Hi: hi, Count: n})
+	}
+	return out
+}
+
 // HistogramSummary is the snapshot form of a histogram.
 type HistogramSummary struct {
 	Count int64 `json:"count"`

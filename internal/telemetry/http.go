@@ -36,15 +36,26 @@ func (s Snap) WriteText(w io.Writer) {
 		h := s.Histograms[k]
 		fmt.Fprintf(w, "%s count=%d sum=%d min=%d max=%d p50=%d p95=%d p99=%d\n",
 			k, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99)
+		for _, b := range s.HistogramBuckets[k] {
+			fmt.Fprintf(w, "%s.bucket %d %d %d\n", k, b.Lo, b.Hi, b.Count)
+		}
 	}
 }
 
 // Handler serves the registry at its mount point (conventionally
 // /debug/unilog): expvar-style text by default, indented JSON when the
 // request carries ?format=json or an application/json Accept header.
+// ?buckets=1 adds each histogram's raw occupied buckets — as a
+// histogram_buckets section in JSON, as "name.bucket lo hi count" lines
+// in text.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		s := r.Snapshot()
+		var s Snap
+		if req.URL.Query().Get("buckets") == "1" {
+			s = r.SnapshotBuckets()
+		} else {
+			s = r.Snapshot()
+		}
 		wantJSON := req.URL.Query().Get("format") == "json" ||
 			strings.Contains(req.Header.Get("Accept"), "application/json")
 		if wantJSON {

@@ -184,6 +184,11 @@ func RegisterGaugeFunc(name string, fn func() int64) { Default.GaugeFunc(name, f
 type Snap struct {
 	Series     map[string]int64            `json:"series"`
 	Histograms map[string]HistogramSummary `json:"histograms"`
+
+	// HistogramBuckets holds the raw occupied buckets per histogram,
+	// populated only by SnapshotBuckets (or Handler with ?buckets=1) —
+	// the everyday snapshot stays summary-sized.
+	HistogramBuckets map[string][]BucketCount `json:"histogram_buckets,omitempty"`
 }
 
 // Snapshot captures every instrument's current value. Values are read
@@ -234,6 +239,31 @@ func (r *Registry) Snapshot() Snap {
 
 // Snapshot captures the Default registry.
 func Snapshot() Snap { return Default.Snapshot() }
+
+// SnapshotBuckets is Snapshot plus the raw occupied buckets of every
+// histogram. Buckets are read after the summaries, bucket by bucket, so
+// under concurrent recording a bucket dump can run slightly ahead of
+// its own summary — consistent per bucket, approximate across them,
+// same contract as the rest of the snapshot.
+func (r *Registry) SnapshotBuckets() Snap {
+	s := r.Snapshot()
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	s.HistogramBuckets = make(map[string][]BucketCount, len(hists))
+	for k, h := range hists {
+		if b := h.Buckets(); b != nil {
+			s.HistogramBuckets[k] = b
+		}
+	}
+	return s
+}
+
+// SnapshotBuckets captures the Default registry with raw buckets.
+func SnapshotBuckets() Snap { return Default.SnapshotBuckets() }
 
 // Reset zeroes every counter, gauge, and histogram in place. Instruments
 // stay registered and previously fetched handles stay valid — the maps

@@ -317,3 +317,87 @@ func TestRegistryReset(t *testing.T) {
 		t.Fatal("reset replaced the histogram instance")
 	}
 }
+
+// TestHistogramBucketDump checks the raw-bucket view: occupied buckets
+// only, ascending, counts summing to Count(), with bounds that actually
+// contain the recorded values — and that the buckets survive the trip
+// through SnapshotBuckets and the ?buckets=1 endpoint.
+func TestHistogramBucketDump(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.ns")
+	vals := []int64{3, 3, 17, 1000, 1000, 1000, 1 << 40}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+
+	b := h.Buckets()
+	if len(b) == 0 {
+		t.Fatal("no buckets from non-empty histogram")
+	}
+	var total int64
+	for i, bc := range b {
+		if bc.Count <= 0 {
+			t.Fatalf("bucket %d has count %d — empty buckets must be elided", i, bc.Count)
+		}
+		if i > 0 && bc.Lo < b[i-1].Hi {
+			t.Fatalf("buckets out of order: [%d,%d) after [%d,%d)", bc.Lo, bc.Hi, b[i-1].Lo, b[i-1].Hi)
+		}
+		total += bc.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, histogram count is %d", total, h.Count())
+	}
+	covered := func(v int64) bool {
+		for _, bc := range b {
+			if v >= bc.Lo && v < bc.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range vals {
+		if !covered(v) {
+			t.Fatalf("recorded value %d not covered by any dumped bucket", v)
+		}
+	}
+
+	// Plain snapshots stay summary-sized; SnapshotBuckets carries the dump.
+	if s := r.Snapshot(); s.HistogramBuckets != nil {
+		t.Fatal("plain Snapshot leaked raw buckets")
+	}
+	s := r.SnapshotBuckets()
+	if got := s.HistogramBuckets["x.ns"]; len(got) != len(b) {
+		t.Fatalf("SnapshotBuckets has %d buckets, want %d", len(got), len(b))
+	}
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "?format=json&buckets=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snap
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode JSON: %v", err)
+	}
+	res.Body.Close()
+	if len(snap.HistogramBuckets["x.ns"]) != len(b) {
+		t.Fatalf("endpoint returned %d buckets, want %d", len(snap.HistogramBuckets["x.ns"]), len(b))
+	}
+
+	res, err = srv.Client().Get(srv.URL + "?buckets=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "x.ns.bucket ") {
+		t.Fatalf("text output missing bucket lines:\n%s", body)
+	}
+	if strings.Count(string(body), "x.ns.bucket ") != len(b) {
+		t.Fatalf("text output bucket line count mismatch:\n%s", body)
+	}
+}
