@@ -31,6 +31,7 @@ import (
 
 	"unilog/internal/analytics"
 	"unilog/internal/colloc"
+	"unilog/internal/columnar"
 	"unilog/internal/dataflow"
 	"unilog/internal/events"
 	"unilog/internal/hdfs"
@@ -130,6 +131,22 @@ type dataflowMetrics struct {
 	// Stage-latency percentiles from the dataflow telemetry histograms
 	// (flat _ns keys for benchcompare's lower-is-better gate), plus the
 	// full registry snapshot for forensics.
+	// E18: columnar sealed-day storage — zone-map pruning + projection
+	// pushdown vs the row scan, plus the full-scan equivalence proof.
+	E18Events                      int64   `json:"e18_events"`
+	E18Chunks                      int     `json:"e18_chunks"`
+	E18RowScanEventsPerSec         float64 `json:"e18_rowscan_events_per_sec"`
+	E18ColumnarScanEventsPerSec    float64 `json:"e18_columnar_scan_events_per_sec"`
+	E18SelectiveRowEventsPerSec    float64 `json:"e18_selective_row_events_per_sec"`
+	E18SelectivePrunedEventsPerSec float64 `json:"e18_selective_pruned_events_per_sec"`
+	E18SelectiveRowBytes           int64   `json:"e18_selective_row_bytes"`
+	E18SelectivePrunedBytes        int64   `json:"e18_selective_pruned_bytes"`
+	E18BytesRatio                  float64 `json:"e18_bytes_ratio"`
+	E18SpeedupX                    float64 `json:"e18_speedup_x"`
+	E18ChunksScanned               int64   `json:"e18_chunks_scanned"`
+	E18ChunksPruned                int64   `json:"e18_chunks_pruned"`
+	E18RollupIdentical             bool    `json:"e18_rollup_identical"`
+
 	MergePassP50Ns  int64 `json:"merge_pass_p50_ns"`
 	MergePassP95Ns  int64 `json:"merge_pass_p95_ns"`
 	MergePassP99Ns  int64 `json:"merge_pass_p99_ns"`
@@ -233,6 +250,7 @@ func main() {
 		{"e15", "realtime durability: WAL ingest overhead, crash recovery of ~1M events", e15},
 		{"e16", "out-of-core dataflow: day-scale rollups under a spilling memory budget", e16},
 		{"e17", "sort-merge dataflow: streaming merge-reduce, ordered groups, external OrderBy", e17},
+		{"e18", "columnar sealed-day storage: zone-map pruning and pushdown vs row scan", e18},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -1220,6 +1238,162 @@ func e17(e *env) {
 	dfMetrics.OrderBySpilledBytes = ost.SpilledBytes
 	dfMetrics.OrderedSessionsIdentical = bRep == mRep
 	dfMetrics.OrderBySortedAndComplete = ordered && complete
+}
+
+func e18(e *env) {
+	// The columnar question: once a warehouse day is sealed into column
+	// chunks, what does a selective query stop paying for? Four legs over
+	// a streamed synthetic day: (1) the full §3.2 rollup over rows, (2)
+	// the same selective query over rows — filter and project applied
+	// tuple-side, every byte of the day decoded — then the day is sealed
+	// and (3) the rollup re-runs over chunks to prove byte-identical
+	// output, and (4) the selective query re-runs with the name/time
+	// predicate pruning whole chunks via zone maps and the projection
+	// reading only its column files.
+	cfg := e.cfg
+	cfg.Users = e.cfg.Users * 12
+	cfg.LoggedOutSessions = e.cfg.LoggedOutSessions * 12
+	cfg.Seed = e.cfg.Seed + 18
+	bigFS, truth := synthesizeDay(cfg)
+	fmt.Printf("  synthetic day: %d events (%.1fx the shared corpus), streamed into the warehouse\n",
+		truth.Events, float64(truth.Events)/float64(e.truth.Events))
+
+	// The selective query: web home-page traffic in a six-hour window,
+	// three columns of eight. Head-anchored name prefix + time range is
+	// exactly the shape the chunk zone maps can prune.
+	sel := dataflow.Selection{
+		Columns:     []string{"name", "user_id", "timestamp"},
+		NamePattern: "web:home:*",
+		TimeMin:     day.Add(9 * time.Hour).UnixMilli(),
+		TimeMax:     day.Add(15 * time.Hour).UnixMilli(),
+	}
+	dirs := dataflow.HourDirs(bigFS, events.Category, day)
+	scanSelective := func(d *dataflow.Dataset, err error) (rows int64, sum int64) {
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.Each(func(t dataflow.Tuple) error {
+			rows++
+			sum += t[1].(int64)
+			return nil
+		}); err != nil {
+			fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			fatal(err)
+		}
+		return rows, sum
+	}
+
+	// Leg 1: full rollups over rows (the day is not sealed yet, so the
+	// pushdown-aware load falls through to the row files).
+	rj := dataflow.NewJob("e18-rollups-rows", bigFS)
+	var rowRoll map[analytics.RollupKey]int64
+	rt := timeIt(func() {
+		var err error
+		rowRoll, err = analytics.Rollups(rj, day)
+		if err != nil {
+			fatal(err)
+		}
+	})
+
+	// Leg 2: the selective query over rows — ClientEventFormat is not
+	// pushdown-aware, so filter and projection run tuple-side after a
+	// full decode.
+	srj := dataflow.NewJob("e18-selective-rows", bigFS)
+	var rowN, rowSum int64
+	srt := timeIt(func() {
+		d, err := srj.LoadDirsSelective(dirs, dataflow.ClientEventFormat{}, sel)
+		rowN, rowSum = scanSelective(d, err)
+	})
+	rowBytes := srj.Stats().BytesRead
+
+	// Seal the day: every hour re-encoded into column chunks alongside
+	// the row files (which stay authoritative for non-pushdown readers).
+	var chunks int
+	st := timeIt(func() {
+		var err error
+		chunks, err = columnar.SealDay(bigFS, events.Category, day)
+		if err != nil {
+			fatal(err)
+		}
+	})
+	fmt.Printf("  sealed: %d column chunks across the day in %v\n", chunks, st.Round(time.Millisecond))
+
+	// Leg 3: the same rollup over chunks — byte-identical table or bust.
+	cj := dataflow.NewJob("e18-rollups-columnar", bigFS)
+	var colRoll map[analytics.RollupKey]int64
+	ct := timeIt(func() {
+		var err error
+		colRoll, err = analytics.Rollups(cj, day)
+		if err != nil {
+			fatal(err)
+		}
+	})
+	rollIdentical := len(rowRoll) == len(colRoll)
+	if rollIdentical {
+		for k, v := range rowRoll {
+			if colRoll[k] != v {
+				rollIdentical = false
+				break
+			}
+		}
+	}
+	fmt.Printf("  full rollups: rows %v (%.0f events/s) vs columnar %v (%.0f events/s) over %d rows; identical: %v\n",
+		rt.Round(time.Millisecond), float64(truth.Events)/rt.Seconds(),
+		ct.Round(time.Millisecond), float64(truth.Events)/ct.Seconds(), len(colRoll), rollIdentical)
+	if !rollIdentical {
+		fatal(fmt.Errorf("e18: columnar and row rollups diverged"))
+	}
+
+	// Leg 4: the selective query over chunks, zone maps pruning.
+	scanned0 := telemetry.GetCounter("columnar.chunks.scanned").Value()
+	pruned0 := telemetry.GetCounter("columnar.chunks.pruned").Value()
+	pj := dataflow.NewJob("e18-selective-columnar", bigFS)
+	var colN, colSum int64
+	pt := timeIt(func() {
+		d, err := columnar.LoadDay(pj, day, sel)
+		colN, colSum = scanSelective(d, err)
+	})
+	prunedBytes := pj.Stats().BytesRead
+	chunksScanned := telemetry.GetCounter("columnar.chunks.scanned").Value() - scanned0
+	chunksPruned := telemetry.GetCounter("columnar.chunks.pruned").Value() - pruned0
+
+	if colN != rowN || colSum != rowSum {
+		fatal(fmt.Errorf("e18: selective query diverged (columnar %d rows sum %d, rows %d rows sum %d)",
+			colN, colSum, rowN, rowSum))
+	}
+	bytesRatio := float64(rowBytes) / float64(prunedBytes)
+	speedup := srt.Seconds() / pt.Seconds()
+	fmt.Printf("  selective query (%d of %d events): rows %v reading %.1f MiB vs pruned+projected %v reading %.1f MiB\n",
+		rowN, truth.Events, srt.Round(time.Millisecond), float64(rowBytes)/(1<<20),
+		pt.Round(time.Millisecond), float64(prunedBytes)/(1<<20))
+	fmt.Printf("  pruning: %d chunks scanned, %d pruned by zone maps; %.1fx fewer bytes, %.1fx faster\n",
+		chunksScanned, chunksPruned, bytesRatio, speedup)
+	if chunksPruned == 0 || chunksScanned == 0 {
+		fatal(fmt.Errorf("e18: zone maps pruned %d and scanned %d chunks — pruning not exercised", chunksPruned, chunksScanned))
+	}
+	if bytesRatio < 5 {
+		fatal(fmt.Errorf("e18: pruned path read only %.1fx fewer bytes, want >= 5x", bytesRatio))
+	}
+	if speedup < 2 {
+		fatal(fmt.Errorf("e18: pruned path only %.1fx faster, want >= 2x", speedup))
+	}
+
+	dfMetrics.measured = true
+	dfMetrics.E18Events = truth.Events
+	dfMetrics.E18Chunks = chunks
+	dfMetrics.E18RowScanEventsPerSec = float64(truth.Events) / rt.Seconds()
+	dfMetrics.E18ColumnarScanEventsPerSec = float64(truth.Events) / ct.Seconds()
+	dfMetrics.E18SelectiveRowEventsPerSec = float64(truth.Events) / srt.Seconds()
+	dfMetrics.E18SelectivePrunedEventsPerSec = float64(truth.Events) / pt.Seconds()
+	dfMetrics.E18SelectiveRowBytes = rowBytes
+	dfMetrics.E18SelectivePrunedBytes = prunedBytes
+	dfMetrics.E18BytesRatio = bytesRatio
+	dfMetrics.E18SpeedupX = speedup
+	dfMetrics.E18ChunksScanned = chunksScanned
+	dfMetrics.E18ChunksPruned = chunksPruned
+	dfMetrics.E18RollupIdentical = rollIdentical
 }
 
 type memBuf struct{ data []byte }

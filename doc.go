@@ -35,6 +35,31 @@
 // combiner pre-aggregates the five rollup rows per event so only distinct
 // partial counts shuffle.
 //
+// Sealed warehouse hours additionally carry a columnar encoding
+// (internal/columnar): SealHour re-encodes each client-events hour into
+// fixed-size row-count chunks, one CRC-framed file per column —
+// dictionary + varint IDs for the low-cardinality strings (name,
+// session_id, ip), zigzag deltas for timestamps, run-length bytes for
+// initiator and the derived logged_in flag — plus a per-chunk meta
+// record holding row count and min/max zone maps over timestamp and
+// name. The chunk files are auxiliary (underscore-prefixed): row files
+// stay authoritative and row scanners never see them, so sealed and
+// unsealed hours coexist in one day. Queries opt in through
+// dataflow.Selection — a declarative (columns, name pattern, time
+// range) triple — and Job.LoadDirsSelective: a pushdown-aware format
+// (columnar.EventsFormat) absorbs the selection, pruning whole chunks
+// whose zone maps cannot intersect a head-anchored name prefix or the
+// time window (a pruned chunk costs one meta record, never a column
+// byte) and decoding only the projected columns' files; any other
+// format, and any predicate that is an arbitrary Go closure rather
+// than a Selection, falls through to the row files with the same
+// filter and projection applied tuple-side — identical relations
+// either way, asserted by property tests and by benchrunner E18,
+// which requires the pruned+projected path to read >= 5x fewer bytes
+// at >= 2x the throughput of the row scan. The log mover seals hours
+// as it publishes them (Mover.SealColumnar), so rollups, raw-log
+// counting, and funnel walks go columnar the moment an hour lands.
+//
 // Beyond the paper's batch pipeline, internal/realtime adds the §6
 // "real-time processing" direction as a Rainbird-style streaming counter
 // subsystem: a tap on the Scribe aggregators fans accepted client events
@@ -88,7 +113,11 @@
 // the disjoint partials, and degrades instead of failing: a query served
 // around a dead replica is marked Degraded (Failovers counts the fallen
 // primaries), and only a partition with no live replica at all makes the
-// answer Partial. The node-crash scenario cell asserts the whole story
+// answer Partial. Scatter.ReplicaTimeout arms a hedge against
+// slow-but-alive replicas: a partition query that has not answered
+// within the timeout races the next replica in parallel and takes the
+// first answer, so a wedged node costs one timeout instead of a whole
+// query. The node-crash scenario cell asserts the whole story
 // in CI: crash one node of a 3-node R=2 cluster mid-day, queries keep
 // answering (degraded) during the outage, and after restart + handoff
 // replay the scatter-gathered day reconciles exactly against the batch

@@ -19,6 +19,7 @@ import (
 	"regexp"
 	"time"
 
+	"unilog/internal/columnar"
 	"unilog/internal/dataflow"
 	"unilog/internal/events"
 	"unilog/internal/hdfs"
@@ -131,12 +132,11 @@ func CountSequencesDay(j *dataflow.Job, day time.Time, dict *session.Dictionary,
 // re-sorts it.
 func CountRawDay(j *dataflow.Job, day time.Time, m Matcher) (CountReport, error) {
 	var rep CountReport
-	d, err := j.LoadClientEventsDay(day)
-	if err != nil {
-		return rep, err
-	}
-	// Early projection (§4.1): keep only what the query needs.
-	p, err := d.Project("user_id", "session_id", "name", "timestamp")
+	// Early projection (§4.1), pushed into the columnar scan: sealed hours
+	// read only the four referenced column streams.
+	p, err := columnar.LoadDay(j, day, dataflow.Selection{
+		Columns: []string{"user_id", "session_id", "name", "timestamp"},
+	})
 	if err != nil {
 		return rep, err
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"unilog/internal/columnar"
 	"unilog/internal/dataflow"
 	"unilog/internal/session"
 )
@@ -182,11 +183,11 @@ func UniqueUsersPerStage(j *dataflow.Job, day time.Time, f *Funnel) ([]int64, er
 // cost the materialized sequences amortize away.
 func FunnelRawDay(j *dataflow.Job, day time.Time, stageMatch []Matcher) (Report, error) {
 	rep := Report{Completed: make([]int64, len(stageMatch))}
-	d, err := j.LoadClientEventsDay(day)
-	if err != nil {
-		return rep, err
-	}
-	p, err := d.Project("user_id", "session_id", "name", "timestamp")
+	// Projection pushed into the columnar scan; unsealed hours fall back
+	// to row files with the projection applied after decode.
+	p, err := columnar.LoadDay(j, day, dataflow.Selection{
+		Columns: []string{"user_id", "session_id", "name", "timestamp"},
+	})
 	if err != nil {
 		return rep, err
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"unilog/internal/columnar"
 	"unilog/internal/dataflow"
 	"unilog/internal/events"
 	"unilog/internal/geo"
@@ -38,8 +39,12 @@ type RollupKey struct {
 // partials — a relation the size of the distinct key space, not five times
 // the event count — shuffle into the final GroupBy, which spills under
 // Job.MemoryBudget like any external operator.
+//
+// The scan goes through the columnar source projected to the three columns
+// the rollup touches; hours not yet sealed into chunks fall back to their
+// row files, with identical output either way.
 func Rollups(j *dataflow.Job, day time.Time) (map[RollupKey]int64, error) {
-	d, err := j.LoadClientEventsDay(day)
+	d, err := columnar.LoadDay(j, day, dataflow.Selection{Columns: []string{"name", "ip", "logged_in"}})
 	if err != nil {
 		return nil, err
 	}

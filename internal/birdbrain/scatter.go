@@ -30,6 +30,17 @@ import (
 // happens.
 type Scatter struct {
 	c *cluster.Cluster
+
+	// ReplicaTimeout, when positive, hedges slow replicas: a partition
+	// query that has not answered within the timeout launches the next
+	// replica in parallel and takes whichever answers first — so a
+	// slow-but-alive node (wedged on IO, GC, a cold cache) costs one
+	// timeout, not the whole query, and in-process errors still fail
+	// over immediately as before. Zero keeps the sequential
+	// primary-first fan. A hedge win counts as a failover (the answer
+	// came from a non-primary) and marks the query Degraded; the hedge
+	// launches themselves are counted in birdbrain.scatter.hedges.
+	ReplicaTimeout time.Duration
 }
 
 // NewScatter builds a scatter-gather query layer over the cluster.
@@ -78,27 +89,89 @@ func (m *QueryMeta) finish() {
 	tmScatterFailovers.Add(int64(m.Failovers))
 }
 
-// fan visits every partition on its first answering replica. visit
-// must return nil on success; replicas are tried primary-first, and a
+// fan asks every partition for its partial and folds the answers. query
+// runs against one replica (concurrently with its hedges under
+// ReplicaTimeout) and must be free of shared state; fold is called once
+// per answered partition, always from this goroutine, so the verbs'
+// accumulators need no locking. Replicas are tried primary-first, and a
 // detector-dead replica is still attempted — in-process it fails fast,
 // and attempting keeps answers available when the detector lags a
 // restart.
-func (s *Scatter) fan(visit func(p int, n *cluster.Node) error) QueryMeta {
+func (s *Scatter) fan(query func(p int, n *cluster.Node) (any, error), fold func(any)) QueryMeta {
 	var meta QueryMeta
 	for p := 0; p < s.c.Partitions(); p++ {
-		answered := false
-		attempts := 0
-		for _, id := range s.c.ReplicasOf(p) {
-			if err := visit(p, s.c.Node(id)); err == nil {
-				answered = true
-				break
-			}
-			attempts++
+		v, winner, ok := s.askPartition(p, query)
+		if ok {
+			fold(v)
 		}
-		meta.merge(answered, attempts)
+		meta.merge(ok, winner)
 	}
 	meta.finish()
 	return meta
+}
+
+// askPartition gets one partition's partial from its replica set,
+// returning the winning replica's index (0 = primary; > 0 counts as a
+// failover). Without a ReplicaTimeout the replicas are tried in order;
+// with one, a replica that neither answers nor errors within the
+// timeout gets raced against the next replica, first answer wins.
+func (s *Scatter) askPartition(p int, query func(p int, n *cluster.Node) (any, error)) (v any, winner int, ok bool) {
+	replicas := s.c.ReplicasOf(p)
+	if s.ReplicaTimeout <= 0 {
+		for i, id := range replicas {
+			if v, err := query(p, s.c.Node(id)); err == nil {
+				return v, i, true
+			}
+		}
+		return nil, len(replicas), false
+	}
+	type reply struct {
+		idx int
+		v   any
+		err error
+	}
+	// Buffered to the full replica set: a losing replica's late answer
+	// parks in the channel and its goroutine exits — no leak, no lock.
+	ch := make(chan reply, len(replicas))
+	launch := func(idx int) {
+		n := s.c.Node(replicas[idx])
+		go func() {
+			v, err := query(p, n)
+			ch <- reply{idx: idx, v: v, err: err}
+		}()
+	}
+	launched := 1
+	launch(0)
+	failed := 0
+	timer := time.NewTimer(s.ReplicaTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.v, r.idx, true
+			}
+			failed++
+			if failed == len(replicas) {
+				return nil, failed, false
+			}
+			if failed == launched && launched < len(replicas) {
+				// Everything in flight has errored: immediate failover,
+				// same as the sequential path.
+				launch(launched)
+				launched++
+			}
+		case <-timer.C:
+			if launched < len(replicas) {
+				launch(launched)
+				launched++
+				tmScatterHedges.Inc()
+				timer.Reset(s.ReplicaTimeout)
+			}
+			// With every replica launched the timer goes quiet; the
+			// remaining replies decide the outcome.
+		}
+	}
 }
 
 // PathSum sums a hierarchy path over [from, to) across the cluster.
@@ -106,13 +179,10 @@ func (s *Scatter) PathSum(path string, from, to time.Time) (int64, QueryMeta) {
 	defer tmScatterPathSumNs.ObserveSince(time.Now())
 	s.c.Sync()
 	var total int64
-	meta := s.fan(func(p int, n *cluster.Node) error {
-		v, err := n.PathSum(p, path, from, to)
-		if err != nil {
-			return err
-		}
-		total += v
-		return nil
+	meta := s.fan(func(p int, n *cluster.Node) (any, error) {
+		return n.PathSum(p, path, from, to)
+	}, func(v any) {
+		total += v.(int64)
 	})
 	return total, meta
 }
@@ -123,11 +193,10 @@ func (s *Scatter) Series(path string, from, to time.Time) ([]int64, QueryMeta) {
 	defer tmScatterSeriesNs.ObserveSince(time.Now())
 	s.c.Sync()
 	var out []int64
-	meta := s.fan(func(p int, n *cluster.Node) error {
-		v, err := n.Series(p, path, from, to)
-		if err != nil {
-			return err
-		}
+	meta := s.fan(func(p int, n *cluster.Node) (any, error) {
+		return n.Series(p, path, from, to)
+	}, func(raw any) {
+		v := raw.([]int64)
 		if len(v) > len(out) {
 			grown := make([]int64, len(v))
 			copy(grown, out)
@@ -136,7 +205,6 @@ func (s *Scatter) Series(path string, from, to time.Time) ([]int64, QueryMeta) {
 		for i, x := range v {
 			out[i] += x
 		}
-		return nil
 	})
 	return out, meta
 }
@@ -150,15 +218,12 @@ func (s *Scatter) TopK(parent string, k int, from, to time.Time) ([]realtime.Pat
 	defer tmScatterTopKNs.ObserveSince(time.Now())
 	s.c.Sync()
 	acc := make(map[string]int64)
-	meta := s.fan(func(p int, n *cluster.Node) error {
-		partial, err := n.ChildCounts(p, parent, from, to)
-		if err != nil {
-			return err
-		}
-		for _, pc := range partial {
+	meta := s.fan(func(p int, n *cluster.Node) (any, error) {
+		return n.ChildCounts(p, parent, from, to)
+	}, func(raw any) {
+		for _, pc := range raw.([]realtime.PathCount) {
 			acc[pc.Path] += pc.Count
 		}
-		return nil
 	})
 	if k <= 0 || len(acc) == 0 {
 		return nil, meta
@@ -184,15 +249,12 @@ func (s *Scatter) TopK(parent string, k int, from, to time.Time) ([]realtime.Pat
 func (s *Scatter) RollupSnapshot(from, to time.Time) (map[analytics.RollupKey]int64, QueryMeta) {
 	s.c.Sync()
 	out := make(map[analytics.RollupKey]int64)
-	meta := s.fan(func(p int, n *cluster.Node) error {
-		partial, err := n.Rollups(p, from, to)
-		if err != nil {
-			return err
-		}
-		for k, v := range partial {
+	meta := s.fan(func(p int, n *cluster.Node) (any, error) {
+		return n.Rollups(p, from, to)
+	}, func(raw any) {
+		for k, v := range raw.(map[analytics.RollupKey]int64) {
 			out[k] += v
 		}
-		return nil
 	})
 	return out, meta
 }

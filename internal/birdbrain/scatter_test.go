@@ -150,3 +150,72 @@ func TestScatterDegradedAndPartial(t *testing.T) {
 		t.Errorf("after restart: meta = %+v, want clean", meta)
 	}
 }
+
+// A slow-but-alive node must cost one ReplicaTimeout, not the whole
+// query: the hedge races the sibling replica, the first answer wins,
+// and the result is still exact. Without hedging the stall would be
+// paid in full by every partition the node leads.
+func TestScatterHedgesSlowReplica(t *testing.T) {
+	clk := zk.NewManualClock(scatterT0)
+	c, err := cluster.New(cluster.Config{Nodes: 3, ReplicationFactor: 2, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ref := realtime.New(realtime.Config{Shards: 2})
+	defer ref.Close()
+
+	for _, name := range scatterNames {
+		for j := 0; j < 25; j++ {
+			e := scatterEv(name, scatterT0, int64(j))
+			c.Ingest(e)
+			ref.Ingest(e)
+		}
+	}
+	c.Tick()
+	ref.Sync()
+	from, to := scatterT0, scatterT0.Add(time.Hour)
+
+	// Wedge a node that leads at least one partition, so the primary-first
+	// fan is guaranteed to hit the stall.
+	const stall = 300 * time.Millisecond
+	slow := c.ReplicasOf(0)[0]
+	c.Node(slow).SetQueryDelay(stall)
+	defer c.Node(slow).SetQueryDelay(0)
+
+	s := NewScatter(c)
+	s.ReplicaTimeout = 5 * time.Millisecond
+	hedges0 := tmScatterHedges.Value()
+
+	start := time.Now()
+	got, meta := s.PathSum("web", from, to)
+	elapsed := time.Since(start)
+
+	if want := ref.PathSum("web", from, to); got != want {
+		t.Errorf("hedged PathSum(web) = %d, want %d", got, want)
+	}
+	if meta.Answered != meta.Partitions || meta.Partial {
+		t.Errorf("hedged meta = %+v, want full non-partial fan", meta)
+	}
+	// The stalled primary loses the race on its partitions: the sibling's
+	// answer arrives first, which reads as a failover/degraded query.
+	if meta.Failovers == 0 || !meta.Degraded {
+		t.Errorf("hedged meta = %+v, want failovers from hedge wins", meta)
+	}
+	if d := tmScatterHedges.Value() - hedges0; d == 0 {
+		t.Error("no hedges launched against the stalled node")
+	}
+	if elapsed >= stall {
+		t.Errorf("hedged query took %v, want well under the %v stall", elapsed, stall)
+	}
+
+	// With the stall lifted the same scatter answers clean again.
+	c.Node(slow).SetQueryDelay(0)
+	got, meta = s.PathSum("web", from, to)
+	if want := ref.PathSum("web", from, to); got != want {
+		t.Errorf("post-stall PathSum(web) = %d, want %d", got, want)
+	}
+	if meta.Partial || meta.Answered != meta.Partitions {
+		t.Errorf("post-stall meta = %+v, want full fan", meta)
+	}
+}

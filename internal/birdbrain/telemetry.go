@@ -23,6 +23,7 @@ var (
 	tmScatterDegraded  = telemetry.GetCounter("birdbrain.scatter.degraded")
 	tmScatterPartial   = telemetry.GetCounter("birdbrain.scatter.partial")
 	tmScatterFailovers = telemetry.GetCounter("birdbrain.scatter.failovers")
+	tmScatterHedges    = telemetry.GetCounter("birdbrain.scatter.hedges")
 
 	tmScatterPathSumNs = telemetry.GetHistogram("birdbrain.scatter.path_sum.ns")
 	tmScatterSeriesNs  = telemetry.GetHistogram("birdbrain.scatter.series.ns")

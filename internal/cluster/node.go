@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unilog/internal/events"
 	"unilog/internal/realtime"
@@ -50,6 +51,25 @@ type Node struct {
 
 	crashes  atomic.Int64
 	restarts atomic.Int64
+
+	// queryDelay stalls every query by the given duration (nanoseconds) —
+	// a test knob simulating the slow-but-alive node that per-replica
+	// query timeouts exist to race around. Deliveries are unaffected.
+	queryDelay atomic.Int64
+}
+
+// SetQueryDelay makes every subsequent query against the node sleep for
+// d before answering. Zero restores normal service.
+func (n *Node) SetQueryDelay(d time.Duration) { n.queryDelay.Store(int64(d)) }
+
+// stallQuery applies the configured query delay. It runs before the
+// node's read lock is taken, so a stalled query never blocks a
+// crash/restart — exactly like a slow machine that is wedged on IO, not
+// holding anyone's locks.
+func (n *Node) stallQuery() {
+	if d := n.queryDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 func newNode(id int, partitions []int, dir string, cfg realtime.Config) (*Node, error) {

@@ -18,6 +18,7 @@ import (
 // PathSum returns the node's count for a hierarchy path within one
 // partition over [from, to).
 func (n *Node) PathSum(p int, path string, from, to time.Time) (int64, error) {
+	n.stallQuery()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	c, err := n.queryCounter(p)
@@ -30,6 +31,7 @@ func (n *Node) PathSum(p int, path string, from, to time.Time) (int64, error) {
 // Series returns the node's per-minute counts for a path within one
 // partition over [from, to).
 func (n *Node) Series(p int, path string, from, to time.Time) ([]int64, error) {
+	n.stallQuery()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	c, err := n.queryCounter(p)
@@ -46,6 +48,7 @@ func (n *Node) Series(p int, path string, from, to time.Time) ([]int64, error) {
 // may be absent from it entirely, not small globally; partitions hold
 // whole names, so no name is split, but the union is what ranks).
 func (n *Node) ChildCounts(p int, parent string, from, to time.Time) ([]realtime.PathCount, error) {
+	n.stallQuery()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	c, err := n.queryCounter(p)
@@ -58,6 +61,7 @@ func (n *Node) ChildCounts(p int, parent string, from, to time.Time) ([]realtime
 // Rollups returns the node's §3.2 rollup rows for one partition over
 // [from, to), keyed like analytics.Rollups.
 func (n *Node) Rollups(p int, from, to time.Time) (map[analytics.RollupKey]int64, error) {
+	n.stallQuery()
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	c, err := n.queryCounter(p)

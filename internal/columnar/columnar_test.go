@@ -1,0 +1,308 @@
+package columnar
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
+	"unilog/internal/hdfs"
+	"unilog/internal/recordio"
+	"unilog/internal/telemetry"
+	"unilog/internal/warehouse"
+)
+
+var testDay = time.Date(2012, 8, 21, 0, 0, 0, 0, time.UTC)
+
+// testNames is a small catalog spanning several head prefixes so both the
+// name zone maps and the pattern matcher have real work to do.
+var testNames = []string{
+	"web:home:timeline:stream:tweet:impression",
+	"web:home:timeline:stream:tweet:expand",
+	"web:home:mentions:stream:avatar:profile_click",
+	"web:search:results:stream:tweet:click",
+	"iphone:home:timeline:stream:tweet:impression",
+	"iphone:profile:header:bio:link:click",
+	"android:discover:trends:list:trend:click",
+}
+
+// buildDay writes a deterministic three-hour day of row files (small part
+// files so every hour has several) and returns the fs and event count.
+func buildDay(t *testing.T, seed int64) (*hdfs.FS, int) {
+	t.Helper()
+	fs := hdfs.New(0)
+	w := warehouse.NewWriter(fs, events.Category)
+	w.RollRecords = 23
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for h := 0; h < 3; h++ {
+		hour := testDay.Add(time.Duration(h) * time.Hour)
+		for i := 0; i < 150; i++ {
+			e := &events.ClientEvent{
+				Initiator: events.Initiator(rng.Intn(4)),
+				Name:      events.MustParseName(testNames[rng.Intn(len(testNames))]),
+				SessionID: fmt.Sprintf("s%03d", rng.Intn(40)),
+				IP:        fmt.Sprintf("10.0.%d.%d", rng.Intn(4), rng.Intn(200)),
+				Timestamp: hour.UnixMilli() + int64(i)*23456,
+			}
+			if rng.Intn(3) > 0 { // a third of traffic is logged out
+				e.UserID = int64(1000 + rng.Intn(50))
+			}
+			if rng.Intn(2) == 0 {
+				e.Details = map[string]string{
+					"request_id": fmt.Sprintf("r%06x", rng.Int31()),
+					"lang":       "en",
+				}
+			}
+			if err := w.Append(e); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+			n++
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close writer: %v", err)
+	}
+	return fs, n
+}
+
+func sealTestDay(t *testing.T, fs *hdfs.FS, chunkRows int) int {
+	t.Helper()
+	total := 0
+	for h := 0; h < 3; h++ {
+		n, err := SealHourChunks(fs, events.Category, testDay.Add(time.Duration(h)*time.Hour), chunkRows)
+		if err != nil {
+			t.Fatalf("seal hour %d: %v", h, err)
+		}
+		total += n
+	}
+	return total
+}
+
+func TestSealIdempotent(t *testing.T) {
+	fs, _ := buildDay(t, 1)
+	if n := sealTestDay(t, fs, 64); n == 0 {
+		t.Fatal("first seal wrote no chunks")
+	}
+	if n := sealTestDay(t, fs, 64); n != 0 {
+		t.Fatalf("second seal rewrote %d chunks, want 0", n)
+	}
+}
+
+// TestColumnarMatchesRowScan is the property test: for a sweep of
+// predicate/projection selections, the columnar scan must produce exactly
+// the relation the row scan produces — same tuples, same order.
+func TestColumnarMatchesRowScan(t *testing.T) {
+	fs, _ := buildDay(t, 2)
+	sealTestDay(t, fs, 32)
+	dirs := dataflow.HourDirs(fs, events.Category, testDay)
+
+	h1 := testDay.Add(1 * time.Hour).UnixMilli()
+	h2 := testDay.Add(2 * time.Hour).UnixMilli()
+	sels := []dataflow.Selection{
+		{}, // full scan
+		{Columns: []string{"name", "timestamp"}},
+		{Columns: []string{"user_id", "session_id", "name", "timestamp"}},
+		{NamePattern: "web:home:*"},
+		{NamePattern: "*:click"}, // tail-anchored: no name pruning possible
+		{NamePattern: "web:*:*:stream"},
+		{NamePattern: "iphone:profile:header:bio:link:click"},
+		{TimeMin: h1, TimeMax: h2},
+		{TimeMin: h2},
+		{TimeMax: h1},
+		{NamePattern: "web:home:*", TimeMin: h1, Columns: []string{"name", "ip", "logged_in"}},
+		{NamePattern: "android:*", TimeMin: h1, TimeMax: h2, Columns: []string{"details", "timestamp"}},
+	}
+	for i, sel := range sels {
+		rowJob := dataflow.NewJob(fmt.Sprintf("row-%d", i), fs)
+		rowDS, err := rowJob.LoadDirsSelective(dirs, dataflow.ClientEventFormat{}, sel)
+		if err != nil {
+			t.Fatalf("sel %d: row load: %v", i, err)
+		}
+		want, err := rowDS.Tuples()
+		if err != nil {
+			t.Fatalf("sel %d: row scan: %v", i, err)
+		}
+		colJob := dataflow.NewJob(fmt.Sprintf("col-%d", i), fs)
+		colDS, err := colJob.LoadDirsSelective(dirs, EventsFormat{}, sel)
+		if err != nil {
+			t.Fatalf("sel %d: columnar load: %v", i, err)
+		}
+		got, err := colDS.Tuples()
+		if err != nil {
+			t.Fatalf("sel %d: columnar scan: %v", i, err)
+		}
+		if !reflect.DeepEqual(colDS.Schema(), rowDS.Schema()) {
+			t.Fatalf("sel %d: schema mismatch: row %v, columnar %v", i, rowDS.Schema(), colDS.Schema())
+		}
+		if len(want) == 0 && i < 8 {
+			t.Fatalf("sel %d: row baseline matched nothing — selection too narrow to test anything", i)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sel %d (%+v): columnar relation differs from row scan (%d vs %d tuples)", i, sel, len(got), len(want))
+		}
+	}
+}
+
+// TestZoneMapPruning asserts a selective scan actually prunes chunks and
+// reads fewer bytes than the row scan — the point of the layout.
+func TestZoneMapPruning(t *testing.T) {
+	fs, _ := buildDay(t, 3)
+	sealTestDay(t, fs, 32)
+	dirs := dataflow.HourDirs(fs, events.Category, testDay)
+	sel := dataflow.Selection{
+		NamePattern: "web:home:*",
+		TimeMin:     testDay.Add(2 * time.Hour).UnixMilli(),
+		Columns:     []string{"name", "timestamp", "logged_in"},
+	}
+
+	rowJob := dataflow.NewJob("row", fs)
+	rowDS, err := rowJob.LoadDirsSelective(dirs, dataflow.ClientEventFormat{}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rowDS.Tuples(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := telemetry.Snapshot().Series
+	colJob := dataflow.NewJob("col", fs)
+	colDS, err := colJob.LoadDirsSelective(dirs, EventsFormat{}, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := colDS.Tuples(); err != nil {
+		t.Fatal(err)
+	}
+	after := telemetry.Snapshot().Series
+
+	pruned := after["columnar.chunks.pruned"] - before["columnar.chunks.pruned"]
+	scanned := after["columnar.chunks.scanned"] - before["columnar.chunks.scanned"]
+	if pruned == 0 {
+		t.Fatalf("selective scan pruned no chunks (scanned %d)", scanned)
+	}
+	if scanned == 0 {
+		t.Fatal("selective scan scanned no chunks — nothing matched")
+	}
+	rowBytes := rowJob.Stats().BytesRead
+	colBytes := colJob.Stats().BytesRead
+	if colBytes >= rowBytes {
+		t.Fatalf("columnar selective scan read %d bytes, row scan %d — no IO win", colBytes, rowBytes)
+	}
+}
+
+// TestCorruptionMatrix drives the three storage-failure modes through a
+// full scan: a torn chunk tail, a bit-flipped record body, and a missing
+// column file must each surface as their recordio/hdfs error kind, never
+// as silent data loss.
+func TestCorruptionMatrix(t *testing.T) {
+	hourDir := warehouse.HourDir(events.Category, testDay)
+
+	corrupt := func(t *testing.T, fs *hdfs.FS, path string, mutate func([]byte) []byte) {
+		t.Helper()
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if err := fs.Delete(path, false); err != nil {
+			t.Fatalf("delete %s: %v", path, err)
+		}
+		if data = mutate(data); data != nil {
+			if err := fs.WriteFile(path, data); err != nil {
+				t.Fatalf("rewrite %s: %v", path, err)
+			}
+		}
+	}
+	scan := func(fs *hdfs.FS) error {
+		j := dataflow.NewJob("scan", fs)
+		d, err := j.LoadDirsSelective([]string{hourDir}, EventsFormat{}, dataflow.Selection{})
+		if err != nil {
+			return err
+		}
+		_, err = d.Tuples()
+		return err
+	}
+
+	cases := []struct {
+		name   string
+		file   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{
+			name: "torn tail truncated",
+			file: hourDir + "/_col-00000.name",
+			mutate: func(b []byte) []byte {
+				return b[:len(b)-3] // cut mid-record: framing sees a torn final write
+			},
+			want: recordio.ErrTruncated,
+		},
+		{
+			name: "bit flip corrupt",
+			file: hourDir + "/_col-00000.user_id",
+			mutate: func(b []byte) []byte {
+				b[len(b)-1] ^= 0x40 // flip a payload bit: checksum must catch it
+				return b
+			},
+			want: recordio.ErrCorrupt,
+		},
+		{
+			name: "meta bit flip corrupt",
+			file: hourDir + "/_col-00000.meta",
+			mutate: func(b []byte) []byte {
+				b[len(b)-1] ^= 0x01
+				return b
+			},
+			want: recordio.ErrCorrupt,
+		},
+		{
+			name:   "missing column file",
+			file:   hourDir + "/_col-00000.session_id",
+			mutate: func([]byte) []byte { return nil }, // delete, no rewrite
+			want:   hdfs.ErrNotFound,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, _ := buildDay(t, 4)
+			sealTestDay(t, fs, 32)
+			corrupt(t, fs, tc.file, tc.mutate)
+			err := scan(fs)
+			if err == nil {
+				t.Fatal("scan of damaged chunk succeeded")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("scan error = %v, want %v", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.file) {
+				t.Fatalf("scan error %q does not name the damaged file %s", err, tc.file)
+			}
+		})
+	}
+}
+
+// TestHybridDirFallsBackToRows proves the format reads an unsealed hour
+// through its row files: seal only hour 0 and the day still scans whole.
+func TestHybridDirFallsBackToRows(t *testing.T) {
+	fs, total := buildDay(t, 5)
+	if _, err := SealHourChunks(fs, events.Category, testDay, 32); err != nil {
+		t.Fatal(err)
+	}
+	j := dataflow.NewJob("hybrid", fs)
+	d, err := LoadDay(j, testDay, dataflow.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(total) {
+		t.Fatalf("hybrid day scan saw %d events, want %d", n, total)
+	}
+}

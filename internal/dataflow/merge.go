@@ -412,16 +412,16 @@ func (m *mergeIter) nextRec() ([]byte, uint64, Tuple, error) {
 	return c.key(), c.seq(), c.tuple(), nil
 }
 
-// less orders two cursors by (key, order column, sequence) — identical to
+// less orders two cursors by (key, order columns, sequence) — identical to
 // the run sort in spill.go, so the merge preserves it globally.
 func (m *mergeIter) less(i, j int) bool {
 	a, b := m.h[i], m.h[j]
 	if c := bytes.Compare(a.key(), b.key()); c != 0 {
 		return c < 0
 	}
-	if m.st.order.col >= 0 {
-		if c := compareValues(a.tuple()[m.st.order.col], b.tuple()[m.st.order.col]); c != 0 {
-			if m.st.order.desc {
+	for _, k := range m.st.order {
+		if c := compareValues(a.tuple()[k.col], b.tuple()[k.col]); c != 0 {
+			if k.desc {
 				return c > 0
 			}
 			return c < 0

@@ -282,11 +282,39 @@ func (d *Dataset) GroupBy(keyCols ...string) (*Grouped, error) {
 // sort-merge shuffle's "secondary sort" idiom that lets sessionization and
 // funnel walks consume each group without re-sorting it.
 func (d *Dataset) GroupByOrdered(orderCol string, keyCols ...string) (*Grouped, error) {
-	oi, err := d.schema.Index(orderCol)
+	return d.GroupByOrderedColumns([]Order{{Col: orderCol}}, keyCols...)
+}
+
+// Order is one column of a multi-column sort: the named column, descending
+// when Desc. OrderByColumns and GroupByOrderedColumns take a list of them
+// applied in sequence, ties within all of them broken by input order.
+type Order struct {
+	Col  string
+	Desc bool
+}
+
+// resolveOrders maps a public Order list onto column indexes.
+func (d *Dataset) resolveOrders(orders []Order) (sortSpec, error) {
+	spec := make(sortSpec, len(orders))
+	for i, o := range orders {
+		j, err := d.schema.Index(o.Col)
+		if err != nil {
+			return nil, err
+		}
+		spec[i] = sortKey{col: j, desc: o.Desc}
+	}
+	return spec, nil
+}
+
+// GroupByOrderedColumns is GroupByOrdered with a multi-column secondary
+// sort: each group's tuples are delivered ordered by each Order in turn
+// (ties in input order).
+func (d *Dataset) GroupByOrderedColumns(orderCols []Order, keyCols ...string) (*Grouped, error) {
+	spec, err := d.resolveOrders(orderCols)
 	if err != nil {
 		return nil, err
 	}
-	return d.groupBy(sortSpec{col: oi}, keyCols)
+	return d.groupBy(spec, keyCols)
 }
 
 func (d *Dataset) groupBy(order sortSpec, keyCols []string) (*Grouped, error) {
@@ -958,7 +986,14 @@ func (it *distinctIter) Close() error {
 // merge, so peak memory is the run fan-in. Close the returned dataset to
 // release the runs (and any operator state upstream).
 func (d *Dataset) OrderBy(col string, ascending bool) (*Dataset, error) {
-	i, err := d.schema.Index(col)
+	return d.OrderByColumns(Order{Col: col, Desc: !ascending})
+}
+
+// OrderByColumns sorts by multiple columns applied in sequence — the
+// multi-column generalization of OrderBy with the same stability and
+// in-memory/external duality.
+func (d *Dataset) OrderByColumns(orders ...Order) (*Dataset, error) {
+	spec, err := d.resolveOrders(orders)
 	if err != nil {
 		return nil, err
 	}
@@ -968,17 +1003,21 @@ func (d *Dataset) OrderBy(col string, ascending bool) (*Dataset, error) {
 			return nil, err
 		}
 		sort.SliceStable(out, func(a, b int) bool {
-			c := compareValues(out[a][i], out[b][i])
-			if ascending {
-				return c < 0
+			for _, k := range spec {
+				if c := compareValues(out[a][k.col], out[b][k.col]); c != 0 {
+					if k.desc {
+						return c > 0
+					}
+					return c < 0
+				}
 			}
-			return c > 0
+			return false
 		})
 		sorted := NewDataset(d.job, d.schema, out)
 		sorted.cleanup = d.cleanup // closing the sorted view frees upstream spill state too
 		return sorted, nil
 	}
-	st := newSpillTable(d.job, nil, sortSpec{col: i, desc: !ascending}, 1)
+	st := newSpillTable(d.job, nil, spec, 1)
 	if err := st.fill(d); err != nil {
 		return nil, err
 	}

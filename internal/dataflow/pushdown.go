@@ -1,0 +1,104 @@
+package dataflow
+
+import (
+	"unilog/internal/events"
+)
+
+// A Selection is the declarative subset of a scan that a storage format
+// may be able to answer without materializing whole rows: a column
+// projection, a name-pattern predicate, and a timestamp window. It is
+// deliberately narrower than Filter's arbitrary closures — only what a
+// columnar reader can evaluate against zone maps and column streams is
+// expressible, and anything else stays a row-side Filter.
+type Selection struct {
+	// Columns projects the scan to the named columns, in order. nil means
+	// every column of the format's schema.
+	Columns []string
+
+	// NamePattern, when non-empty, keeps only rows whose "name" column
+	// matches the events.Pattern source text.
+	NamePattern string
+
+	// TimeMin and TimeMax bound the "timestamp" column to the half-open
+	// window [TimeMin, TimeMax) in epoch milliseconds. Zero means
+	// unbounded on that side.
+	TimeMin, TimeMax int64
+}
+
+// empty reports whether the selection asks for nothing beyond a full scan.
+func (s Selection) empty() bool {
+	return s.Columns == nil && s.NamePattern == "" && s.TimeMin == 0 && s.TimeMax == 0
+}
+
+// PushdownFormat is an InputFormat that can absorb some or all of a
+// Selection into the scan itself — pruning data it never decodes and
+// reading only the column streams the query references. Pushdown returns
+// the format specialized to the absorbed part, the residual selection the
+// planner must still apply row-side, and whether any pushdown happened at
+// all; ok == false means the planner falls through to the plain row path
+// and applies the whole selection itself.
+type PushdownFormat interface {
+	InputFormat
+	Pushdown(sel Selection) (f InputFormat, residual Selection, ok bool)
+}
+
+// LoadDirsSelective is LoadDirs with a Selection: formats that implement
+// PushdownFormat evaluate the predicate against zone maps and read only
+// the projected column streams; every other format gets the selection
+// applied as ordinary row-side Filter/Project operators on top of the
+// scan. Either way the resulting dataset has the projected schema and
+// only the selected rows — the selection is a semantic contract, pushdown
+// is just the cheap way to honor it.
+func (j *Job) LoadDirsSelective(dirs []string, f InputFormat, sel Selection) (*Dataset, error) {
+	residual := sel
+	if pf, ok := f.(PushdownFormat); ok {
+		if absorbed, rest, ok := pf.Pushdown(sel); ok {
+			f, residual = absorbed, rest
+		}
+	}
+	d, err := j.LoadDirs(dirs, f)
+	if err != nil {
+		return nil, err
+	}
+	return applySelection(d, residual)
+}
+
+// applySelection applies the residual (non-pushed) part of a selection as
+// row-side operators: pattern and time-window filters, then projection.
+func applySelection(d *Dataset, sel Selection) (*Dataset, error) {
+	if sel.empty() {
+		return d, nil
+	}
+	if sel.NamePattern != "" {
+		pat, err := events.ParsePattern(sel.NamePattern)
+		if err != nil {
+			return nil, err
+		}
+		ni, err := d.Schema().Index("name")
+		if err != nil {
+			return nil, err
+		}
+		d = d.Filter(func(t Tuple) bool {
+			s, ok := t[ni].(string)
+			return ok && pat.MatchesString(s)
+		})
+	}
+	if sel.TimeMin != 0 || sel.TimeMax != 0 {
+		ti, err := d.Schema().Index("timestamp")
+		if err != nil {
+			return nil, err
+		}
+		min, max := sel.TimeMin, sel.TimeMax
+		d = d.Filter(func(t Tuple) bool {
+			ts, ok := t[ti].(int64)
+			if !ok {
+				return false
+			}
+			return ts >= min && (max == 0 || ts < max)
+		})
+	}
+	if sel.Columns != nil {
+		return d.Project(sel.Columns...)
+	}
+	return d, nil
+}

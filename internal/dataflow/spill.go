@@ -33,18 +33,22 @@ import (
 // Job.SpillPartitions is unset.
 const DefaultSpillPartitions = 8
 
-// sortSpec is the optional secondary order of a spill table: tuples with
-// equal keys are delivered ordered by the col'th column (descending when
-// desc), ties broken by insertion sequence. col < 0 means insertion order
-// alone — the classic GroupBy contract. OrderBy uses an empty key with a
-// sortSpec, making the whole table one ordered stream.
-type sortSpec struct {
+// sortKey is one column of a secondary sort: the col'th tuple column,
+// descending when desc.
+type sortKey struct {
 	col  int
 	desc bool
 }
 
+// sortSpec is the optional secondary order of a spill table: tuples with
+// equal keys are delivered ordered by each sortKey in turn, ties broken
+// by insertion sequence. An empty spec means insertion order alone — the
+// classic GroupBy contract. OrderBy uses an empty key with a sortSpec,
+// making the whole table one ordered stream.
+type sortSpec []sortKey
+
 // noSort is the sortSpec of operators that only need key grouping.
-var noSort = sortSpec{col: -1}
+var noSort = sortSpec(nil)
 
 // memTuple is one buffered tuple: its rendered key (an arena slice), its
 // global insertion sequence (the stability tiebreak), and the tuple. The
@@ -203,9 +207,9 @@ func (st *spillTable) sortPart(p *spillPart) {
 		if c := bytes.Compare(p.key(a), p.key(b)); c != 0 {
 			return c < 0
 		}
-		if st.order.col >= 0 {
-			if c := compareValues(a.t[st.order.col], b.t[st.order.col]); c != 0 {
-				if st.order.desc {
+		for _, k := range st.order {
+			if c := compareValues(a.t[k.col], b.t[k.col]); c != 0 {
+				if k.desc {
 					return c > 0
 				}
 				return c < 0

@@ -244,6 +244,26 @@ func (p Pattern) Matches(n EventName) bool {
 	return true
 }
 
+// PrunePrefix returns the longest literal head of the pattern as a
+// colon-joined string prefix: every name the pattern matches starts with
+// it, so a scan can skip any chunk whose name range excludes the prefix
+// and still apply the exact match to what it reads. Tail-anchored
+// patterns (*:suffix) and patterns opening with a wildcard have no usable
+// head; ok is false and no name-based pruning is possible.
+func (p Pattern) PrunePrefix() (prefix string, ok bool) {
+	if p.tailAnchored {
+		return "", false
+	}
+	n := 0
+	for n < len(p.parts) && p.parts[n] != "*" {
+		n++
+	}
+	if n == 0 {
+		return "", false
+	}
+	return strings.Join(p.parts[:n], ":"), true
+}
+
 // MatchesString parses s and reports whether the pattern matches; malformed
 // names never match.
 func (p Pattern) MatchesString(s string) bool {

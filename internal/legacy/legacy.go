@@ -245,9 +245,16 @@ func Formats() map[string]dataflow.RawRecordFormat {
 // unified and materialized variants (experiment E3).
 func ReconstructSessions(j *dataflow.Job, dirsByCategory map[string][]string, gap time.Duration) (int64, error) {
 	formats := Formats()
+	// Only user_id and timestamp_ms survive into the group-by. The
+	// selection goes through LoadDirsSelective, but RawRecordFormat is not
+	// pushdown-aware — the planner falls through and applies the projection
+	// row-side, after each category's custom parser has paid full decode.
+	// That asymmetry against the columnar client-events path is the point
+	// of experiment E3's comparison.
+	sel := dataflow.Selection{Columns: []string{"user_id", "timestamp_ms"}}
 	var parts []*dataflow.Dataset
 	for _, cat := range Categories {
-		d, err := j.LoadDirs(dirsByCategory[cat], formats[cat])
+		d, err := j.LoadDirsSelective(dirsByCategory[cat], formats[cat], sel)
 		if err != nil {
 			return 0, err
 		}
@@ -267,7 +274,7 @@ func ReconstructSessions(j *dataflow.Job, dirsByCategory map[string][]string, ga
 	}
 	defer g.Close()
 	gapMs := gap.Milliseconds()
-	tsIdx := normalizedSchema.MustIndex("timestamp_ms")
+	tsIdx := 1 // index in the projected (user_id, timestamp_ms) schema
 	counts, err := g.ForEachGroup(dataflow.Schema{"sessions"}, func(key dataflow.Tuple, group []dataflow.Tuple) dataflow.Tuple {
 		n := int64(1)
 		for i := 1; i < len(group); i++ {

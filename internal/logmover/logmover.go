@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"time"
 
+	"unilog/internal/columnar"
+	"unilog/internal/events"
 	"unilog/internal/hdfs"
 	"unilog/internal/recordio"
 	"unilog/internal/warehouse"
@@ -75,6 +77,12 @@ type Mover struct {
 	// drops the record (counted in the audit); a typical transform is the
 	// §3.2 anonymization policy. Errors abort the move.
 	Transform func(category string, rec []byte) ([]byte, error)
+	// SealColumnar re-encodes each client-events hour into column chunks
+	// (internal/columnar) right after it is published, so batch queries
+	// over the hour get zone-map pruning and projection pushdown from the
+	// moment it lands. Other categories are unaffected: sealing decodes
+	// events.ClientEvent, which only the unified category stores.
+	SealColumnar bool
 	// Clock stamps audit records; nil uses time.Now.
 	Clock func() time.Time
 
@@ -201,6 +209,11 @@ func (m *Mover) MoveHour(category string, hour time.Time) (AuditRecord, error) {
 	// Source files are consumed only after the hour is published.
 	for _, c := range toDelete {
 		if err := c.fs.Delete(c.path, false); err != nil && !errors.Is(err, hdfs.ErrNotFound) {
+			return rec, err
+		}
+	}
+	if m.SealColumnar && category == events.Category && filesOut > 0 {
+		if _, err := columnar.SealHour(m.Warehouse, category, hour); err != nil {
 			return rec, err
 		}
 	}

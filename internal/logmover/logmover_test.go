@@ -6,6 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"unilog/internal/columnar"
+	"unilog/internal/dataflow"
+	"unilog/internal/events"
 	"unilog/internal/hdfs"
 	"unilog/internal/recordio"
 	"unilog/internal/scribe"
@@ -276,5 +279,53 @@ func TestParseStagingPath(t *testing.T) {
 		if _, _, ok := parseStagingPath(p); ok {
 			t.Errorf("parseStagingPath(%q) ok", p)
 		}
+	}
+}
+
+// TestSealColumnarOnMove: with SealColumnar set, a published client-events
+// hour immediately gains column chunks, and the columnar scan sees exactly
+// the rows the row files hold.
+func TestSealColumnarOnMove(t *testing.T) {
+	clock := zk.NewManualClock(t0)
+	dc, err := scribe.NewDatacenter("dc1", hdfs.New(0), clock, 1, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		e := &events.ClientEvent{
+			Initiator: events.InitiatorClientUser,
+			Name:      events.MustParseName("web:home:timeline:stream:tweet:impression"),
+			UserID:    int64(100 + i),
+			SessionID: fmt.Sprintf("s%02d", i%5),
+			IP:        "10.0.0.1",
+			Timestamp: t0.UnixMilli() + int64(i),
+		}
+		dc.Daemons[0].Log(events.Category, e.Marshal())
+	}
+	if err := dc.SealHour([]string{events.Category}, t0); err != nil {
+		t.Fatal(err)
+	}
+	wh := hdfs.New(0)
+	m := New(wh, Source{"dc1", dc.Staging})
+	m.SealColumnar = true
+	if _, err := m.MoveHour(events.Category, t0); err != nil {
+		t.Fatal(err)
+	}
+	hourDir := warehouse.HourDir(events.Category, t0)
+	if !columnar.HasColumnar(wh, hourDir) {
+		t.Fatal("published hour has no column chunks")
+	}
+	j := dataflow.NewJob("verify", wh)
+	d, err := j.LoadDirsSelective([]string{hourDir}, columnar.EventsFormat{}, dataflow.Selection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("columnar scan saw %d events, want %d", got, n)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"unilog/internal/analytics"
+	"unilog/internal/columnar"
 	"unilog/internal/dataflow"
 	"unilog/internal/events"
 	"unilog/internal/hdfs"
@@ -364,6 +365,14 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 		return nil, err
 	}
 	res.ExactlyOnce = res.InWarehouse == res.Events
+
+	// Seal the delivered day into column chunks before anything batch-reads
+	// it: the reconcile below and the budgeted rollup leg both go through
+	// the columnar source, so every scenario cell proves the columnar path
+	// end to end against the realtime counters.
+	if _, err := columnar.SealDay(wh, events.Category, day); err != nil {
+		return nil, err
+	}
 
 	counter.Sync()
 	cstats := counter.Stats()
