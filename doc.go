@@ -42,9 +42,13 @@
 // session_id, ip), zigzag deltas for timestamps, run-length bytes for
 // initiator and the derived logged_in flag — plus a per-chunk meta
 // record holding row count and min/max zone maps over timestamp and
-// name. The chunk files are auxiliary (underscore-prefixed): row files
-// stay authoritative and row scanners never see them, so sealed and
-// unsealed hours coexist in one day. Queries opt in through
+// name, and an hour-level _col-SEALED marker written after the last
+// chunk. Only the marker makes an hour columnar: a seal that dies
+// mid-hour leaves its partial chunks invisible (scans keep using the
+// row files) and the next seal cleans them up and retries, so a torn
+// seal can never silently drop rows. The chunk files are auxiliary
+// (underscore-prefixed): row files stay authoritative and row scanners
+// never see them, so sealed and unsealed hours coexist in one day. Queries opt in through
 // dataflow.Selection — a declarative (columns, name pattern, time
 // range) triple — and Job.LoadDirsSelective: a pushdown-aware format
 // (columnar.EventsFormat) absorbs the selection, pruning whole chunks

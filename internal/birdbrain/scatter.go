@@ -157,9 +157,18 @@ func (s *Scatter) askPartition(p int, query func(p int, n *cluster.Node) (any, e
 			}
 			if failed == launched && launched < len(replicas) {
 				// Everything in flight has errored: immediate failover,
-				// same as the sequential path.
+				// same as the sequential path. The fresh replica gets a
+				// full hedge window — without the reset, a timer armed for
+				// a long-dead attempt could hedge it almost immediately.
 				launch(launched)
 				launched++
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(s.ReplicaTimeout)
 			}
 		case <-timer.C:
 			if launched < len(replicas) {

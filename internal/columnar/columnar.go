@@ -16,6 +16,7 @@
 //	_col-00000.timestamp   zig-zag varint deltas from the previous row
 //	_col-00000.logged_in   run-length pairs (bool byte, run)
 //	_col-00000.details     per row: pair count + length-prefixed k/v, keys sorted
+//	_col-SEALED            hour-level completion marker: total chunk count
 //
 // Every file is framed with the repository's recordio CRC discipline, so
 // a torn tail reads back as recordio.ErrTruncated and a flipped bit as
@@ -23,6 +24,13 @@
 // spill files. The leading underscore makes the files auxiliary to every
 // row scanner (warehouse.IsAuxiliary), so row and columnar layouts
 // coexist in one directory and either can serve a scan.
+//
+// Sealing is crash-safe at two levels: within a chunk the meta file is
+// written last, and across the hour the _col-SEALED marker is written
+// after the last chunk. An hour without the marker is not columnar —
+// scans keep reading its row files, and the next SealHour removes the
+// orphaned chunk files and re-seals from scratch — so a seal that dies
+// mid-hour can never silently drop the rows it had not reached.
 //
 // The reader side lives in format.go: EventsFormat is a pushdown-aware
 // dataflow.InputFormat whose splits are chunk meta files. A pushed-down
@@ -37,6 +45,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"unilog/internal/events"
@@ -58,6 +67,7 @@ var chunkCols = []string{"initiator", "name", "user_id", "session_id", "ip", "ti
 
 const (
 	metaMagic   = 0x636f6c // "col"
+	sealedMagic = 0x73656c // "sel"
 	metaVersion = 1
 )
 
@@ -69,15 +79,73 @@ func chunkBase(dir string, i int) string {
 // metaPath returns the zone-map file of chunk i in dir.
 func metaPath(dir string, i int) string { return chunkBase(dir, i) + ".meta" }
 
-// HasColumnar reports whether dir has been sealed into column chunks.
+// sealedPath returns the hour-level completion marker of dir.
+func sealedPath(dir string) string { return dir + "/_col-SEALED" }
+
+// HasColumnar reports whether dir has been fully sealed into column
+// chunks. Chunk files without the completion marker — a seal that died
+// mid-hour — do not count: the hour keeps scanning through its row files
+// until a re-seal finishes the job.
 func HasColumnar(fs *hdfs.FS, dir string) bool {
-	return fs.Exists(metaPath(dir, 0))
+	return fs.Exists(sealedPath(dir))
+}
+
+// encodeSealed builds the completion-marker file: one CRC record naming
+// the chunk count of the sealed hour.
+func encodeSealed(chunks int) []byte {
+	var rec []byte
+	rec = binary.AppendUvarint(rec, sealedMagic)
+	rec = binary.AppendUvarint(rec, metaVersion)
+	rec = binary.AppendUvarint(rec, uint64(chunks))
+	f := newFramed()
+	f.w.Append(rec)
+	return f.buf.Bytes()
+}
+
+// sealedChunks reads the completion marker's chunk count.
+func sealedChunks(fs *hdfs.FS, dir string) (int, error) {
+	path := sealedPath(dir)
+	rec, err := oneRecord(fs, path)
+	if err != nil {
+		return 0, err
+	}
+	c := recordio.NewCursor(rec)
+	if magic := c.Uvarint("magic"); c.Ok() && magic != sealedMagic {
+		return 0, fmt.Errorf("columnar: %s: %w: bad magic %#x", path, recordio.ErrCorrupt, magic)
+	}
+	if v := c.Uvarint("version"); c.Ok() && v != metaVersion {
+		return 0, fmt.Errorf("columnar: %s: unsupported seal version %d", path, v)
+	}
+	n := int(c.Uvarint("chunks"))
+	if err := c.Err(); err != nil {
+		return 0, fmt.Errorf("columnar: %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// removeTornSeal deletes the leftover _col- files of a seal that died
+// before writing its completion marker, so the retry starts clean — its
+// chunk boundaries need not line up with the dead attempt's.
+func removeTornSeal(fs *hdfs.FS, dir string) error {
+	infos, err := fs.Walk(dir)
+	if err != nil {
+		return err
+	}
+	for _, fi := range infos {
+		if strings.Contains(fi.Path, "/_col-") {
+			if err := fs.Delete(fi.Path, false); err != nil {
+				return fmt.Errorf("columnar: clean torn seal %s: %w", fi.Path, err)
+			}
+		}
+	}
+	return nil
 }
 
 // SealHour re-encodes one warehouse hour into column chunks of
 // DefaultChunkRows, returning the number of chunks written. Sealing is
-// idempotent: an hour that already has chunks (or does not exist) is left
-// alone with n == 0.
+// idempotent: an hour whose completion marker exists (or that does not
+// exist at all) is left alone with n == 0, while a torn earlier attempt
+// — chunks but no marker — is cleaned up and re-sealed.
 func SealHour(fs *hdfs.FS, category string, hour time.Time) (int, error) {
 	return SealHourChunks(fs, category, hour, DefaultChunkRows)
 }
@@ -91,6 +159,9 @@ func SealHourChunks(fs *hdfs.FS, category string, hour time.Time, chunkRows int)
 	dir := warehouse.HourDir(category, hour)
 	if !fs.Exists(dir) || HasColumnar(fs, dir) {
 		return 0, nil
+	}
+	if err := removeTornSeal(fs, dir); err != nil {
+		return 0, err
 	}
 	t0 := time.Now()
 	var (
@@ -123,6 +194,9 @@ func SealHourChunks(fs *hdfs.FS, category string, hour time.Time, chunkRows int)
 	}
 	if err := flush(); err != nil {
 		return chunks, err
+	}
+	if err := fs.WriteFile(sealedPath(dir), encodeSealed(chunks)); err != nil {
+		return chunks, fmt.Errorf("columnar: write seal marker %s: %w", sealedPath(dir), err)
 	}
 	tmSealHourNs.ObserveSince(t0)
 	return chunks, nil

@@ -1,6 +1,7 @@
 package columnar
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -266,6 +267,27 @@ func TestCorruptionMatrix(t *testing.T) {
 			mutate: func([]byte) []byte { return nil }, // delete, no rewrite
 			want:   hdfs.ErrNotFound,
 		},
+		{
+			name: "over-long column corrupt",
+			file: hourDir + "/_col-00000.user_id",
+			mutate: func(b []byte) []byte {
+				// Re-frame the record with one extra trailing varint: the
+				// CRC is valid but the column now holds more rows than its
+				// meta claims.
+				r := recordio.NewCRCReader(bytes.NewReader(b))
+				rec, err := r.Next()
+				if err != nil {
+					t.Fatalf("reframe: %v", err)
+				}
+				var out bytes.Buffer
+				w := recordio.NewCRCWriter(&out)
+				if err := w.Append(append(append([]byte(nil), rec...), 0)); err != nil {
+					t.Fatalf("reframe: %v", err)
+				}
+				return out.Bytes()
+			},
+			want: recordio.ErrCorrupt,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -284,6 +306,81 @@ func TestCorruptionMatrix(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestTornSealRecovers proves a seal that dies mid-hour loses nothing:
+// without the _col-SEALED marker the half-written chunks are invisible
+// (scans fall back to the row files), and re-sealing is not a no-op — it
+// removes the orphaned chunks and completes with its own boundaries.
+func TestTornSealRecovers(t *testing.T) {
+	fs, total := buildDay(t, 6)
+	hourDir := warehouse.HourDir(events.Category, testDay)
+	if _, err := SealHourChunks(fs, events.Category, testDay, 32); err != nil {
+		t.Fatal(err)
+	}
+	// Rewind the seal to "died before chunk 4": drop the completion
+	// marker and the last chunk's files.
+	if err := fs.Delete(sealedPath(hourDir), false); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range chunkCols {
+		if err := fs.Delete(chunkBase(hourDir, 4)+"."+col, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Delete(metaPath(hourDir, 4), false); err != nil {
+		t.Fatal(err)
+	}
+	if HasColumnar(fs, hourDir) {
+		t.Fatal("torn seal still claims the hour is columnar")
+	}
+	count := func(name string) int64 {
+		t.Helper()
+		j := dataflow.NewJob(name, fs)
+		d, err := LoadDay(j, testDay, dataflow.Selection{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := d.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := count("torn"); n != int64(total) {
+		t.Fatalf("scan of torn-seal day saw %d events, want %d — rows silently dropped", n, total)
+	}
+	// Re-seal with a different chunk size (150 rows / 64 = 3 chunks): the
+	// surviving 32-row chunks from the torn attempt must be cleaned up,
+	// not mixed in.
+	n, err := SealHourChunks(fs, events.Category, testDay, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("re-seal of a torn hour was a no-op")
+	}
+	if fs.Exists(metaPath(hourDir, 3)) {
+		t.Fatal("re-seal left stale chunks from the torn attempt")
+	}
+	if !HasColumnar(fs, hourDir) {
+		t.Fatal("re-seal did not write the completion marker")
+	}
+	if got, want := mustSealedChunks(t, fs, hourDir), n; got != want {
+		t.Fatalf("completion marker records %d chunks, seal wrote %d", got, want)
+	}
+	if n := count("resealed"); n != int64(total) {
+		t.Fatalf("columnar scan after re-seal saw %d events, want %d", n, total)
+	}
+}
+
+func mustSealedChunks(t *testing.T, fs *hdfs.FS, dir string) int {
+	t.Helper()
+	n, err := sealedChunks(fs, dir)
+	if err != nil {
+		t.Fatalf("read seal marker: %v", err)
+	}
+	return n
 }
 
 // TestHybridDirFallsBackToRows proves the format reads an unsealed hour

@@ -63,21 +63,31 @@ func (f EventsFormat) Pushdown(sel dataflow.Selection) (dataflow.InputFormat, da
 }
 
 // Splits implements dataflow.InputFormat: chunk meta files when the dir
-// is sealed, row files when it is not.
+// carries the _col-SEALED completion marker, row files when it does not.
+// The sealed path enumerates chunks from the marker's count rather than
+// by listing, so a chunk file that went missing after the seal surfaces
+// as an error instead of silently shrinking the hour.
 func (f EventsFormat) Splits(fs *hdfs.FS, dir string) ([]dataflow.Split, error) {
+	if HasColumnar(fs, dir) {
+		n, err := sealedChunks(fs, dir)
+		if err != nil {
+			return nil, err
+		}
+		splits := make([]dataflow.Split, 0, n)
+		for i := 0; i < n; i++ {
+			fi, err := fs.Stat(metaPath(dir, i))
+			if err != nil {
+				return nil, err
+			}
+			splits = append(splits, dataflow.Split{Path: fi.Path, Size: fi.Size})
+		}
+		return splits, nil
+	}
 	infos, err := fs.Walk(dir)
 	if err != nil {
 		return nil, err
 	}
 	var splits []dataflow.Split
-	if HasColumnar(fs, dir) {
-		for _, fi := range infos {
-			if strings.HasSuffix(fi.Path, ".meta") && strings.Contains(fi.Path, "/_col-") {
-				splits = append(splits, dataflow.Split{Path: fi.Path, Size: fi.Size})
-			}
-		}
-		return splits, nil
-	}
 	for _, fi := range infos {
 		if warehouse.IsAuxiliary(fi.Path) {
 			continue

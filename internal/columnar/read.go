@@ -111,6 +111,9 @@ func decodeDict(fs *hdfs.FS, path string, rows int) ([]string, error) {
 		}
 		out[i] = dict[id]
 	}
+	if !ic.Empty() {
+		return nil, fmt.Errorf("columnar: %s: %w: %d trailing bytes after %d rows", path, recordio.ErrCorrupt, ic.Remaining(), rows)
+	}
 	return out, nil
 }
 
@@ -134,6 +137,9 @@ func decodeVarints(fs *hdfs.FS, path string, rows int, delta bool) ([]int64, err
 	}
 	if err := c.Err(); err != nil {
 		return nil, fmt.Errorf("columnar: %s: %w", path, err)
+	}
+	if !c.Empty() {
+		return nil, fmt.Errorf("columnar: %s: %w: %d trailing bytes after %d rows", path, recordio.ErrCorrupt, c.Remaining(), rows)
 	}
 	return out, nil
 }
@@ -162,6 +168,9 @@ func decodeRLE(fs *hdfs.FS, path string, rows int) ([]byte, error) {
 	if len(out) != rows {
 		return nil, fmt.Errorf("columnar: %s: %w: short column", path, recordio.ErrCorrupt)
 	}
+	if !c.Empty() {
+		return nil, fmt.Errorf("columnar: %s: %w: %d trailing bytes after %d rows", path, recordio.ErrCorrupt, c.Remaining(), rows)
+	}
 	return out, nil
 }
 
@@ -188,6 +197,9 @@ func decodeDetails(fs *hdfs.FS, path string, rows int) ([]map[string]string, err
 	}
 	if err := c.Err(); err != nil {
 		return nil, fmt.Errorf("columnar: %s: %w", path, err)
+	}
+	if !c.Empty() {
+		return nil, fmt.Errorf("columnar: %s: %w: %d trailing bytes after %d rows", path, recordio.ErrCorrupt, c.Remaining(), rows)
 	}
 	return out, nil
 }

@@ -94,7 +94,9 @@ func applySelection(d *Dataset, sel Selection) (*Dataset, error) {
 			if !ok {
 				return false
 			}
-			return ts >= min && (max == 0 || ts < max)
+			// Zero means unbounded on either side, mirroring the pushed-down
+			// columnar filter exactly — including for pre-epoch timestamps.
+			return (min == 0 || ts >= min) && (max == 0 || ts < max)
 		})
 	}
 	if sel.Columns != nil {
