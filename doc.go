@@ -64,6 +64,31 @@
 // as it publishes them (Mover.SealColumnar), so rollups, raw-log
 // counting, and funnel walks go columnar the moment an hour lands.
 //
+// The whole dataflow executes multi-core behind one knob:
+// dataflow.Job.Parallelism (default runtime.GOMAXPROCS(0); 1 forces the
+// serial engine). Scans decode file splits on a worker pool and a
+// reorder buffer delivers them in serial split order; shuffle spills
+// flush to disk on a background goroutine off the ingest path; the
+// reduce-side merge runs partition-at-a-time across workers, each
+// partition's sorted runs merged independently and the per-partition
+// streams k-way merged back into one globally key-ordered stream at the
+// emit point. Because hash partitions hold disjoint key sets and each
+// is reduced in key order, every operator — GroupBy, Join, Distinct,
+// Aggregate, OrderBy — produces the byte-identical relation in the
+// identical order at any parallelism, under any memory budget; property
+// tests assert it for parallelism {1,2,8} x budgets {0, 32 KiB} under
+// the race detector, and benchrunner E19 asserts it at day scale plus a
+// >= 1.8x rollup speedup at 4 workers on >= 4-CPU machines. The one
+// ordering contract a caller can relax is the scan's: Dataset.Unordered
+// marks a scan whose consumer is order-insensitive (anything feeding a
+// shuffle already is), letting splits deliver as they finish instead of
+// through the reorder buffer. Concurrent hour sealing rides the same
+// knob — columnar.SealDayParallel / Mover.SealParallelism seal the 24
+// hour directories on a worker pool, hours being independent — and the
+// pool depths and per-stage busy time report through telemetry
+// (dataflow.parallel.workers, dataflow.parallel.*.busy.ns,
+// dataflow.parallel.scan.queue.depth, columnar.seal.workers).
+//
 // Beyond the paper's batch pipeline, internal/realtime adds the §6
 // "real-time processing" direction as a Rainbird-style streaming counter
 // subsystem: a tap on the Scribe aggregators fans accepted client events

@@ -44,8 +44,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"unilog/internal/events"
@@ -203,15 +205,74 @@ func SealHourChunks(fs *hdfs.FS, category string, hour time.Time, chunkRows int)
 }
 
 // SealDay seals every existing hour of a category's UTC day, returning
-// the total chunk count.
+// the total chunk count. Hours seal concurrently on up to
+// runtime.GOMAXPROCS(0) workers; use SealDayParallel for an explicit
+// worker cap (1 forces the serial loop).
 func SealDay(fs *hdfs.FS, category string, day time.Time) (int, error) {
+	return SealDayParallel(fs, category, day, 0)
+}
+
+// SealDayParallel is SealDay with an explicit worker cap: <= 0 means
+// runtime.GOMAXPROCS(0), 1 seals hour by hour in order.
+func SealDayParallel(fs *hdfs.FS, category string, day time.Time, workers int) (int, error) {
 	day = day.UTC().Truncate(24 * time.Hour)
+	hours := make([]time.Time, 24)
+	for h := range hours {
+		hours[h] = day.Add(time.Duration(h) * time.Hour)
+	}
+	return SealHoursParallel(fs, category, hours, workers)
+}
+
+// SealHoursParallel seals a set of hours on a bounded worker pool. Hour
+// directories are disjoint, so the chunk files each worker writes are
+// exactly the files the serial loop would write. Error reporting is
+// deterministic: the earliest listed hour's failure wins, and the
+// returned total counts the hours before it plus the failing hour's
+// partial chunks — the serial loop's contract. Hours after a failure
+// may still have sealed (sealing is idempotent and additive); their
+// chunks are not claimed by this call's count.
+func SealHoursParallel(fs *hdfs.FS, category string, hours []time.Time, workers int) (int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(hours) {
+		workers = len(hours)
+	}
+	if workers <= 1 {
+		total := 0
+		for _, h := range hours {
+			n, err := SealHour(fs, category, h)
+			total += n
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	}
+	tmSealWorkers.SetMax(int64(workers))
+	ns := make([]int, len(hours))
+	errs := make([]error, len(hours))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				ns[i], errs[i] = SealHour(fs, category, hours[i])
+			}
+		}()
+	}
+	for i := range hours {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 	total := 0
-	for h := 0; h < 24; h++ {
-		n, err := SealHour(fs, category, day.Add(time.Duration(h)*time.Hour))
-		total += n
-		if err != nil {
-			return total, err
+	for i := range hours {
+		total += ns[i]
+		if errs[i] != nil {
+			return total, errs[i]
 		}
 	}
 	return total, nil

@@ -17,4 +17,8 @@ var (
 	tmSealRows      = telemetry.GetCounter("columnar.seal.rows")
 
 	tmSealHourNs = telemetry.GetHistogram("columnar.seal.hour.ns")
+
+	// High-water worker count of concurrent hour sealing (SealDay /
+	// SealHoursParallel).
+	tmSealWorkers = telemetry.GetGauge("columnar.seal.workers")
 )

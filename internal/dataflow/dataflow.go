@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"unilog/internal/hdfs"
@@ -150,14 +151,34 @@ type Job struct {
 	// memory is roughly the input size divided by this.
 	SpillPartitions int
 
-	stats Stats
+	// Parallelism caps the worker goroutines each phase of the engine may
+	// use: concurrent split decoding on the scan side, the async spill
+	// flusher and concurrent per-partition merge-reduce on the shuffle
+	// side, and concurrent cascade merges. <= 0 (the default) means
+	// runtime.GOMAXPROCS(0); 1 selects the original single-threaded
+	// execution paths exactly. Output is byte-identical to serial
+	// execution at any setting — see the package comment's Parallelism
+	// section for the ordering contract.
+	Parallelism int
+
+	stats jobStats
 }
 
 // NewJob returns a job reading from fs.
 func NewJob(name string, fs *hdfs.FS) *Job { return &Job{Name: name, FS: fs} }
 
-// Stats returns the job's accumulated cost counters.
-func (j *Job) Stats() Stats { return j.stats }
+// Stats returns a snapshot of the job's accumulated cost counters. It is
+// safe to call while a pipeline is executing; counters are charged
+// atomically as work completes.
+func (j *Job) Stats() Stats { return j.stats.snapshot() }
+
+// parallelism resolves the effective worker cap.
+func (j *Job) parallelism() int {
+	if j.Parallelism > 0 {
+		return j.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Iterator is a pull-based cursor over a tuple stream. Next returns io.EOF
 // after the final tuple; Close releases any resources (open spill files,
@@ -209,6 +230,9 @@ type Dataset struct {
 	// cleanup releases operator state backing this dataset (the spill
 	// partitions behind a Join); nil for sources and streaming operators.
 	cleanup func() error
+	// scan is non-nil when this dataset is a raw scan source — the only
+	// node kind Unordered applies to.
+	scan *scanSpec
 }
 
 // NewDataset wraps already-materialized tuples (used by generators and
@@ -345,10 +369,59 @@ func (j *Job) LoadDirs(dirs []string, f InputFormat) (*Dataset, error) {
 	return j.datasetForSplits(f, all), nil
 }
 
+// scanSpec is the plan of a scan source: the format, the splits, and
+// whether the consumer waived split-order delivery.
+type scanSpec struct {
+	format    InputFormat
+	splits    []Split
+	unordered bool
+}
+
 func (j *Job) datasetForSplits(f InputFormat, splits []Split) *Dataset {
-	return &Dataset{job: j, schema: f.Schema(), open: func() (Iterator, error) {
-		return &splitIter{job: j, format: f, splits: splits}, nil
+	sc := &scanSpec{format: f, splits: splits}
+	return &Dataset{job: j, schema: f.Schema(), scan: sc, open: func() (Iterator, error) {
+		return j.newScanIter(sc), nil
 	}}
+}
+
+// newScanIter picks the scan execution for a spec: the serial split-by-
+// split iterator when one worker (or one split) is all there is, the
+// parallel decoder otherwise.
+func (j *Job) newScanIter(sc *scanSpec) Iterator {
+	n := j.parallelism()
+	if n > len(sc.splits) {
+		n = len(sc.splits)
+	}
+	if n <= 1 {
+		return &splitIter{job: j, format: sc.format, splits: sc.splits}
+	}
+	return newParallelScan(j, sc, n)
+}
+
+// Unordered waives the scan's split-order delivery guarantee, letting
+// parallel workers hand splits to the consumer in completion order
+// instead of plan order. It applies only to a raw scan source (Load,
+// LoadDirs, and their wrappers) and is a no-op on any derived dataset.
+//
+// Use it only when the consumer is insensitive to input order: Count,
+// Distinct, and integer Aggregate folds are safe; float aggregates
+// (Avg/Sum over float64) and anything that observes within-group tuple
+// order (ForEachGroup bodies, OrderBy ties broken by arrival) are not,
+// because reordering changes insertion sequence numbers and float
+// addition is not associative. The ordered default is byte-identical to
+// serial execution; Unordered trades that guarantee for not stalling on
+// the slowest split.
+func (d *Dataset) Unordered() *Dataset {
+	if d.scan == nil {
+		return d
+	}
+	sc := *d.scan
+	sc.unordered = true
+	nd := &Dataset{job: d.job, schema: d.schema, scan: &sc, cleanup: d.cleanup}
+	nd.open = func() (Iterator, error) {
+		return nd.job.newScanIter(&sc), nil
+	}
+	return nd
 }
 
 // splitIter streams a scan split by split: one map task's tuples are
@@ -373,7 +446,7 @@ func (s *splitIter) Next() (Tuple, error) {
 		if s.i < len(s.cur) {
 			t := s.cur[s.i]
 			s.i++
-			s.job.stats.RecordsRead++
+			s.job.stats.recordsRead.Add(1)
 			return t, nil
 		}
 		if len(s.splits) == 0 {
@@ -381,8 +454,8 @@ func (s *splitIter) Next() (Tuple, error) {
 		}
 		sp := s.splits[0]
 		s.splits = s.splits[1:]
-		s.job.stats.MapTasks++
-		s.job.stats.FilesRead++
+		s.job.stats.mapTasks.Add(1)
+		s.job.stats.filesRead.Add(1)
 		t0 := time.Now()
 		before := s.job.FS.Snapshot()
 		s.cur = s.cur[:0]
@@ -391,8 +464,8 @@ func (s *splitIter) Next() (Tuple, error) {
 			return nil
 		})
 		after := s.job.FS.Snapshot()
-		s.job.stats.BytesRead += after.BytesRead - before.BytesRead
-		s.job.stats.BlocksRead += after.BlocksRead - before.BlocksRead
+		s.job.stats.bytesRead.Add(after.BytesRead - before.BytesRead)
+		s.job.stats.blocksRead.Add(after.BlocksRead - before.BlocksRead)
 		tmScanBytes.Add(after.BytesRead - before.BytesRead)
 		tmScanSplitNs.ObserveSince(t0)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"unilog/internal/recordio"
@@ -135,20 +136,73 @@ func (st *spillTable) mergeAll() (*mergeIter, error) {
 		if len(p.mem) > 0 {
 			m.h = append(m.h, &memRun{p: p, i: -1})
 		}
+		// Partition-local cascade output from an earlier parallel reduce
+		// pass merges like any other sorted run of the partition.
+		if len(p.merged) > 0 {
+			if err := m.addRefs(p.merged); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := m.addRefs(st.merged); err != nil {
 		return nil, err
 	}
-	fanIn := len(m.h)
-	st.job.stats.MergeRuns += fanIn
-	if fanIn > st.job.stats.PeakRunFanIn {
-		st.job.stats.PeakRunFanIn = fanIn
-	}
-	tmMergeFanInMax.SetMax(int64(fanIn))
+	st.chargeMergeFanIn(len(m.h))
 	if err := m.prime(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// mergePart opens a streaming merge over a single partition's runs and
+// residue — the per-partition unit of a parallel reduce pass. It
+// cascades only that partition's runs (staged in p.merged) when they
+// exceed the fan-in cap. Distinct partitions may be merged concurrently:
+// everything mutated here (p.runs, p.merged, cascade temp files) is
+// partition-local and the stats are atomic.
+func (st *spillTable) mergePart(pi int) (*mergeIter, error) {
+	if st.closed {
+		return nil, errSpillClosed
+	}
+	if err := st.cascadePart(pi); err != nil {
+		return nil, err
+	}
+	p := &st.parts[pi]
+	m := &mergeIter{st: st}
+	if len(p.runs) > 0 {
+		f, err := os.Open(p.path)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("dataflow: reopen spill file: %w", err)
+		}
+		m.files = append(m.files, f)
+		for _, r := range p.runs {
+			sec := io.NewSectionReader(f, r.off, r.len)
+			m.h = append(m.h, &fileRun{path: p.path, r: recordio.NewCRCReader(sec), remaining: r.records})
+		}
+	}
+	if len(p.mem) > 0 {
+		m.h = append(m.h, &memRun{p: p, i: -1})
+	}
+	if err := m.addRefs(p.merged); err != nil {
+		return nil, err
+	}
+	st.chargeMergeFanIn(len(m.h))
+	if err := m.prime(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// chargeMergeFanIn records a merge's run fan-in. Per-partition merges
+// charge the same MergeRuns total as one global merge would (the runs
+// are the same runs); PeakRunFanIn then reflects the widest single
+// merge actually held open, which under a parallel reduce is the
+// per-partition width.
+func (st *spillTable) chargeMergeFanIn(fanIn int) {
+	st.job.stats.mergeRuns.Add(int64(fanIn))
+	st.job.stats.maxRunFanIn(int64(fanIn))
+	tmMergeFanInMax.SetMax(int64(fanIn))
 }
 
 // fanInCap resolves the job's merge fan-in cap (minimum 2 — a 1-way
@@ -186,12 +240,13 @@ func (st *spillTable) cascade() error {
 	}
 	total := len(st.merged)
 	for i := range st.parts {
-		total += len(st.parts[i].runs)
+		total += len(st.parts[i].runs) + len(st.parts[i].merged)
 	}
 	if total <= eff {
 		return nil
 	}
-	// Take ownership of every partition run: from here on the runs live
+	// Take ownership of every partition run (including the staged output
+	// of any earlier per-partition cascade): from here on the runs live
 	// as runRefs and the partitions only contribute residues.
 	for i := range st.parts {
 		p := &st.parts[i]
@@ -199,12 +254,144 @@ func (st *spillTable) cascade() error {
 			st.merged = append(st.merged, runRef{path: p.path, off: r.off, len: r.len, records: r.records})
 		}
 		p.runs = nil
+		st.merged = append(st.merged, p.merged...)
+		p.merged = nil
 	}
 	for len(st.merged) > eff {
 		t0 := time.Now()
-		st.job.stats.CascadePasses++
+		st.job.stats.cascadePasses.Add(1)
 		tmCascadePasses.Inc()
 		old := st.merged
+		var batches [][]runRef
+		for i := 0; i < len(old); i += eff {
+			end := i + eff
+			if end > len(old) {
+				end = len(old)
+			}
+			batches = append(batches, old[i:end])
+		}
+		outs := make([]runRef, len(batches))
+		errs := make([]error, len(batches))
+		done := make([]bool, len(batches))
+		st.runBatches(batches, outs, errs, done)
+		next := make([]runRef, 0, len(batches))
+		var firstErr error
+		for k, batch := range batches {
+			switch {
+			case len(batch) == 1:
+				// A stray singleton carries over unchanged; a later pass or
+				// the final merge consumes it.
+				next = append(next, batch[0])
+			case !done[k] || errs[k] != nil:
+				// Keep both the rewritten and the unconsumed runs reachable
+				// so Close still removes every staged file.
+				next = append(next, batch...)
+				if errs[k] != nil && firstErr == nil {
+					firstErr = errs[k]
+				}
+			default:
+				next = append(next, outs[k])
+			}
+		}
+		st.merged = next
+		if firstErr != nil {
+			return firstErr
+		}
+		st.dropUnreferenced(old, next)
+		tmCascadeNs.ObserveSince(t0)
+	}
+	return nil
+}
+
+// runBatches executes the multi-run merges of one cascade pass, filling
+// outs/errs/done by batch index. The batches are independent — each
+// reads its own runs and writes its own temp file — so with parallelism
+// they run on a worker pool; serially they run in order and stop at the
+// first failure, exactly as the pre-parallel cascade did.
+func (st *spillTable) runBatches(batches [][]runRef, outs []runRef, errs []error, done []bool) {
+	var work []int
+	for k, b := range batches {
+		if len(b) > 1 {
+			work = append(work, k)
+		}
+	}
+	workers := st.job.parallelism()
+	if workers > len(work) {
+		workers = len(work)
+	}
+	if workers <= 1 {
+		for _, k := range work {
+			out, err := st.mergeBatch(batches[k])
+			done[k] = true
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			outs[k] = out
+			st.chargeCascadeBatch(len(batches[k]))
+		}
+		return
+	}
+	tmParWorkers.SetMax(int64(workers))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				out, err := st.mergeBatch(batches[k])
+				done[k] = true
+				if err != nil {
+					errs[k] = err
+					continue
+				}
+				outs[k] = out
+				st.chargeCascadeBatch(len(batches[k]))
+			}
+		}()
+	}
+	for _, k := range work {
+		idx <- k
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// chargeCascadeBatch records one completed cascade batch merge.
+func (st *spillTable) chargeCascadeBatch(fanIn int) {
+	st.job.stats.cascadeRuns.Add(1)
+	st.job.stats.mergeRuns.Add(int64(fanIn))
+	st.job.stats.maxRunFanIn(int64(fanIn))
+	tmCascadeRuns.Inc()
+	tmMergeFanInMax.SetMax(int64(fanIn))
+}
+
+// cascadePart is cascade for a single partition, staging its output in
+// p.merged instead of st.merged so partition identity survives for the
+// per-partition merges of a parallel reduce. It runs inside a reduce
+// worker, so its own batch merges stay serial.
+func (st *spillTable) cascadePart(pi int) error {
+	p := &st.parts[pi]
+	eff := st.fanInCap()
+	if len(p.mem) > 0 {
+		eff--
+	}
+	if eff < 2 {
+		eff = 2
+	}
+	if len(p.runs)+len(p.merged) <= eff {
+		return nil
+	}
+	for _, r := range p.runs {
+		p.merged = append(p.merged, runRef{path: p.path, off: r.off, len: r.len, records: r.records})
+	}
+	p.runs = nil
+	for len(p.merged) > eff {
+		t0 := time.Now()
+		st.job.stats.cascadePasses.Add(1)
+		tmCascadePasses.Inc()
+		old := p.merged
 		next := make([]runRef, 0, (len(old)+eff-1)/eff)
 		for i := 0; i < len(old); i += eff {
 			end := i + eff
@@ -213,36 +400,27 @@ func (st *spillTable) cascade() error {
 			}
 			batch := old[i:end]
 			if len(batch) == 1 {
-				// A stray singleton carries over unchanged; a later pass or
-				// the final merge consumes it.
 				next = append(next, batch[0])
 				continue
 			}
 			out, err := st.mergeBatch(batch)
 			if err != nil {
-				// Keep both the rewritten and the unconsumed runs reachable
-				// so Close still removes every staged file.
-				st.merged = append(next, old[i:]...)
+				p.merged = append(next, old[i:]...)
 				return err
 			}
-			st.job.stats.CascadeRuns++
-			st.job.stats.MergeRuns += len(batch)
-			if len(batch) > st.job.stats.PeakRunFanIn {
-				st.job.stats.PeakRunFanIn = len(batch)
-			}
-			tmCascadeRuns.Inc()
-			tmMergeFanInMax.SetMax(int64(len(batch)))
+			st.chargeCascadeBatch(len(batch))
 			next = append(next, out)
 		}
-		st.merged = next
-		st.dropUnreferenced(old, next)
+		p.merged = next
+		st.dropUnreferencedPart(p, old, next)
 		tmCascadeNs.ObserveSince(t0)
 	}
 	return nil
 }
 
 // mergeBatch streams one k-way merge over a batch of file runs into a
-// fresh cascade file holding a single sorted run.
+// fresh cascade file holding a single sorted run. It keeps its encode
+// buffer local — batches of one pass may run on concurrent workers.
 func (st *spillTable) mergeBatch(batch []runRef) (runRef, error) {
 	m := &mergeIter{st: st}
 	if err := m.addRefs(batch); err != nil {
@@ -265,6 +443,7 @@ func (st *spillTable) mergeBatch(batch []runRef) (runRef, error) {
 	bw := bufio.NewWriterSize(out, 1<<16)
 	w := recordio.NewCRCWriter(bw)
 	var records int64
+	var encBuf []byte
 	for {
 		k, seq, t, err := m.nextRec()
 		if err == io.EOF {
@@ -273,11 +452,11 @@ func (st *spillTable) mergeBatch(batch []runRef) (runRef, error) {
 		if err != nil {
 			return fail(err)
 		}
-		st.encBuf, err = appendRunRec(st.encBuf[:0], k, seq, t)
+		encBuf, err = appendRunRec(encBuf[:0], k, seq, t)
 		if err != nil {
 			return fail(err)
 		}
-		if err := w.Append(st.encBuf); err != nil {
+		if err := w.Append(encBuf); err != nil {
 			return fail(fmt.Errorf("dataflow: write cascade file %s: %w", out.Name(), err))
 		}
 		records++
@@ -314,6 +493,28 @@ func (st *spillTable) dropUnreferenced(old, next []runRef) {
 			if st.parts[i].path == r.path {
 				st.parts[i].path = ""
 			}
+		}
+	}
+}
+
+// dropUnreferencedPart is dropUnreferenced for a single partition's
+// cascade. Partition-local refs only ever point at that partition's
+// spill file or its own cascade temps, so concurrent per-partition
+// cascades never touch each other's files or path fields.
+func (st *spillTable) dropUnreferencedPart(p *spillPart, old, next []runRef) {
+	live := make(map[string]bool, len(next))
+	for _, r := range next {
+		live[r.path] = true
+	}
+	dropped := make(map[string]bool)
+	for _, r := range old {
+		if live[r.path] || dropped[r.path] {
+			continue
+		}
+		dropped[r.path] = true
+		os.Remove(r.path)
+		if p.path == r.path {
+			p.path = ""
 		}
 	}
 }

@@ -330,7 +330,7 @@ func (d *Dataset) groupBy(order sortSpec, keyCols []string) (*Grouped, error) {
 	if err := st.fill(d); err != nil {
 		return nil, err
 	}
-	d.job.stats.ReduceTasks++ // base reduce wave; topped up when the group count is known
+	d.job.stats.reduceTasks.Add(1) // base reduce wave; topped up when the group count is known
 	return &Grouped{job: d.job, schema: d.schema, keyCols: keyCols, keyIdx: idx, st: st, groups: -1}, nil
 }
 
@@ -342,7 +342,7 @@ func (d *Dataset) GroupAll() (*Grouped, error) {
 	if err := st.fill(d); err != nil {
 		return nil, err
 	}
-	d.job.stats.ReduceTasks++
+	d.job.stats.reduceTasks.Add(1)
 	g := &Grouped{job: d.job, schema: d.schema, st: st, all: true, groups: -1}
 	g.setGroups(1)
 	return g, nil
@@ -356,7 +356,7 @@ func (g *Grouped) setGroups(n int) {
 		return
 	}
 	g.groups = n
-	g.job.stats.ReduceTasks += reducersFor(n) - 1
+	g.job.stats.reduceTasks.Add(int64(reducersFor(n) - 1))
 }
 
 // Close removes the spill files backing the sorted runs. The Grouped
@@ -369,11 +369,18 @@ func (g *Grouped) Close() error { return g.st.Close() }
 // There is no per-group index map and no output re-sort — peak memory is
 // the merge fan-in (one buffered tuple per run) plus one group state. It
 // returns the number of distinct groups; this loop is the shared skeleton
-// under NumGroups, EachGroup, and Aggregate.
+// under NumGroups, EachGroup, and Aggregate. With Job.Parallelism > 1 and
+// at least two populated hash partitions, the fold fans out per partition
+// (mergePassParallel) with identical emitted output.
 func mergePass[S any](g *Grouped, newState func(first Tuple) S, fold func(S, Tuple) S, emit func(s S) error) (int, error) {
-	g.job.stats.MergePasses++
+	g.job.stats.mergePasses.Add(1)
 	tmMergePasses.Inc()
 	defer tmMergePassNs.ObserveSince(time.Now())
+	if g.job.parallelism() > 1 {
+		if parts := g.st.parallelParts(); parts != nil {
+			return mergePassParallel(g.st, parts, newState, fold, emit)
+		}
+	}
 	m, err := g.st.mergeAll()
 	if err != nil {
 		return 0, err
@@ -478,7 +485,7 @@ func (g *Grouped) ForEachGroup(outCols Schema, fn func(key Tuple, group []Tuple)
 	if err != nil {
 		return nil, err
 	}
-	g.job.stats.OutputRecords += int64(len(rows))
+	g.job.stats.outputRecords.Add(int64(len(rows)))
 	return NewDataset(g.job, schema, rows), nil
 }
 
@@ -632,12 +639,15 @@ func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 	}
 	schema := append(append(Schema(nil), g.keyCols...), outCols...)
 
+	// scratch lives in the group state, not a shared closure variable:
+	// under a parallel reduce, folds of different groups run on
+	// concurrent partition workers.
 	type groupState struct {
 		keyVals Tuple
 		cells   []aggCell
+		scratch []byte
 	}
 	var rows []Tuple
-	var vscratch []byte
 	total, err := mergePass(g,
 		func(t Tuple) *groupState {
 			keyVals := make(Tuple, len(g.keyIdx))
@@ -652,7 +662,7 @@ func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 				if idx[ai] >= 0 {
 					v = t[idx[ai]]
 				}
-				vscratch = st.cells[ai].fold(a.Kind, v, vscratch)
+				st.scratch = st.cells[ai].fold(a.Kind, v, st.scratch)
 			}
 			return st
 		},
@@ -679,7 +689,7 @@ func (g *Grouped) Aggregate(aggs ...Agg) (*Dataset, error) {
 		rows = append(rows, row)
 	}
 	g.setGroups(total)
-	g.job.stats.OutputRecords += int64(len(rows))
+	g.job.stats.outputRecords.Add(int64(len(rows)))
 	return NewDataset(g.job, schema, rows), nil
 }
 
@@ -711,7 +721,7 @@ func (d *Dataset) Join(other *Dataset, leftCol, rightCol string) (*Dataset, erro
 	}
 	// Both sides shuffled: one base reduce wave per side now (as the eager
 	// engine charged), topped up when a full merge learns the key count.
-	d.job.stats.ReduceTasks += 2
+	d.job.stats.reduceTasks.Add(2)
 	schema := append(Schema(nil), d.schema...)
 	for _, c := range other.schema {
 		if _, err := d.schema.Index(c); err == nil {
@@ -732,8 +742,11 @@ type joinState struct {
 }
 
 func (s *joinState) open() (Iterator, error) {
-	s.job.stats.MergePasses++
+	s.job.stats.mergePasses.Add(1)
 	tmMergePasses.Inc()
+	if it := s.openParallel(); it != nil {
+		return it, nil
+	}
 	lm, err := s.lt.mergeAll()
 	if err != nil {
 		return nil, err
@@ -799,7 +812,7 @@ func (it *joinIter) next() (Tuple, error) {
 			nt := make(Tuple, 0, len(it.cur)+len(rt))
 			nt = append(nt, it.cur...)
 			nt = append(nt, rt...)
-			it.s.job.stats.OutputRecords++
+			it.s.job.stats.outputRecords.Add(1)
 			return nt, nil
 		}
 		lkey, lt, err := it.lm.next()
@@ -811,7 +824,7 @@ func (it *joinIter) next() (Tuple, error) {
 			}
 			if !it.charged {
 				it.charged = true
-				it.s.job.stats.ReduceTasks += 2 * (reducersFor(it.distinctRight) - 1)
+				it.s.job.stats.reduceTasks.Add(int64(2 * (reducersFor(it.distinctRight) - 1)))
 			}
 			return nil, io.EOF
 		}
@@ -919,9 +932,14 @@ func (d *Dataset) Distinct() *Dataset {
 		if err := st.fill(d); err != nil {
 			return nil, err
 		}
-		d.job.stats.ReduceTasks++ // base wave; topped up at end of merge
-		d.job.stats.MergePasses++
+		d.job.stats.reduceTasks.Add(1) // base wave; topped up at end of merge
+		d.job.stats.mergePasses.Add(1)
 		tmMergePasses.Inc()
+		if d.job.parallelism() > 1 {
+			if parts := st.parallelParts(); parts != nil {
+				return newDistinctParallel(d.job, st, parts), nil
+			}
+		}
 		m, err := st.mergeAll()
 		if err != nil {
 			st.Close()
@@ -951,7 +969,7 @@ func (it *distinctIter) Next() (Tuple, error) {
 		if err == io.EOF {
 			if !it.charged {
 				it.charged = true
-				it.job.stats.ReduceTasks += reducersFor(it.total) - 1
+				it.job.stats.reduceTasks.Add(int64(reducersFor(it.total) - 1))
 			}
 			return nil, io.EOF
 		}
@@ -1021,7 +1039,7 @@ func (d *Dataset) OrderByColumns(orders ...Order) (*Dataset, error) {
 	if err := st.fill(d); err != nil {
 		return nil, err
 	}
-	d.job.stats.ReduceTasks++ // the sort's reduce wave
+	d.job.stats.reduceTasks.Add(1) // the sort's reduce wave
 	upstream := d.cleanup
 	cleanup := func() error {
 		err := st.Close()
@@ -1034,7 +1052,7 @@ func (d *Dataset) OrderByColumns(orders ...Order) (*Dataset, error) {
 	}
 	job := d.job
 	return &Dataset{job: job, schema: d.schema, cleanup: cleanup, open: func() (Iterator, error) {
-		job.stats.MergePasses++
+		job.stats.mergePasses.Add(1)
 		tmMergePasses.Inc()
 		m, err := st.mergeAll()
 		if err != nil {

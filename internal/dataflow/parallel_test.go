@@ -1,0 +1,552 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"unilog/internal/hdfs"
+)
+
+// parJob is spillJob with an explicit worker cap and merge fan-in.
+func parJob(t *testing.T, budget int64, par, fanIn int) *Job {
+	t.Helper()
+	j := spillJob(t, budget)
+	j.Parallelism = par
+	j.MaxMergeFanIn = fanIn
+	return j
+}
+
+// comparableStats zeroes the counters that are documented to depend on
+// execution shape (per-partition cascades change how wide individual
+// merges are) while keeping everything the engine promises is identical
+// between serial and parallel execution — including the spill-side
+// counters, which the async flusher must reproduce exactly.
+func comparableStats(s Stats) Stats {
+	s.PeakRunFanIn, s.MergeRuns, s.CascadePasses, s.CascadeRuns = 0, 0, 0, 0
+	return s
+}
+
+type opsSuiteResult struct {
+	agg, red, ordered, joined, distinct, asc, desc string
+	stats                                          Stats
+}
+
+// runOpsSuite executes one fixed relational workload — every external
+// operator — under the given budget/parallelism/fan-in and renders each
+// output relation to a string. Two runs are equivalent iff the strings
+// (rows AND order) and the comparable stats match.
+func runOpsSuite(t *testing.T, budget int64, par, fanIn int) opsSuiteResult {
+	t.Helper()
+	j := parJob(t, budget, par, fanIn)
+	build := func() *Dataset {
+		rng := rand.New(rand.NewSource(401))
+		tuples := make([]Tuple, 2500)
+		for i := range tuples {
+			tuples[i] = Tuple{
+				fmt.Sprintf("k%03d", rng.Intn(60)),
+				mixedValue(rng),
+				int64(i),
+			}
+		}
+		return NewDataset(j, Schema{"k", "v", "pos"}, tuples)
+	}
+	buildRight := func() *Dataset {
+		rng := rand.New(rand.NewSource(402))
+		tuples := make([]Tuple, 400)
+		for i := range tuples {
+			// Keys overlap the left's k000..k059 range partially and
+			// repeat, so the join exercises both cross products and
+			// unmatched keys on both sides.
+			tuples[i] = Tuple{fmt.Sprintf("k%03d", rng.Intn(90)), int64(i)}
+		}
+		return NewDataset(j, Schema{"k", "tag"}, tuples)
+	}
+	var res opsSuiteResult
+	render := func(d *Dataset) string {
+		t.Helper()
+		rows, err := d.Tuples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v", rows)
+	}
+
+	g, err := build().GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := g.Aggregate(Count("n"), Min("pos", "min"), Max("pos", "max"), CountDistinct("v", "dv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.agg = render(agg)
+	red, err := g.ForEachGroup(Schema{"size", "first"}, func(key Tuple, group []Tuple) Tuple {
+		return Tuple{int64(len(group)), group[0][2]}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.red = render(red)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ordered grouping: within-group tuple order is part of the contract.
+	og, err := build().GroupByOrdered("v", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ored, err := og.ForEachGroup(Schema{"rows"}, func(key Tuple, group []Tuple) Tuple {
+		return Tuple{fmt.Sprintf("%v", group)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ordered = render(ored)
+	if err := og.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	joined, err := build().Join(buildRight(), "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.joined = render(joined)
+	if err := joined.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	proj, err := build().Project("k", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.distinct = render(proj.Distinct())
+
+	for _, asc := range []bool{true, false} {
+		sorted, err := build().OrderBy("v", asc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := render(sorted)
+		if err := sorted.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if asc {
+			res.asc = s
+		} else {
+			res.desc = s
+		}
+	}
+
+	if files := spillFiles(t, j); len(files) != 0 {
+		t.Fatalf("par=%d budget=%d left spill files: %v", par, budget, files)
+	}
+	res.stats = j.Stats()
+	return res
+}
+
+// TestParallelOpsByteIdenticalToSerial is the tentpole equivalence
+// property: for every external operator, parallel execution produces
+// relations byte-identical to serial execution — same rows, same order —
+// and identical cost accounting, across worker counts and budgets
+// (in-memory, spilling, and spilling with a tiny fan-in that forces
+// cascaded merges).
+func TestParallelOpsByteIdenticalToSerial(t *testing.T) {
+	cells := []struct {
+		budget int64
+		fanIn  int
+	}{
+		{0, 0},
+		{32 << 10, 0},
+		{2 << 10, 2}, // cascade-forcing: many runs, fan-in 2
+	}
+	for _, cell := range cells {
+		ref := runOpsSuite(t, cell.budget, 1, cell.fanIn)
+		if cell.budget > 0 && ref.stats.SpillRuns == 0 {
+			t.Fatalf("budget %d never spilled — cell does not exercise the out-of-core path", cell.budget)
+		}
+		if cell.fanIn == 2 && ref.stats.CascadePasses == 0 {
+			t.Fatal("fan-in 2 cell never cascaded")
+		}
+		for _, par := range []int{2, 8} {
+			got := runOpsSuite(t, cell.budget, par, cell.fanIn)
+			for what, pair := range map[string][2]string{
+				"aggregate":      {ref.agg, got.agg},
+				"foreachgroup":   {ref.red, got.red},
+				"groupbyordered": {ref.ordered, got.ordered},
+				"join":           {ref.joined, got.joined},
+				"distinct":       {ref.distinct, got.distinct},
+				"orderby-asc":    {ref.asc, got.asc},
+				"orderby-desc":   {ref.desc, got.desc},
+			} {
+				if pair[0] != pair[1] {
+					t.Fatalf("budget %d fanIn %d par %d: %s diverged from serial\nserial:   %.240s\nparallel: %.240s",
+						cell.budget, cell.fanIn, par, what, pair[0], pair[1])
+				}
+			}
+			if a, b := comparableStats(ref.stats), comparableStats(got.stats); a != b {
+				t.Fatalf("budget %d fanIn %d par %d: stats diverged\nserial:   %+v\nparallel: %+v",
+					cell.budget, cell.fanIn, par, a, b)
+			}
+		}
+	}
+}
+
+// TestParallelReducePathEngages guards against the parallel dispatch
+// silently never firing: a budgeted shuffle across many keys must leave
+// at least two partitions holding data, which is exactly the
+// parallelParts eligibility condition.
+func TestParallelReducePathEngages(t *testing.T) {
+	j := parJob(t, 4096, 4, 0)
+	g, err := wideDataset(j, 3000, 200, 31).GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if parts := g.st.parallelParts(); len(parts) < 2 {
+		t.Fatalf("parallelParts = %v, want >= 2 partitions with data", parts)
+	}
+	if _, err := g.Aggregate(Count("n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelMergeAbandonKeepsState mirrors the serial abandonment
+// contract on the parallel reduce: a reducer error mid-merge stops the
+// fan-out after exactly one group, the spill state stays reusable, and
+// Close removes every run file (no worker goroutine keeps one open).
+func TestParallelMergeAbandonKeepsState(t *testing.T) {
+	j := parJob(t, 512, 8, 0)
+	g, err := wideDataset(j, 2000, 50, 23).GroupBy("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spillFiles(t, j)) == 0 {
+		t.Fatal("no spill files under budget")
+	}
+	boom := errors.New("stop after first group")
+	seen := 0
+	err = g.EachGroup(func(key Tuple, group []Tuple) error {
+		seen++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the reducer's error", err)
+	}
+	if seen != 1 {
+		t.Fatalf("reducer ran %d times after aborting", seen)
+	}
+	if n, err := g.NumGroups(); err != nil || n != 50 {
+		t.Fatalf("NumGroups after abandoned parallel merge = %d, %v", n, err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := spillFiles(t, j); len(left) != 0 {
+		t.Fatalf("spill files survived Close: %v", left)
+	}
+}
+
+// TestParallelDistinctEarlyClose abandons a parallel Distinct after one
+// row; Close must stop the partition workers and remove the spill state.
+func TestParallelDistinctEarlyClose(t *testing.T) {
+	j := parJob(t, 512, 8, 0)
+	proj, err := wideDataset(j, 2000, 80, 41).Project("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := proj.Distinct().Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := spillFiles(t, j); len(left) != 0 {
+		t.Fatalf("spill files survived early Close: %v", left)
+	}
+}
+
+// fakeFormat is an in-package InputFormat over fabricated splits, with
+// per-split artificial latency (so completion order differs from plan
+// order) and injectable decode failures.
+type fakeFormat struct {
+	rows   map[string][]Tuple
+	delays map[string]time.Duration
+	fail   map[string]error
+}
+
+func (f *fakeFormat) Schema() Schema { return Schema{"path", "seq"} }
+
+func (f *fakeFormat) Splits(fs *hdfs.FS, dir string) ([]Split, error) {
+	var paths []string
+	for p := range f.rows {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	splits := make([]Split, len(paths))
+	for i, p := range paths {
+		splits[i] = Split{Path: p, Size: int64(len(f.rows[p]))}
+	}
+	return splits, nil
+}
+
+func (f *fakeFormat) ReadSplit(fs *hdfs.FS, sp Split, emit func(Tuple) error) error {
+	time.Sleep(f.delays[sp.Path])
+	if err := f.fail[sp.Path]; err != nil {
+		return err
+	}
+	for _, t := range f.rows[sp.Path] {
+		if err := emit(append(Tuple(nil), t...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanFixture builds n splits where the EARLIEST splits are the slowest,
+// so a parallel pool completes them out of plan order.
+func scanFixture(n int) *fakeFormat {
+	f := &fakeFormat{rows: map[string][]Tuple{}, delays: map[string]time.Duration{}, fail: map[string]error{}}
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("split-%02d", i)
+		for r := 0; r <= i%4; r++ {
+			f.rows[path] = append(f.rows[path], Tuple{path, int64(r)})
+		}
+		f.delays[path] = time.Duration(n-i) * time.Millisecond
+	}
+	return f
+}
+
+func scanDataset(t *testing.T, j *Job, f *fakeFormat) *Dataset {
+	t.Helper()
+	splits, err := f.Splits(j.FS, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j.datasetForSplits(f, splits)
+}
+
+// TestParallelScanOrderedByteIdentical: the default (ordered) parallel
+// scan delivers tuples in exactly serial plan order even when split
+// completion order is reversed, with identical cost accounting.
+func TestParallelScanOrderedByteIdentical(t *testing.T) {
+	f := scanFixture(12)
+	run := func(par int) (string, Stats) {
+		j := NewJob("scan", hdfs.New(0))
+		j.Parallelism = par
+		rows, err := scanDataset(t, j, f).Tuples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v", rows), j.Stats()
+	}
+	serialRows, serialStats := run(1)
+	for _, par := range []int{2, 4, 8, 32} {
+		rows, stats := run(par)
+		if rows != serialRows {
+			t.Fatalf("par %d: scan order diverged\nserial:   %.200s\nparallel: %.200s", par, serialRows, rows)
+		}
+		if stats != serialStats {
+			t.Fatalf("par %d: scan stats diverged\nserial:   %+v\nparallel: %+v", par, serialStats, stats)
+		}
+	}
+}
+
+// TestParallelScanUnorderedSameMultiset: Unordered waives order only —
+// the delivered multiset and the task accounting stay identical.
+func TestParallelScanUnorderedSameMultiset(t *testing.T) {
+	f := scanFixture(10)
+	run := func(par int) ([]string, Stats) {
+		j := NewJob("scan", hdfs.New(0))
+		j.Parallelism = par
+		var got []string
+		err := scanDataset(t, j, f).Unordered().Each(func(tp Tuple) error {
+			got = append(got, fmt.Sprintf("%v", tp))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(got)
+		return got, j.Stats()
+	}
+	serialRows, serialStats := run(1)
+	gotRows, gotStats := run(4)
+	if fmt.Sprintf("%v", gotRows) != fmt.Sprintf("%v", serialRows) {
+		t.Fatalf("unordered scan multiset diverged:\nserial:   %v\nparallel: %v", serialRows, gotRows)
+	}
+	if gotStats != serialStats {
+		t.Fatalf("unordered scan stats diverged:\nserial:   %+v\nparallel: %+v", serialStats, gotStats)
+	}
+}
+
+// TestParallelScanErrorSticky: a failing split surfaces its error at the
+// same plan-order position as the serial scan, charges the same
+// plan-order prefix of map tasks, and stays sticky on further Next calls.
+func TestParallelScanErrorSticky(t *testing.T) {
+	boom := errors.New("decode failed")
+	run := func(par int) (int, Stats) {
+		f := scanFixture(12)
+		f.fail["split-07"] = boom
+		j := NewJob("scan", hdfs.New(0))
+		j.Parallelism = par
+		it, err := scanDataset(t, j, f).Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		delivered := 0
+		for {
+			_, err := it.Next()
+			if err == nil {
+				delivered++
+				continue
+			}
+			if !errors.Is(err, boom) {
+				t.Fatalf("par %d: err = %v, want the decode error", par, err)
+			}
+			break
+		}
+		if _, err := it.Next(); !errors.Is(err, boom) {
+			t.Fatalf("par %d: error not sticky, got %v", par, err)
+		}
+		return delivered, j.Stats()
+	}
+	serialN, serialStats := run(1)
+	parN, parStats := run(4)
+	if parN != serialN {
+		t.Fatalf("delivered %d tuples before the error, serial delivered %d", parN, serialN)
+	}
+	if parStats != serialStats {
+		t.Fatalf("error-path stats diverged:\nserial:   %+v\nparallel: %+v", serialStats, parStats)
+	}
+	if parStats.MapTasks != 8 {
+		t.Fatalf("MapTasks = %d, want the plan-order prefix 8 (splits 0..7)", parStats.MapTasks)
+	}
+}
+
+// TestParallelScanLimitChargesPrefix: an early-stopping consumer charges
+// only the plan-order prefix of splits it consumed, exactly like the
+// serial scan — regardless of how many splits the prefetch pool decoded.
+func TestParallelScanLimitChargesPrefix(t *testing.T) {
+	f := scanFixture(12)
+	run := func(par int) Stats {
+		j := NewJob("scan", hdfs.New(0))
+		j.Parallelism = par
+		n, err := scanDataset(t, j, f).Limit(1).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("limit count = %d", n)
+		}
+		return j.Stats()
+	}
+	serialStats := run(1)
+	parStats := run(4)
+	if parStats != serialStats {
+		t.Fatalf("limit stats diverged:\nserial:   %+v\nparallel: %+v", serialStats, parStats)
+	}
+	if parStats.MapTasks != 1 {
+		t.Fatalf("MapTasks = %d, want 1 (only the first split was delivered)", parStats.MapTasks)
+	}
+}
+
+// TestUnorderedIsNoOpOffScan: Unordered on a derived dataset returns the
+// dataset unchanged — only raw scan sources have an order to waive.
+func TestUnorderedIsNoOpOffScan(t *testing.T) {
+	d := NewDataset(emptyJob(), Schema{"a"}, []Tuple{{int64(1)}})
+	if got := d.Unordered(); got != d {
+		t.Fatal("Unordered on a non-scan dataset built a new node")
+	}
+}
+
+// TestParallelDistinctReduceWaveTopUp: with enough distinct keys to need
+// more than one reducer, the parallel Distinct must charge the same
+// topped-up reduce wave as serial — the partition counts sum to the
+// global distinct count.
+func TestParallelDistinctReduceWaveTopUp(t *testing.T) {
+	const keys = 25000
+	run := func(par int) (int64, Stats) {
+		j := parJob(t, 64<<10, par, 0)
+		tuples := make([]Tuple, keys)
+		for i := range tuples {
+			tuples[i] = Tuple{fmt.Sprintf("key-%06d", i)}
+		}
+		n, err := NewDataset(j, Schema{"k"}, tuples).Distinct().Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, j.Stats()
+	}
+	serialN, serialStats := run(1)
+	parN, parStats := run(4)
+	if serialN != keys || parN != keys {
+		t.Fatalf("distinct counts = %d / %d, want %d", serialN, parN, keys)
+	}
+	if comparableStats(parStats) != comparableStats(serialStats) {
+		t.Fatalf("distinct stats diverged:\nserial:   %+v\nparallel: %+v", serialStats, parStats)
+	}
+	if want := reducersFor(keys); parStats.ReduceTasks != want {
+		t.Fatalf("ReduceTasks = %d, want the topped-up wave %d", parStats.ReduceTasks, want)
+	}
+}
+
+// drainIter reads an iterator to EOF, failing the test on any error.
+func drainIter(t *testing.T, it Iterator) int {
+	t.Helper()
+	n := 0
+	for {
+		_, err := it.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+// TestParallelScanCloseMidStream: abandoning a parallel scan mid-stream
+// (Close without EOF) joins the worker pool without deadlock and the
+// next pipeline over the same spec still sees every tuple.
+func TestParallelScanCloseMidStream(t *testing.T) {
+	f := scanFixture(12)
+	j := NewJob("scan", hdfs.New(0))
+	j.Parallelism = 4
+	d := scanDataset(t, j, f)
+	it, err := d.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := it.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	it2, err := d.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	want := 0
+	for _, rows := range f.rows {
+		want += len(rows)
+	}
+	if n := drainIter(t, it2); n != want {
+		t.Fatalf("re-opened scan delivered %d tuples, want %d", n, want)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"hash/fnv"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"unilog/internal/recordio"
@@ -94,6 +96,12 @@ type spillPart struct {
 	bw   *bufio.Writer
 	w    *recordio.CRCWriter
 	runs []spillRun
+
+	// merged holds this partition's runs after a per-partition cascade
+	// (merge.go) has staged them into wider files — the partition-local
+	// counterpart of spillTable.merged, used by parallel reduce passes
+	// so partition identity survives cascading.
+	merged []runRef
 }
 
 // key returns the rendered key of a buffered tuple.
@@ -114,6 +122,25 @@ type spillTable struct {
 	encBuf   []byte
 	merged   []runRef // file runs owned by the cascade (merge.go); empty until one runs
 	closed   bool
+
+	// Async spill flushing (Job.Parallelism > 1): detached partition
+	// buffers travel to a single flusher goroutine that sorts and writes
+	// them off the ingest path. Budget is freed at detach time, so flush
+	// decisions, run boundaries, and file contents are identical to the
+	// serial path — only the ingest thread no longer waits for the sort
+	// and the write. flushErr is owned by the flusher until flushDone
+	// closes; flushFail is the ingest path's fail-fast signal.
+	flushCh   chan flushReq
+	flushDone chan struct{}
+	flushErr  error
+	flushFail atomic.Bool
+}
+
+// flushReq is one detached partition buffer awaiting its sort-and-write.
+type flushReq struct {
+	p     *spillPart
+	mem   []memTuple
+	arena []byte
 }
 
 // newSpillTable sizes a table for the job's budget. partitions overrides
@@ -151,8 +178,8 @@ func (st *spillTable) spillDir() string {
 // sorted runs as needed. On error the table has already been cleaned up.
 func (st *spillTable) add(t Tuple) error {
 	b := tupleBytes(t)
-	st.job.stats.ShuffleBytes += b
-	st.job.stats.ShuffleRecords++
+	st.job.stats.shuffleBytes.Add(b)
+	st.job.stats.shuffleRecords.Add(1)
 	st.scratch = st.scratch[:0]
 	if len(st.keyIdx) > 0 {
 		st.scratch = appendKey(st.scratch, t, st.keyIdx)
@@ -185,7 +212,7 @@ func (st *spillTable) add(t Tuple) error {
 // cleaned up.
 func (st *spillTable) fill(d *Dataset) error {
 	t0 := time.Now()
-	before := st.job.stats.ShuffleBytes
+	before := st.job.stats.shuffleBytes.Load()
 	if err := d.Each(st.add); err != nil {
 		st.Close()
 		return err
@@ -193,7 +220,7 @@ func (st *spillTable) fill(d *Dataset) error {
 	err := st.finish()
 	// The shuffle stage is accounted here, once per table fill, from the
 	// same Stats fields add() charges per tuple — no per-tuple telemetry.
-	tmShuffleBytes.Add(st.job.stats.ShuffleBytes - before)
+	tmShuffleBytes.Add(st.job.stats.shuffleBytes.Load() - before)
 	tmShuffleNs.ObserveSince(t0)
 	return err
 }
@@ -202,9 +229,17 @@ func (st *spillTable) fill(d *Dataset) error {
 // the run order the merge relies on. Sequences are unique, so the order is
 // total and the sort is stable by construction.
 func (st *spillTable) sortPart(p *spillPart) {
-	sort.Slice(p.mem, func(i, j int) bool {
-		a, b := &p.mem[i], &p.mem[j]
-		if c := bytes.Compare(p.key(a), p.key(b)); c != 0 {
+	st.sortRun(p.mem, p.keyArena)
+}
+
+// sortRun is sortPart over an explicit (buffer, arena) pair, so a
+// detached buffer handed to the async flusher sorts identically.
+func (st *spillTable) sortRun(mem []memTuple, arena []byte) {
+	sort.Slice(mem, func(i, j int) bool {
+		a, b := &mem[i], &mem[j]
+		ka := arena[a.keyOff : a.keyOff+a.keyLen]
+		kb := arena[b.keyOff : b.keyOff+b.keyLen]
+		if c := bytes.Compare(ka, kb); c != 0 {
 			return c < 0
 		}
 		for _, k := range st.order {
@@ -219,10 +254,12 @@ func (st *spillTable) sortPart(p *spillPart) {
 	})
 }
 
-// spillLargest sorts the biggest in-memory partition buffer, appends it to
-// the partition's spill file as one sorted run, and drops the buffer,
-// freeing its budget share.
-func (st *spillTable) spillLargest() error {
+// detachLargest picks the biggest in-memory partition buffer, detaches
+// it from the partition, and frees its budget share — the flush
+// *decision* and accounting, separated from the flush I/O so the write
+// can happen on the flusher goroutine without changing which buffers
+// spill or what runs they form.
+func (st *spillTable) detachLargest() (*spillPart, []memTuple, []byte) {
 	var p *spillPart
 	for i := range st.parts {
 		if st.parts[i].memBytes > 0 && (p == nil || st.parts[i].memBytes > p.memBytes) {
@@ -230,58 +267,133 @@ func (st *spillTable) spillLargest() error {
 		}
 	}
 	if p == nil {
-		return nil
+		return nil, nil, nil
 	}
+	mem, arena := p.mem, p.keyArena
+	st.buffered -= p.memBytes
+	p.mem = nil // really release: the budget exists to bound live tuples
+	p.keyArena = nil
+	p.memBytes = 0
+	return p, mem, arena
+}
+
+// writeRun sorts a detached partition buffer and appends it to the
+// partition's spill file as one sorted run. The partition's file state
+// (p.f, p.w, p.runs) is touched only here; while the async flusher is
+// running it is the sole caller, so file state is single-owner in both
+// modes. Returns the (possibly grown) encode buffer for reuse.
+func (st *spillTable) writeRun(p *spillPart, mem []memTuple, arena []byte, encBuf []byte) ([]byte, error) {
 	t0 := time.Now()
+	st.sortRun(mem, arena)
 	if p.f == nil {
 		f, err := os.CreateTemp(st.spillDir(), "unilog-spill-"+st.job.Name+"-*.crc")
 		if err != nil {
-			return fmt.Errorf("dataflow: create spill file: %w", err)
+			return encBuf, fmt.Errorf("dataflow: create spill file: %w", err)
 		}
 		p.f = f
 		p.path = f.Name()
 		p.bw = bufio.NewWriterSize(f, 1<<16)
 		p.w = recordio.NewCRCWriter(p.bw)
-		st.job.stats.SpilledPartitions++
+		st.job.stats.spilledPartitions.Add(1)
 	}
-	st.sortPart(p)
-	st.job.stats.SpillFlushes++
+	st.job.stats.spillFlushes.Add(1)
 	before := p.w.Bytes()
-	for i := range p.mem {
-		m := &p.mem[i]
+	for i := range mem {
+		m := &mem[i]
 		var err error
-		st.encBuf, err = appendRunRec(st.encBuf[:0], p.key(m), m.seq, m.t)
+		encBuf, err = appendRunRec(encBuf[:0], arena[m.keyOff:m.keyOff+m.keyLen], m.seq, m.t)
 		if err != nil {
-			return err
+			return encBuf, err
 		}
-		if err := p.w.Append(st.encBuf); err != nil {
-			return fmt.Errorf("dataflow: write spill file %s: %w", p.path, err)
+		if err := p.w.Append(encBuf); err != nil {
+			return encBuf, fmt.Errorf("dataflow: write spill file %s: %w", p.path, err)
 		}
 	}
-	p.runs = append(p.runs, spillRun{off: before, len: p.w.Bytes() - before, records: int64(len(p.mem))})
-	st.job.stats.SpillRuns++
-	st.job.stats.SpilledRecords += int64(len(p.mem))
-	st.job.stats.SpilledBytes += p.w.Bytes() - before
+	p.runs = append(p.runs, spillRun{off: before, len: p.w.Bytes() - before, records: int64(len(mem))})
+	st.job.stats.spillRuns.Add(1)
+	st.job.stats.spilledRecords.Add(int64(len(mem)))
+	st.job.stats.spilledBytes.Add(p.w.Bytes() - before)
 	tmSpillRuns.Inc()
-	tmSpillRecords.Add(int64(len(p.mem)))
+	tmSpillRecords.Add(int64(len(mem)))
 	tmSpillBytes.Add(p.w.Bytes() - before)
 	tmSpillFlushNs.ObserveSince(t0)
-	st.buffered -= p.memBytes
-	p.mem = nil // really release: the budget exists to bound live tuples
-	p.keyArena = nil
-	p.memBytes = 0
-	return nil
+	return encBuf, nil
+}
+
+// spillLargest detaches the biggest partition buffer and flushes it —
+// inline when serial, via the flusher goroutine when Job.Parallelism
+// allows, so sorting and writing leave the ingest path. Requests are
+// FIFO through a single flusher, so each partition file's runs land in
+// exactly the order the serial path would write them.
+func (st *spillTable) spillLargest() error {
+	if st.flushFail.Load() {
+		return st.stopFlusher()
+	}
+	p, mem, arena := st.detachLargest()
+	if p == nil {
+		return nil
+	}
+	if st.flushCh == nil && st.job.parallelism() > 1 {
+		st.flushCh = make(chan flushReq, 2)
+		st.flushDone = make(chan struct{})
+		go st.flusher()
+	}
+	if st.flushCh != nil {
+		st.flushCh <- flushReq{p: p, mem: mem, arena: arena}
+		return nil
+	}
+	var err error
+	st.encBuf, err = st.writeRun(p, mem, arena, st.encBuf)
+	return err
+}
+
+// flusher drains detached buffers, recording the first failure and
+// discarding the rest — the table is poisoned and being torn down once
+// anything goes wrong.
+func (st *spillTable) flusher() {
+	defer close(st.flushDone)
+	var encBuf []byte
+	for req := range st.flushCh {
+		if st.flushErr != nil {
+			continue
+		}
+		t0 := time.Now()
+		var err error
+		encBuf, err = st.writeRun(req.p, req.mem, req.arena, encBuf)
+		tmParSpillBusyNs.ObserveSince(t0)
+		if err != nil {
+			st.flushErr = err
+			st.flushFail.Store(true)
+		}
+	}
+}
+
+// stopFlusher joins the flusher goroutine, if one is running, and
+// returns its first error. After it returns, partition file state is
+// back under the caller's ownership.
+func (st *spillTable) stopFlusher() error {
+	if st.flushCh == nil {
+		return nil
+	}
+	close(st.flushCh)
+	<-st.flushDone
+	st.flushCh = nil
+	return st.flushErr
 }
 
 // finish flushes and closes every spill file for writing and sorts the
 // in-memory residues; the table is then ready for (repeated) merge reads.
-// On error the table has been cleaned up.
+// The flusher (if running) is joined first, so its error surfaces here
+// and file state is single-threaded again. On error the table has been
+// cleaned up.
 func (st *spillTable) finish() error {
+	if err := st.stopFlusher(); err != nil {
+		st.Close()
+		return err
+	}
+	st.sortResidues()
 	for i := range st.parts {
 		p := &st.parts[i]
-		if len(p.mem) > 0 {
-			st.sortPart(p)
-		}
 		if p.f == nil {
 			continue
 		}
@@ -296,6 +408,46 @@ func (st *spillTable) finish() error {
 		}
 	}
 	return nil
+}
+
+// sortResidues sorts every partition's in-memory residue, fanning the
+// sorts out over workers when the job allows — each sort touches only
+// its own partition's buffer, and sort order does not depend on who
+// sorts.
+func (st *spillTable) sortResidues() {
+	var parts []*spillPart
+	for i := range st.parts {
+		if len(st.parts[i].mem) > 0 {
+			parts = append(parts, &st.parts[i])
+		}
+	}
+	workers := st.job.parallelism()
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		for _, p := range parts {
+			st.sortPart(p)
+		}
+		return
+	}
+	tmParWorkers.SetMax(int64(workers))
+	idx := make(chan *spillPart)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range idx {
+				st.sortPart(p)
+			}
+		}()
+	}
+	for _, p := range parts {
+		idx <- p
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // errSpillClosed guards use-after-Close: without it a reduce pass over a
@@ -313,7 +465,23 @@ func (st *spillTable) Close() error {
 		return nil
 	}
 	st.closed = true
+	// Join the flusher before touching file state: a mid-flight write
+	// must not race the removals below. Its error is superseded by the
+	// teardown itself.
+	st.stopFlusher()
 	var err error
+	removed := make(map[string]bool)
+	rmTemps := func(refs []runRef) {
+		for _, r := range refs {
+			if !r.temp || removed[r.path] {
+				continue
+			}
+			removed[r.path] = true
+			if rerr := os.Remove(r.path); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+	}
 	for i := range st.parts {
 		p := &st.parts[i]
 		if p.f != nil {
@@ -330,17 +498,10 @@ func (st *spillTable) Close() error {
 		p.keyArena = nil
 		p.runs = nil
 		p.memBytes = 0
+		rmTemps(p.merged)
+		p.merged = nil
 	}
-	removed := make(map[string]bool)
-	for _, r := range st.merged {
-		if !r.temp || removed[r.path] {
-			continue
-		}
-		removed[r.path] = true
-		if rerr := os.Remove(r.path); rerr != nil && err == nil {
-			err = rerr
-		}
-	}
+	rmTemps(st.merged)
 	st.merged = nil
 	return err
 }

@@ -83,6 +83,13 @@ type Mover struct {
 	// moment it lands. Other categories are unaffected: sealing decodes
 	// events.ClientEvent, which only the unified category stores.
 	SealColumnar bool
+	// SealParallelism caps the workers of the columnar sealing pass that
+	// MoveAllSealed runs after publishing its hours: moves stay ordered
+	// and sequential (the rename is the correctness point), but the
+	// CPU-bound re-encode of the published hours fans out. <= 0 means
+	// runtime.GOMAXPROCS(0); 1 seals hour by hour. MoveHour always seals
+	// its single hour inline.
+	SealParallelism int
 	// Clock stamps audit records; nil uses time.Now.
 	Clock func() time.Time
 
@@ -117,6 +124,13 @@ func (m *Mover) HourSealed(category string, hour time.Time) bool {
 // the warehouse and atomically publishes it. On any error the warehouse is
 // untouched.
 func (m *Mover) MoveHour(category string, hour time.Time) (AuditRecord, error) {
+	return m.moveHour(category, hour, true)
+}
+
+// moveHour publishes one hour; sealInline controls whether the columnar
+// re-encode happens here (MoveHour) or is left to the caller's deferred
+// sealing pass (MoveAllSealed, which fans the seals out after all moves).
+func (m *Mover) moveHour(category string, hour time.Time, sealInline bool) (AuditRecord, error) {
 	rec := AuditRecord{Category: category, Hour: hour.UTC().Truncate(time.Hour), Started: m.Clock()}
 	destDir := warehouse.HourDir(category, hour)
 	if m.Warehouse.Exists(destDir) {
@@ -212,7 +226,7 @@ func (m *Mover) MoveHour(category string, hour time.Time) (AuditRecord, error) {
 			return rec, err
 		}
 	}
-	if m.SealColumnar && category == events.Category && filesOut > 0 {
+	if sealInline && m.needsSeal(category, filesOut) {
 		if _, err := columnar.SealHour(m.Warehouse, category, hour); err != nil {
 			return rec, err
 		}
@@ -256,6 +270,7 @@ func (m *Mover) MoveAllSealed() ([]AuditRecord, error) {
 		}
 	}
 	var recs []AuditRecord
+	var toSeal []time.Time
 	for _, ch := range order {
 		if !m.HourSealed(ch.category, ch.hour) {
 			continue
@@ -263,13 +278,31 @@ func (m *Mover) MoveAllSealed() ([]AuditRecord, error) {
 		if m.Warehouse.Exists(warehouse.HourDir(ch.category, ch.hour)) {
 			continue
 		}
-		rec, err := m.MoveHour(ch.category, ch.hour)
+		rec, err := m.moveHour(ch.category, ch.hour, false)
 		if err != nil {
 			return recs, err
 		}
 		recs = append(recs, rec)
+		if m.needsSeal(ch.category, rec.FilesOut) {
+			toSeal = append(toSeal, ch.hour)
+		}
+	}
+	// Sealing is deferred behind the moves and fanned out: the hours are
+	// already published (readable as row files), so the CPU-bound
+	// re-encode can run wide without delaying any hour's availability. A
+	// seal failure leaves its hour row-only — the reader falls back — and
+	// surfaces here after every move has landed.
+	if _, err := columnar.SealHoursParallel(m.Warehouse, events.Category, toSeal, m.SealParallelism); err != nil {
+		return recs, err
 	}
 	return recs, nil
+}
+
+// needsSeal reports whether a just-published hour should be columnar
+// sealed: the feature is on, the category actually stores ClientEvents,
+// and the hour has data.
+func (m *Mover) needsSeal(category string, filesOut int) bool {
+	return m.SealColumnar && category == events.Category && filesOut > 0
 }
 
 // parseStagingPath extracts (category, hour) from

@@ -30,6 +30,11 @@ type RunConfig struct {
 	// MemoryBudgetBytes bounds the cell's batch rollup job; 0 runs it
 	// in-memory.
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+	// Parallelism caps the worker pools of the cell's batch legs: the
+	// rollup job's dataflow.Job.Parallelism and the columnar day seal.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial paths, so a
+	// grid can sweep serial vs parallel in otherwise identical cells.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // InvariantCheck is one evaluated assertion from Spec.Invariants.
@@ -370,7 +375,7 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 	// it: the reconcile below and the budgeted rollup leg both go through
 	// the columnar source, so every scenario cell proves the columnar path
 	// end to end against the realtime counters.
-	if _, err := columnar.SealDay(wh, events.Category, day); err != nil {
+	if _, err := columnar.SealDayParallel(wh, events.Category, day, rc.Parallelism); err != nil {
 		return nil, err
 	}
 
@@ -403,6 +408,7 @@ func Run(spec *Spec, rc RunConfig) (*Result, error) {
 	defer os.RemoveAll(spillDir)
 	j := dataflow.NewJob("scenario-rollup", wh)
 	j.MemoryBudget = rc.MemoryBudgetBytes
+	j.Parallelism = rc.Parallelism
 	j.SpillDir = spillDir
 	rt0 := time.Now()
 	rollups, err := analytics.Rollups(j, day)
